@@ -1,0 +1,221 @@
+//! ESG's resource-configuration search (simplified).
+//!
+//! ESG's contribution (Hui et al., HPDC'24) is a scheduler that picks, for
+//! each function, the most *resource-efficient* MIG configuration that
+//! still meets the SLO, using an A*-style search over (slice type,
+//! instance count) plans with a "dual-blade" pruning rule: one blade cuts
+//! configurations whose unloaded latency violates the SLO (they can never
+//! become feasible by adding replicas), the other cuts configurations
+//! whose accumulated GPC cost already exceeds the best complete plan (they
+//! can never become cheaper).
+//!
+//! This module reproduces that decision procedure at the granularity our
+//! baseline needs: given a function profile, an SLO and a demand estimate,
+//! return the cheapest feasible monolithic plan. The search space is small
+//! (five slice types × bounded replica counts), so the value of the blades
+//! is measured by the `pruning_stats` the search reports — the structure
+//! of ESG's algorithm, at reproduction scale.
+
+use ffs_mig::SliceProfile;
+use ffs_profile::FunctionProfile;
+
+/// A complete monolithic configuration plan for one function.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConfigPlan {
+    /// The slice type each replica uses.
+    pub slice: SliceProfile,
+    /// Number of replicas.
+    pub count: u32,
+    /// Total GPC cost (`count * gpcs`).
+    pub cost_gpcs: u32,
+    /// Unloaded end-to-end latency per request (ms).
+    pub latency_ms: f64,
+    /// Aggregate sustainable throughput (req/s).
+    pub throughput_rps: f64,
+}
+
+/// Search statistics (how hard the blades worked).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PruningStats {
+    /// Candidate (slice, count) nodes expanded.
+    pub expanded: u32,
+    /// Nodes cut by the SLO blade.
+    pub slo_pruned: u32,
+    /// Nodes cut by the cost blade.
+    pub cost_pruned: u32,
+}
+
+/// Outcome of a configuration search.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchResult {
+    /// The cheapest feasible plan, if any.
+    pub plan: Option<ConfigPlan>,
+    /// Search statistics.
+    pub stats: PruningStats,
+}
+
+/// Upper bound on replicas per function considered by the search.
+const MAX_REPLICAS: u32 = 64;
+
+/// Finds the cheapest (fewest total GPCs) monolithic configuration that
+/// meets `slo_ms` and sustains `demand_rps`.
+pub fn search(profile: &FunctionProfile, slo_ms: f64, demand_rps: f64) -> SearchResult {
+    let mut stats = PruningStats::default();
+    let mut best: Option<ConfigPlan> = None;
+
+    // Candidate slice types, cheapest (fewest GPCs) first, so the cost
+    // blade engages early — this ordering is the "A*" heuristic: GPC cost
+    // is the admissible estimate of a partial plan's final cost.
+    for slice in SliceProfile::ALL {
+        stats.expanded += 1;
+        // Feasibility blade 1: memory + compute floor.
+        if !slice.fits_memory(profile.total_mem_gb()) || slice.gpcs() < profile.min_gpcs_mono {
+            stats.slo_pruned += 1;
+            continue;
+        }
+        let latency_ms = profile.mono_exec_ms(slice);
+        // Feasibility blade 1 (latency half): an unloaded violation can
+        // never be fixed by replication.
+        if latency_ms > slo_ms {
+            stats.slo_pruned += 1;
+            continue;
+        }
+        let per_replica_rps = 1_000.0 / latency_ms;
+        let needed = if demand_rps <= 0.0 {
+            1
+        } else {
+            (demand_rps / per_replica_rps).ceil() as u32
+        }
+        .clamp(1, MAX_REPLICAS);
+        // Blade 2: cost bound. If even the minimal replica count for this
+        // slice type costs more than the incumbent, prune without
+        // constructing the plan.
+        let cost = needed * slice.gpcs();
+        if let Some(b) = best {
+            if cost >= b.cost_gpcs {
+                stats.cost_pruned += 1;
+                continue;
+            }
+        }
+        let plan = ConfigPlan {
+            slice,
+            count: needed,
+            cost_gpcs: cost,
+            latency_ms,
+            throughput_rps: needed as f64 * per_replica_rps,
+        };
+        debug_assert!(plan.throughput_rps >= demand_rps.min(MAX_REPLICAS as f64 * per_replica_rps));
+        best = Some(match best {
+            Some(b) if b.cost_gpcs <= plan.cost_gpcs => b,
+            _ => plan,
+        });
+    }
+    SearchResult { plan: best, stats }
+}
+
+/// The slice-type preference order ESG uses when placing one more replica
+/// for a function under the given SLO: feasible types sorted by GPC
+/// efficiency (GPC-milliseconds consumed per request), cheapest first.
+pub fn placement_preference(profile: &FunctionProfile, slo_ms: f64) -> Vec<SliceProfile> {
+    let mut feasible: Vec<(f64, SliceProfile)> = SliceProfile::ALL
+        .iter()
+        .copied()
+        .filter(|s| {
+            s.fits_memory(profile.total_mem_gb())
+                && s.gpcs() >= profile.min_gpcs_mono
+                && profile.mono_exec_ms(*s) <= slo_ms
+        })
+        .map(|s| (profile.mono_exec_ms(s) * s.gpcs() as f64, s))
+        .collect();
+    feasible.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
+    feasible.into_iter().map(|(_, s)| s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffs_profile::{App, PerfModel, Variant};
+
+    fn profile(app: App, v: Variant) -> FunctionProfile {
+        FunctionProfile::build(app, v, &PerfModel::default())
+    }
+
+    #[test]
+    fn picks_smallest_viable_slice_under_loose_slo() {
+        let p = profile(App::ImageClassification, Variant::Medium);
+        let slo = p.slo_ms(1.5);
+        let r = search(&p, slo, 5.0);
+        let plan = r.plan.unwrap();
+        // Medium needs >= 2g.20gb monolithic (Table 5); smaller slices are
+        // pruned by memory, bigger ones by cost.
+        assert_eq!(plan.slice, SliceProfile::G2_20);
+        assert!(plan.throughput_rps >= 5.0);
+        assert!(r.stats.slo_pruned >= 1, "{:?}", r.stats);
+    }
+
+    #[test]
+    fn replica_count_scales_with_demand() {
+        let p = profile(App::ImageClassification, Variant::Small);
+        let slo = p.slo_ms(1.5);
+        let low = search(&p, slo, 2.0).plan.unwrap();
+        let high = search(&p, slo, 20.0).plan.unwrap();
+        assert!(high.count > low.count);
+        assert!(high.throughput_rps >= 20.0);
+        assert_eq!(high.cost_gpcs, high.count * high.slice.gpcs());
+    }
+
+    #[test]
+    fn tight_slo_forces_bigger_slices() {
+        let p = profile(App::ImageClassification, Variant::Medium);
+        // An SLO just above the 4g latency but below the 2g latency.
+        let t4 = p.mono_exec_ms(SliceProfile::G4_40);
+        let t2 = p.mono_exec_ms(SliceProfile::G2_20);
+        assert!(t4 < t2);
+        let slo = (t4 + t2) / 2.0;
+        let plan = search(&p, slo, 1.0).plan.unwrap();
+        assert!(plan.slice >= SliceProfile::G3_40, "{:?}", plan.slice);
+    }
+
+    #[test]
+    fn infeasible_when_slo_below_best_latency() {
+        let p = profile(App::ImageClassification, Variant::Small);
+        let t7 = p.mono_exec_ms(SliceProfile::G7_80);
+        let r = search(&p, t7 * 0.5, 1.0);
+        assert_eq!(r.plan, None);
+        assert_eq!(r.stats.slo_pruned, 5, "every slice pruned by the SLO blade");
+    }
+
+    #[test]
+    fn cost_blade_prunes_dominated_types() {
+        let p = profile(App::ImageClassification, Variant::Small);
+        let slo = p.slo_ms(3.0); // loose: everything feasible
+        let r = search(&p, slo, 1.0);
+        assert!(r.stats.cost_pruned >= 1, "{:?}", r.stats);
+        // Small variants run on 1g.10gb most efficiently.
+        assert_eq!(r.plan.unwrap().slice, SliceProfile::G1_10);
+    }
+
+    #[test]
+    fn preference_order_is_gpc_efficiency() {
+        let p = profile(App::ImageClassification, Variant::Small);
+        let order = placement_preference(&p, p.slo_ms(1.5));
+        assert!(!order.is_empty());
+        // Sub-linear Amdahl scaling makes small slices more GPC-efficient.
+        assert_eq!(order[0], SliceProfile::G1_10);
+        for w in order.windows(2) {
+            let eff =
+                |s: SliceProfile| p.mono_exec_ms(s) * s.gpcs() as f64;
+            assert!(eff(w[0]) <= eff(w[1]));
+        }
+    }
+
+    #[test]
+    fn compute_floor_respected() {
+        let p = profile(App::ExpandedImageClassification, Variant::Medium);
+        let order = placement_preference(&p, p.slo_ms(1.5));
+        assert!(
+            order.iter().all(|s| s.gpcs() >= 4),
+            "Table 5: medium expanded needs >= 4 GPCs, got {order:?}"
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Microbenchmarks of the substrates: event engine, placement enumeration,
+//! DAG partitioning, the pipeline planner, and trace generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ffs_dag::{enumerate_partitions, linear_blocks};
+use ffs_mig::Fleet;
+use ffs_pipeline::plan_deployment;
+use ffs_profile::{App, FunctionProfile, PerfModel, Variant};
+use ffs_sim::{run_until, Scheduler, SimDuration, SimTime, World};
+use ffs_trace::{AzureTraceConfig, WorkloadClass};
+
+struct PingPong {
+    remaining: u64,
+}
+
+impl World for PingPong {
+    type Event = ();
+    fn handle(&mut self, _t: SimTime, _ev: (), sched: &mut Scheduler<()>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            sched.after(SimDuration::from_micros(1), ());
+        }
+    }
+}
+
+fn bench_event_engine(c: &mut Criterion) {
+    c.bench_function("sim_engine_100k_events", |b| {
+        b.iter(|| {
+            let mut w = PingPong { remaining: 100_000 };
+            let mut s = Scheduler::new();
+            s.at(SimTime::ZERO, ());
+            run_until(&mut w, &mut s, SimTime::MAX);
+            black_box(s.executed())
+        })
+    });
+}
+
+fn bench_placement_enumeration(c: &mut Criterion) {
+    c.bench_function("mig_enumerate_maximal_layouts", |b| {
+        b.iter(|| black_box(ffs_mig::placement::enumerate_maximal_layouts().len()))
+    });
+}
+
+fn bench_dag_partitioning(c: &mut Criterion) {
+    let dag = App::ExpandedImageClassification.build_dag(Variant::Medium);
+    c.bench_function("dag_linear_blocks_and_partitions", |b| {
+        b.iter(|| {
+            let blocks = linear_blocks(black_box(&dag));
+            black_box(enumerate_partitions(&blocks).len())
+        })
+    });
+}
+
+fn bench_cv_ranking(c: &mut Criterion) {
+    let profile = FunctionProfile::build(
+        App::ExpandedImageClassification,
+        Variant::Medium,
+        &PerfModel::default(),
+    );
+    c.bench_function("profile_rank_partitions", |b| {
+        b.iter(|| black_box(profile.ranked_partitions().len()))
+    });
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let profile = FunctionProfile::build(App::ImageClassification, Variant::Large, &PerfModel::default());
+    let fleet = Fleet::paper_default();
+    let free = fleet.free_slices(None);
+    c.bench_function("pipeline_plan_deployment", |b| {
+        b.iter(|| black_box(plan_deployment(&profile, &free)))
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("trace_generate_300s_medium", |b| {
+        b.iter(|| {
+            let cfg = AzureTraceConfig::for_workload(WorkloadClass::Medium, 300.0, 42);
+            black_box(cfg.generate().len())
+        })
+    });
+}
+
+fn bench_profile_build(c: &mut Criterion) {
+    c.bench_function("profile_build_paper_suite", |b| {
+        b.iter(|| black_box(FunctionProfile::paper_suite(&PerfModel::default()).len()))
+    });
+}
+
+criterion_group!(
+    substrate,
+    bench_event_engine,
+    bench_placement_enumeration,
+    bench_dag_partitioning,
+    bench_cv_ranking,
+    bench_planner,
+    bench_trace_generation,
+    bench_profile_build,
+);
+criterion_main!(substrate);

@@ -1,0 +1,12 @@
+//! # ffs-bench — Criterion benchmarks for the FluidFaaS reproduction
+//!
+//! Three bench suites:
+//!
+//! * `figures` — one benchmark per paper table/figure, running the same
+//!   experiment code as the `exp_*` binaries on shortened traces.
+//! * `substrate` — microbenchmarks of the building blocks (event loop,
+//!   partition enumeration, planner, trace generation).
+//! * `ablations` — design-choice ablations (CV ranking on/off, time sharing
+//!   on/off, migration on/off, transfer-cost sensitivity).
+//!
+//! Run with `cargo bench --workspace`.

@@ -1,0 +1,15 @@
+//! Machinery shared between FluidFaaS and the baseline platforms:
+//! the function catalog, request bookkeeping, the metrics hub and the
+//! trace runner.
+
+pub mod catalog;
+pub mod events;
+pub mod hub;
+pub mod request;
+pub mod runner;
+
+pub use catalog::{FuncId, FunctionCatalog};
+pub use events::{Event, InstanceId};
+pub use hub::MetricsHub;
+pub use request::{RequestState, ServePath};
+pub use runner::{run_platform, Platform, RunOutput};

@@ -1,0 +1,90 @@
+//! The trace runner: drives any platform through a trace and collects the
+//! run's metrics.
+
+use ffs_metrics::{CostReport, LatencyCdf, RequestLog};
+use ffs_sim::{run_until, Scheduler, SimDuration, SimTime, World};
+use ffs_trace::Trace;
+
+use super::events::Event;
+use super::hub::MetricsHub;
+
+/// A simulated serverless platform: an event-driven [`World`] that can
+/// finalise and surrender its metrics.
+pub trait Platform: World<Event = Event> {
+    /// How long after the last arrival the run drains before finalising.
+    fn drain(&self) -> SimDuration;
+
+    /// Called once at the end of the run: record still-unfinished requests
+    /// as SLO misses and close any open accounting intervals that are not
+    /// handled by the cost tracker's own finalisation.
+    fn finalize(&mut self, end: SimTime);
+
+    /// Surrenders the metrics hub (the platform is done after this).
+    fn take_hub(&mut self) -> MetricsHub;
+
+    /// Number of GPUs in the fleet (for per-GPU reports).
+    fn num_gpus(&self) -> usize;
+
+    /// Slices per GPU (for Figure 5 percentages).
+    fn slices_per_gpu(&self) -> usize;
+}
+
+/// Everything a run produces.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// Per-request log.
+    pub log: RequestLog,
+    /// Cost report (GPU time / MIG time / occupied / active).
+    pub cost: CostReport,
+    /// Busy-GPC utilization curve `(t_secs, gpcs)`.
+    pub busy_gpcs: Vec<(f64, f64)>,
+    /// Allocated-GPC curve.
+    pub allocated_gpcs: Vec<(f64, f64)>,
+    /// Required (ideal) GPC curve.
+    pub required_gpcs: Vec<(f64, f64)>,
+    /// The simulated duration (trace + drain).
+    pub duration: SimDuration,
+    /// Slices per GPU (for occupancy percentages).
+    pub slices_per_gpu: usize,
+}
+
+impl RunOutput {
+    /// The end-to-end latency CDF across all apps.
+    pub fn latency_cdf(&self) -> LatencyCdf {
+        LatencyCdf::new(self.log.latencies_ms())
+    }
+
+    /// The latency CDF for one app index.
+    pub fn latency_cdf_for(&self, app_index: usize) -> LatencyCdf {
+        LatencyCdf::new(self.log.latencies_ms_for(app_index))
+    }
+
+    /// Completed-request throughput (req/s) over the run.
+    pub fn throughput_rps(&self) -> f64 {
+        self.log.throughput_rps(self.duration)
+    }
+}
+
+/// Runs a platform through a trace: schedules all arrivals plus the first
+/// scale tick, runs to completion (trace end + drain), finalises metrics.
+pub fn run_platform<P: Platform>(platform: &mut P, trace: &Trace) -> RunOutput {
+    let mut sched: Scheduler<Event> = Scheduler::new();
+    for inv in &trace.invocations {
+        sched.at(inv.arrival, Event::Arrival(inv.id));
+    }
+    sched.at(SimTime::ZERO, Event::ScaleTick);
+    let end = SimTime::ZERO + trace.duration + platform.drain();
+    run_until(platform, &mut sched, end);
+    platform.finalize(end);
+    let slices_per_gpu = platform.slices_per_gpu();
+    let hub = platform.take_hub();
+    RunOutput {
+        log: hub.log,
+        cost: hub.cost.finalize(end),
+        busy_gpcs: hub.busy_gpcs.curve(),
+        allocated_gpcs: hub.allocated_gpcs.curve(),
+        required_gpcs: hub.required_gpcs.curve(),
+        duration: end.saturating_since(SimTime::ZERO),
+        slices_per_gpu,
+    }
+}

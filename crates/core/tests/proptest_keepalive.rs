@@ -1,0 +1,56 @@
+//! Property tests of the Figure 8 keep-alive state machine.
+
+use proptest::prelude::*;
+
+use fluidfaas::{KeepAliveState, Transition};
+
+fn arb_transition() -> impl Strategy<Value = Transition> {
+    prop_oneof![
+        Just(Transition::RequestArrived),
+        Just(Transition::UtilizationHigh),
+        Just(Transition::UtilizationLow),
+        Just(Transition::Evicted),
+        Just(Transition::IdleTimeout),
+    ]
+}
+
+proptest! {
+    /// The state machine is closed over its four states and never evicts an
+    /// exclusive-hot instance.
+    #[test]
+    fn closed_and_eviction_safe(ts in proptest::collection::vec(arb_transition(), 0..64)) {
+        let mut s = KeepAliveState::Cold;
+        for t in ts {
+            let next = s.next(t);
+            // Closure: next is one of the four states (type-level), and the
+            // specific safety property: eviction never moves ExclusiveHot.
+            if s == KeepAliveState::ExclusiveHot && t == Transition::Evicted {
+                prop_assert_eq!(next, KeepAliveState::ExclusiveHot);
+            }
+            // GPU residency can only be (re)gained through a request or a
+            // promotion, never through timeouts.
+            if !s.on_gpu() && next.on_gpu() {
+                prop_assert_eq!(t, Transition::RequestArrived);
+            }
+            s = next;
+        }
+    }
+
+    /// Without requests, any trajectory eventually reaches (and stays) Cold.
+    #[test]
+    fn starvation_reaches_cold(ts in proptest::collection::vec(arb_transition(), 0..32)) {
+        let mut s = KeepAliveState::TimeSharing;
+        for t in ts {
+            if t == Transition::RequestArrived || t == Transition::UtilizationHigh {
+                continue; // starvation scenario: no demand signals
+            }
+            s = s.next(t);
+        }
+        // Apply the full decay sequence.
+        s = s.next(Transition::UtilizationLow);
+        s = s.next(Transition::Evicted);
+        s = s.next(Transition::IdleTimeout);
+        prop_assert_eq!(s, KeepAliveState::Cold);
+        prop_assert_eq!(s.next(Transition::IdleTimeout), KeepAliveState::Cold);
+    }
+}

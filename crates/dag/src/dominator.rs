@@ -1,0 +1,227 @@
+//! Dominator analysis: finding the valid pipeline-stage boundaries of an
+//! FFS DAG.
+//!
+//! A pipeline stage boundary must be a *linearisation point* of the DAG: a
+//! cut that every source-to-sink path crosses in the same place. The nodes
+//! that provide such cuts are exactly the common dominators of all sinks
+//! ("cut nodes"). Grouping the remaining nodes into the gaps between
+//! consecutive cut nodes yields a sequence of *blocks*; consecutive runs of
+//! blocks are the candidate pipeline stages (§5.2.2 of the paper, following
+//! ESG's dominator-based partitioning).
+
+use crate::graph::{FfsDag, NodeId};
+
+/// Maximum number of components supported by the bitset-based analysis.
+pub const MAX_NODES: usize = 64;
+
+/// Dominator sets and cut nodes of an FFS DAG.
+#[derive(Clone, Debug)]
+pub struct DominatorInfo {
+    /// `dom[v]` is a bitset of the nodes dominating `v` (including `v`
+    /// itself). A node `d` dominates `v` if every path from a source to `v`
+    /// passes through `d`.
+    dom: Vec<u64>,
+    /// The cut nodes in topological order: nodes present on *every*
+    /// source-to-sink path.
+    cuts: Vec<NodeId>,
+}
+
+impl DominatorInfo {
+    /// Computes dominators for a validated DAG.
+    ///
+    /// # Panics
+    /// Panics if the DAG has more than [`MAX_NODES`] components or is empty.
+    pub fn compute(dag: &FfsDag) -> Self {
+        let n = dag.len();
+        assert!(n > 0, "dominators of an empty DAG");
+        assert!(n <= MAX_NODES, "FFS DAGs larger than {MAX_NODES} components are unsupported");
+
+        // Registration order is topological, so one forward pass suffices.
+        let mut dom = vec![0u64; n];
+        for v in dag.nodes() {
+            let i = v.index();
+            let preds = dag.inputs(v);
+            let mut d = if preds.is_empty() {
+                // Sources are dominated only by themselves (a virtual entry
+                // would dominate everything; we leave it implicit).
+                0u64
+            } else {
+                preds
+                    .iter()
+                    .map(|p| dom[p.index()])
+                    .fold(u64::MAX, |acc, x| acc & x)
+            };
+            d |= 1 << i;
+            dom[i] = d;
+        }
+
+        // Cut nodes: common dominators of all sinks.
+        let sinks = dag.sinks();
+        let common = sinks
+            .iter()
+            .map(|s| dom[s.index()])
+            .fold(u64::MAX, |acc, x| acc & x);
+        let cuts: Vec<NodeId> = dag.nodes().filter(|v| common & (1 << v.index()) != 0).collect();
+
+        DominatorInfo { dom, cuts }
+    }
+
+    /// True if `d` dominates `v`.
+    pub fn dominates(&self, d: NodeId, v: NodeId) -> bool {
+        self.dom[v.index()] & (1 << d.index()) != 0
+    }
+
+    /// The cut nodes in topological order.
+    pub fn cut_nodes(&self) -> &[NodeId] {
+        &self.cuts
+    }
+}
+
+/// Linearises a DAG into blocks: each cut node is its own block, and the
+/// non-cut nodes between two consecutive cut nodes form a gap block.
+///
+/// Every consecutive grouping of the returned blocks is a valid pipeline
+/// partition: all dataflow crosses block boundaries in the forward
+/// direction.
+pub fn linear_blocks(dag: &FfsDag) -> Vec<Vec<NodeId>> {
+    let info = DominatorInfo::compute(dag);
+    let cuts = info.cut_nodes();
+
+    // For each node, find the index of the last cut that dominates it
+    // (usize::MAX for "before the first cut", only possible with multiple
+    // sources).
+    let gap_of = |v: NodeId| -> usize {
+        let mut last = usize::MAX;
+        for (i, &c) in cuts.iter().enumerate() {
+            if info.dominates(c, v) {
+                last = i;
+            }
+        }
+        last
+    };
+
+    let mut blocks: Vec<Vec<NodeId>> = Vec::new();
+    // gap before the first cut
+    let mut gap0: Vec<NodeId> = dag
+        .nodes()
+        .filter(|&v| !cuts.contains(&v) && gap_of(v) == usize::MAX)
+        .collect();
+    if !gap0.is_empty() {
+        gap0.sort();
+        blocks.push(gap0);
+    }
+    for (i, &c) in cuts.iter().enumerate() {
+        blocks.push(vec![c]);
+        let mut gap: Vec<NodeId> = dag
+            .nodes()
+            .filter(|&v| v != c && !cuts.contains(&v) && gap_of(v) == i)
+            .collect();
+        if !gap.is_empty() {
+            gap.sort();
+            blocks.push(gap);
+        }
+    }
+    debug_assert_eq!(
+        blocks.iter().map(Vec::len).sum::<usize>(),
+        dag.len(),
+        "every node appears in exactly one block"
+    );
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Component;
+
+    fn comp(name: &str) -> Component {
+        Component::new(name, 1.0, 10.0, 1.0)
+    }
+
+    #[test]
+    fn chain_every_node_is_a_cut() {
+        let mut dag = FfsDag::new("chain");
+        let a = dag.register(comp("a"), &[]).unwrap();
+        let b = dag.register(comp("b"), &[a]).unwrap();
+        let c = dag.register(comp("c"), &[b]).unwrap();
+        let info = DominatorInfo::compute(&dag);
+        assert_eq!(info.cut_nodes(), &[a, b, c]);
+        assert!(info.dominates(a, c));
+        assert!(!info.dominates(c, a));
+        let blocks = linear_blocks(&dag);
+        assert_eq!(blocks, vec![vec![a], vec![b], vec![c]]);
+    }
+
+    #[test]
+    fn diamond_branch_nodes_form_a_gap_block() {
+        // a -> (b, c) -> d, the App 3 shape.
+        let mut dag = FfsDag::new("diamond");
+        let a = dag.register(comp("a"), &[]).unwrap();
+        let b = dag.register(comp("b"), &[a]).unwrap();
+        let c = dag.register(comp("c"), &[a]).unwrap();
+        let d = dag.register(comp("d"), &[b, c]).unwrap();
+        let info = DominatorInfo::compute(&dag);
+        assert_eq!(info.cut_nodes(), &[a, d]);
+        let blocks = linear_blocks(&dag);
+        assert_eq!(blocks, vec![vec![a], vec![b, c], vec![d]]);
+    }
+
+    #[test]
+    fn skip_edge_keeps_optional_node_in_gap() {
+        // deblur -> sr -> bgrm with a skip edge deblur -> bgrm
+        // (the "if low resolution" branch of App 3).
+        let mut dag = FfsDag::new("skip");
+        let deblur = dag.register(comp("deblur"), &[]).unwrap();
+        let sr = dag.register(comp("sr"), &[deblur]).unwrap();
+        let bgrm = dag.register(comp("bgrm"), &[sr, deblur]).unwrap();
+        let tail = dag.register(comp("cls"), &[bgrm]).unwrap();
+        let blocks = linear_blocks(&dag);
+        assert_eq!(blocks, vec![vec![deblur], vec![sr], vec![bgrm], vec![tail]]);
+    }
+
+    #[test]
+    fn multiple_sources_go_before_the_first_cut() {
+        // (x, y) -> z
+        let mut dag = FfsDag::new("join");
+        let x = dag.register(comp("x"), &[]).unwrap();
+        let y = dag.register(comp("y"), &[]).unwrap();
+        let z = dag.register(comp("z"), &[x, y]).unwrap();
+        let info = DominatorInfo::compute(&dag);
+        assert_eq!(info.cut_nodes(), &[z]);
+        let blocks = linear_blocks(&dag);
+        assert_eq!(blocks, vec![vec![x, y], vec![z]]);
+    }
+
+    #[test]
+    fn blocks_are_topologically_consistent() {
+        // Every edge must go from an earlier-or-same block to a
+        // later-or-same block.
+        let mut dag = FfsDag::new("w");
+        let a = dag.register(comp("a"), &[]).unwrap();
+        let b = dag.register(comp("b"), &[a]).unwrap();
+        let c = dag.register(comp("c"), &[a]).unwrap();
+        let d = dag.register(comp("d"), &[b, c]).unwrap();
+        let e = dag.register(comp("e"), &[d, c]).unwrap();
+        let blocks = linear_blocks(&dag);
+        let block_of = |v: NodeId| blocks.iter().position(|blk| blk.contains(&v)).unwrap();
+        for (from, to) in dag.edges() {
+            assert!(block_of(from) <= block_of(to), "{from:?} -> {to:?}");
+        }
+        let _ = e;
+    }
+
+    #[test]
+    fn five_model_paper_example_has_five_blocks() {
+        // The Figure 7 example: x -> m1, x -> m2, (m1, m2) -> m3 -> m4,
+        // (m4, y) -> m5. Sources m1, m2 (x and y are request payloads, not
+        // components).
+        let mut dag = FfsDag::new("fig7");
+        let m1 = dag.register(comp("m1"), &[]).unwrap();
+        let m2 = dag.register(comp("m2"), &[]).unwrap();
+        let m3 = dag.register(comp("m3"), &[m1, m2]).unwrap();
+        let m4 = dag.register(comp("m4"), &[m3]).unwrap();
+        let m5 = dag.register(comp("m5"), &[m4]).unwrap();
+        let blocks = linear_blocks(&dag);
+        assert_eq!(blocks, vec![vec![m1, m2], vec![m3], vec![m4], vec![m5]]);
+    }
+}

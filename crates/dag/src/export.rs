@@ -1,0 +1,97 @@
+//! Graphviz export of FFS DAGs and their pipeline partitions.
+//!
+//! Handy for documentation and debugging: render a function's DAG, or a
+//! partitioned view where each pipeline stage becomes a cluster (the
+//! visual analogue of the paper's Figure 4 pipelines).
+
+use std::fmt::Write as _;
+
+use crate::graph::{FfsDag, NodeId};
+use crate::partition::PipelinePartition;
+
+/// Renders the DAG in Graphviz `dot` syntax.
+pub fn to_dot(dag: &FfsDag) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", dag.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    for n in dag.nodes() {
+        let c = dag.component(n);
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\\n{:.1} GB, {:.0} ms\" shape=box];",
+            n.0, c.name, c.mem_gb, c.work
+        );
+    }
+    for (from, to) in dag.edges() {
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{:.0} MB\"];",
+            from.0,
+            to.0,
+            dag.component(from).output_mb
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a partitioned DAG: one cluster per pipeline stage.
+pub fn partition_to_dot(dag: &FfsDag, partition: &PipelinePartition) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", dag.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    for (i, stage) in partition.stages().iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_stage{i} {{");
+        let _ = writeln!(out, "    label=\"stage {i}\";");
+        for &n in stage {
+            let c = dag.component(n);
+            let _ = writeln!(out, "    n{} [label=\"{}\" shape=box];", n.0, c.name);
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for (from, to) in dag.edges() {
+        let _ = writeln!(out, "  n{} -> n{};", from.0, to.0);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Node membership lookup used by rendering code and tests.
+pub fn stage_of(partition: &PipelinePartition, node: NodeId) -> Option<usize> {
+    partition.stages().iter().position(|s| s.contains(&node))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Component;
+
+    fn dag() -> FfsDag {
+        let mut d = FfsDag::new("demo");
+        let a = d.register(Component::new("sr", 2.0, 90.0, 48.0), &[]).unwrap();
+        let b = d.register(Component::new("seg", 2.4, 70.0, 16.0), &[a]).unwrap();
+        let _ = d.register(Component::new("cls", 1.6, 30.0, 0.01), &[b]).unwrap();
+        d
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let s = to_dot(&dag());
+        assert!(s.starts_with("digraph \"demo\""));
+        assert!(s.contains("n0 [label=\"sr"));
+        assert!(s.contains("n0 -> n1"));
+        assert!(s.contains("48 MB"));
+        assert!(s.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn partitioned_dot_clusters_stages() {
+        let d = dag();
+        let p = PipelinePartition::new(vec![vec![NodeId(0)], vec![NodeId(1), NodeId(2)]]);
+        let s = partition_to_dot(&d, &p);
+        assert!(s.contains("cluster_stage0"));
+        assert!(s.contains("cluster_stage1"));
+        assert_eq!(stage_of(&p, NodeId(2)), Some(1));
+        assert_eq!(stage_of(&p, NodeId(9)), None);
+    }
+}

@@ -1,0 +1,43 @@
+//! # ffs-dag — the FluidFaaS function DAG programming model
+//!
+//! The paper's central programming-system contribution is the *FluidFaaS
+//! function*: a serverless function whose internal DNN components are
+//! registered in a DAG (the "FFS DAG"), so the invoker can split the
+//! function into pipeline stages that run on separate MIG slices. This crate
+//! provides:
+//!
+//! * [`graph::FfsDag`] — the DAG itself, built through a `reg`-style API
+//!   mirroring the paper's Figure 7 (`model.reg(self, inputs...)`).
+//! * [`dominator`] — dominator analysis that linearises a (possibly
+//!   branched) DAG into *blocks*: the units between cut nodes, which are the
+//!   only valid pipeline-stage boundaries. This is the "dominator-based
+//!   method from ESG" the paper builds on (§5.2.2).
+//! * [`partition`] — enumeration of all consecutive partitions of the block
+//!   sequence (2^(b-1) of them), scored by the coefficient of variation of
+//!   stage times (Equation 1) so the runtime can rank pipelines by balance.
+//! * [`module`] — the `FFS.Module` / `FFaaS`-style builder facade of
+//!   Figure 7.
+//!
+//! ```
+//! use ffs_dag::{Component, FfsDag};
+//!
+//! let mut dag = FfsDag::new("depth_recognition");
+//! let deblur = dag.register(Component::new("deblur", 2.0, 40.0, 6.0), &[]).unwrap();
+//! let sr = dag.register(Component::new("super_res", 3.0, 60.0, 24.0), &[deblur]).unwrap();
+//! let depth = dag.register(Component::new("depth", 2.5, 50.0, 1.0), &[sr]).unwrap();
+//! dag.validate().unwrap();
+//! assert_eq!(dag.len(), 3);
+//! assert_eq!(dag.sinks(), vec![depth]);
+//! ```
+
+pub mod dominator;
+pub mod export;
+pub mod graph;
+pub mod module;
+pub mod partition;
+
+pub use dominator::{linear_blocks, DominatorInfo};
+pub use export::{partition_to_dot, to_dot};
+pub use graph::{Component, DagError, FfsDag, NodeId};
+pub use module::{FfsFunctionBuilder, FfsModule, Mode};
+pub use partition::{enumerate_partitions, rank_partitions, PipelinePartition, RankedPartition};

@@ -1,0 +1,155 @@
+//! The `FFS.Module` / `FFaaS`-style programming facade (paper Figure 7).
+//!
+//! In the paper, developers subclass `FluidFaaS.Module` instead of PyTorch's
+//! `nn.Module` and register models (and the dataflow between them) in a
+//! `defDAG` method; the `FFaaS` object is then constructed either in
+//! `BUILDDAG` mode (build the DAG and profile it, offline) or in `RUN` mode
+//! (import the DAG plus the MIG assignment the invoker wrote into the
+//! configuration layer, and execute).
+//!
+//! The Rust analogue: implement [`FfsModule`] for each component type and
+//! register instances with [`FfsFunctionBuilder::reg`]. The builder produces
+//! the [`FfsDag`] consumed by the profiler and the invoker's pipeline
+//! planner.
+
+use crate::graph::{Component, DagError, FfsDag, NodeId};
+
+/// Construction mode of an FFS function (paper Figure 7's `RUN` /
+/// `BUILDDAG` modes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Build the DAG for profiling (the `MyHandler_buildDAG` entry point).
+    BuildDag,
+    /// Execute with an imported DAG + MIG configuration (the
+    /// `MyHandler_run` entry point). In this workspace, execution is
+    /// provided by `ffs-pipeline`'s executor and by the simulators.
+    Run,
+}
+
+/// A DNN component in the FluidFaaS programming model — the analogue of a
+/// `FluidFaaS.Module` subclass.
+pub trait FfsModule {
+    /// The component's name.
+    fn name(&self) -> &str;
+    /// GPU memory footprint in GB (weights plus working set at batch 1).
+    fn mem_gb(&self) -> f64;
+    /// Compute cost: milliseconds on one GPC at batch size 1.
+    fn work(&self) -> f64;
+    /// Output tensor size in MB.
+    fn output_mb(&self) -> f64;
+
+    /// The component description registered into the FFS DAG.
+    fn describe(&self) -> Component {
+        Component::new(self.name(), self.mem_gb(), self.work(), self.output_mb())
+    }
+}
+
+/// A plain-struct [`FfsModule`], convenient for tests and synthetic apps.
+#[derive(Clone, Debug)]
+pub struct SimpleModule {
+    /// Component name.
+    pub name: String,
+    /// Memory footprint in GB.
+    pub mem_gb: f64,
+    /// Compute cost (ms on 1 GPC, batch 1).
+    pub work: f64,
+    /// Output tensor size in MB.
+    pub output_mb: f64,
+}
+
+impl FfsModule for SimpleModule {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn mem_gb(&self) -> f64 {
+        self.mem_gb
+    }
+    fn work(&self) -> f64 {
+        self.work
+    }
+    fn output_mb(&self) -> f64 {
+        self.output_mb
+    }
+}
+
+/// Builder that accumulates `reg` calls into an [`FfsDag`] — the `defDAG`
+/// phase of a FluidFaaS function.
+#[derive(Debug)]
+pub struct FfsFunctionBuilder {
+    mode: Mode,
+    dag: FfsDag,
+}
+
+impl FfsFunctionBuilder {
+    /// Starts building the named function in the given mode.
+    pub fn new(name: impl Into<String>, mode: Mode) -> Self {
+        FfsFunctionBuilder {
+            mode,
+            dag: FfsDag::new(name),
+        }
+    }
+
+    /// The construction mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Registers a module with its dataflow inputs — the analogue of
+    /// `x1 = model1.reg(self, x)` in the paper's Figure 7.
+    pub fn reg(&mut self, module: &dyn FfsModule, inputs: &[NodeId]) -> Result<NodeId, DagError> {
+        self.dag.register(module.describe(), inputs)
+    }
+
+    /// Finishes `defDAG`, validating and returning the FFS DAG.
+    pub fn build(self) -> Result<FfsDag, DagError> {
+        self.dag.validate()?;
+        Ok(self.dag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module(name: &str, mem: f64) -> SimpleModule {
+        SimpleModule {
+            name: name.into(),
+            mem_gb: mem,
+            work: 25.0,
+            output_mb: 4.0,
+        }
+    }
+
+    #[test]
+    fn figure7_style_construction() {
+        // Mirrors defDAG from the paper: five models, two of them parallel.
+        let mut f = FfsFunctionBuilder::new("MyFFaaS", Mode::BuildDag);
+        let m1 = f.reg(&module("model1", 2.0), &[]).unwrap();
+        let m2 = f.reg(&module("model2", 2.0), &[]).unwrap();
+        let m3 = f.reg(&module("model3", 3.0), &[m1, m2]).unwrap();
+        let m4 = f.reg(&module("model4", 1.0), &[m3]).unwrap();
+        let m5 = f.reg(&module("model5", 1.5), &[m4]).unwrap();
+        assert_eq!(f.mode(), Mode::BuildDag);
+        let dag = f.build().unwrap();
+        assert_eq!(dag.len(), 5);
+        assert_eq!(dag.name(), "MyFFaaS");
+        assert_eq!(dag.sinks(), vec![m5]);
+        assert!((dag.total_mem_gb() - 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_function_rejected_at_build() {
+        let f = FfsFunctionBuilder::new("empty", Mode::BuildDag);
+        assert!(matches!(f.build(), Err(DagError::Empty)));
+    }
+
+    #[test]
+    fn describe_copies_module_fields() {
+        let m = module("seg", 4.5);
+        let c = m.describe();
+        assert_eq!(c.name, "seg");
+        assert_eq!(c.mem_gb, 4.5);
+        assert_eq!(c.work, 25.0);
+        assert_eq!(c.output_mb, 4.0);
+    }
+}

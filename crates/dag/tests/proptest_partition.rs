@@ -1,0 +1,101 @@
+//! Property tests of DAG partitioning over randomly generated DAGs.
+
+use proptest::prelude::*;
+
+use ffs_dag::{
+    enumerate_partitions, linear_blocks, rank_partitions, Component, FfsDag, NodeId,
+};
+
+/// Builds a random DAG: each node after the first takes 1..=2 random
+/// earlier nodes as inputs (always including the immediately preceding
+/// node with probability, keeping it connected).
+fn random_dag(n: usize, edges: &[usize]) -> FfsDag {
+    let mut dag = FfsDag::new("random");
+    let mut ids: Vec<NodeId> = Vec::new();
+    for i in 0..n {
+        let inputs: Vec<NodeId> = if i == 0 {
+            vec![]
+        } else {
+            let mut ins = vec![ids[i - 1]];
+            let extra = edges[i % edges.len()] % i;
+            if extra != i - 1 && !ins.contains(&ids[extra]) {
+                ins.push(ids[extra]);
+            }
+            ins
+        };
+        ids.push(
+            dag.register(
+                Component::new(format!("n{i}"), 1.0 + i as f64, 10.0 + i as f64, 1.0),
+                &inputs,
+            )
+            .unwrap(),
+        );
+    }
+    dag
+}
+
+proptest! {
+    /// Blocks partition the node set, preserve topological order, and all
+    /// enumerated partitions cover every node exactly once.
+    #[test]
+    fn blocks_and_partitions_are_sound(
+        n in 1usize..10,
+        edges in proptest::collection::vec(0usize..10, 10),
+    ) {
+        let dag = random_dag(n, &edges);
+        dag.validate().unwrap();
+        let blocks = linear_blocks(&dag);
+        let flat: Vec<NodeId> = blocks.iter().flatten().copied().collect();
+        prop_assert_eq!(flat.len(), n, "blocks cover all nodes");
+        // Edges never go backward across blocks.
+        let block_of = |v: NodeId| blocks.iter().position(|b| b.contains(&v)).unwrap();
+        for (from, to) in dag.edges() {
+            prop_assert!(block_of(from) <= block_of(to));
+        }
+        let parts = enumerate_partitions(&blocks);
+        prop_assert_eq!(parts.len(), 1usize << (blocks.len() - 1));
+        for p in &parts {
+            let covered: usize = p.stages().iter().map(Vec::len).sum();
+            prop_assert_eq!(covered, n);
+            // Stage memory sums to the DAG total.
+            let mem: f64 = p.stage_mem_gb(&dag).iter().sum();
+            prop_assert!((mem - dag.total_mem_gb()).abs() < 1e-9);
+        }
+    }
+
+    /// Ranking is sorted by CV and always starts with a CV-0 single-stage
+    /// partition.
+    #[test]
+    fn ranking_sorted_and_monolithic_first(
+        n in 1usize..8,
+        edges in proptest::collection::vec(0usize..10, 10),
+        costs in proptest::collection::vec(1.0f64..100.0, 10),
+    ) {
+        let dag = random_dag(n, &edges);
+        let blocks = linear_blocks(&dag);
+        let ranked = rank_partitions(&blocks, |v| costs[v.index() % costs.len()], usize::MAX);
+        prop_assert!(ranked[0].partition.is_monolithic());
+        prop_assert_eq!(ranked[0].cv, 0.0);
+        for w in ranked.windows(2) {
+            prop_assert!(w[0].cv <= w[1].cv + 1e-12);
+        }
+    }
+
+    /// Boundary transfers are non-negative and bounded by the sum of all
+    /// component outputs.
+    #[test]
+    fn transfers_bounded(
+        n in 2usize..8,
+        edges in proptest::collection::vec(0usize..10, 10),
+    ) {
+        let dag = random_dag(n, &edges);
+        let blocks = linear_blocks(&dag);
+        let total_out: f64 = dag.nodes().map(|v| dag.component(v).output_mb).sum();
+        for p in enumerate_partitions(&blocks) {
+            for t in p.boundary_transfers_mb(&dag) {
+                prop_assert!(t >= 0.0);
+                prop_assert!(t <= total_out + 1e-9);
+            }
+        }
+    }
+}

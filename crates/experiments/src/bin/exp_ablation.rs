@@ -1,0 +1,8 @@
+//! Runs the design-choice ablations (CV ranking, time sharing, migration,
+//! transfer-cost sensitivity).
+use ffs_experiments::runner::{experiment_secs, experiment_seed};
+fn main() {
+    let rows = ffs_experiments::ablation::run(experiment_secs(), experiment_seed());
+    println!("Ablations (heavy workload)\n");
+    println!("{}", ffs_experiments::ablation::render(&rows));
+}

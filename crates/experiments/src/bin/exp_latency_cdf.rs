@@ -1,0 +1,14 @@
+//! Regenerates Figures 11-13 (end-to-end latency CDFs per workload).
+use ffs_experiments::runner::{experiment_secs, experiment_seed};
+use ffs_trace::WorkloadClass;
+fn main() {
+    for (figure, workload) in [
+        ("Figure 11 (heavy)", WorkloadClass::Heavy),
+        ("Figure 12 (medium)", WorkloadClass::Medium),
+        ("Figure 13 (light)", WorkloadClass::Light),
+    ] {
+        let cells = ffs_experiments::latency::run(workload, experiment_secs(), experiment_seed());
+        println!("{figure}: end-to-end latency distribution\n");
+        println!("{}", ffs_experiments::latency::render(&cells));
+    }
+}

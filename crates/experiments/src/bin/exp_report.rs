@@ -1,0 +1,10 @@
+//! Paper-vs-measured claim report (the machine-checkable EXPERIMENTS.md core).
+use ffs_experiments::runner::{experiment_secs, experiment_seed};
+fn main() {
+    let claims = ffs_experiments::report::run(experiment_secs(), experiment_seed());
+    println!("# FluidFaaS reproduction — claim report\n");
+    println!("{}", ffs_experiments::report::render(&claims));
+    let failed = claims.iter().filter(|c| !c.holds).count();
+    println!("\n{} / {} claims hold", claims.len() - failed, claims.len());
+    std::process::exit(if failed == 0 { 0 } else { 1 });
+}

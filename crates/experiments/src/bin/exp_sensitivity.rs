@@ -1,0 +1,11 @@
+//! SLO-scale and seed sensitivity studies.
+use ffs_experiments::runner::{experiment_secs, experiment_seed};
+fn main() {
+    let secs = experiment_secs();
+    println!("SLO-scale sweep (medium workload)\n");
+    let rows = ffs_experiments::sensitivity::slo_scale_sweep(secs, experiment_seed());
+    println!("{}", ffs_experiments::sensitivity::render_slo_sweep(&rows));
+    println!("Seed sweep (SLO hit rate, mean ± std over 5 seeds)\n");
+    let stats = ffs_experiments::sensitivity::seed_sweep(secs, &[1, 2, 3, 4, 5]);
+    println!("{}", ffs_experiments::sensitivity::render_seed_sweep(&stats));
+}

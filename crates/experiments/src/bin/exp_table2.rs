@@ -1,0 +1,5 @@
+//! Regenerates Table 2 (MIG profiles on an A100).
+fn main() {
+    println!("Table 2: complete list of MIG profiles on an A100 GPU\n");
+    println!("{}", ffs_experiments::table2::render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 5 (application variants and minimum MIG slices).
+fn main() {
+    println!("Table 5: application variants and MIG slices to run\n");
+    println!("{}", ffs_experiments::table5::render());
+}

@@ -1,0 +1,105 @@
+//! Figure 10: system throughput in different workloads.
+//!
+//! Throughput is measured under saturation (offered load above every
+//! system's capacity), where completions per second equal the sustainable
+//! service rate. The paper's claims: FluidFaaS ~75% higher in heavy
+//! workloads, ~25% higher in medium, similar in light.
+
+use ffs_metrics::TextTable;
+use ffs_trace::WorkloadClass;
+use fluidfaas::FfsConfig;
+
+use crate::runner::{run_system, saturating_trace, SystemKind};
+
+/// One bar of Figure 10.
+#[derive(Clone, Debug)]
+pub struct Fig10Row {
+    /// The workload class.
+    pub workload: WorkloadClass,
+    /// The system.
+    pub system: SystemKind,
+    /// Completed requests per second under saturation.
+    pub throughput_rps: f64,
+}
+
+/// Runs the saturation-throughput measurement.
+pub fn run(duration_secs: f64, seed: u64) -> Vec<Fig10Row> {
+    let mut rows = Vec::new();
+    for workload in WorkloadClass::ALL {
+        let trace = saturating_trace(workload, duration_secs, seed);
+        for system in SystemKind::ALL {
+            let cfg = FfsConfig::paper_default(workload);
+            let out = run_system(system, cfg, &trace);
+            // Completions during the offered window only (the drain tail
+            // would let an infinitely-backlogged system inflate its count).
+            let completed_in_window = out
+                .log
+                .records()
+                .iter()
+                .filter(|r| {
+                    r.completed
+                        .map(|c| c.as_secs_f64() <= duration_secs)
+                        .unwrap_or(false)
+                })
+                .count();
+            rows.push(Fig10Row {
+                workload,
+                system,
+                throughput_rps: completed_in_window as f64 / duration_secs,
+            });
+        }
+    }
+    rows
+}
+
+/// FluidFaaS's throughput gain over a baseline for a workload.
+pub fn gain_over(rows: &[Fig10Row], workload: WorkloadClass, baseline: SystemKind) -> f64 {
+    let get = |sys: SystemKind| {
+        rows.iter()
+            .find(|r| r.workload == workload && r.system == sys)
+            .map(|r| r.throughput_rps)
+            .unwrap_or(0.0)
+    };
+    get(SystemKind::FluidFaaS) / get(baseline) - 1.0
+}
+
+/// Renders the figure.
+pub fn render(rows: &[Fig10Row]) -> String {
+    let mut t = TextTable::new(&["workload", "INFless rps", "ESG rps", "FluidFaaS rps", "Fluid vs ESG"]);
+    for workload in WorkloadClass::ALL {
+        let get = |sys: SystemKind| {
+            rows.iter()
+                .find(|r| r.workload == workload && r.system == sys)
+                .map(|r| r.throughput_rps)
+                .unwrap_or(0.0)
+        };
+        t.row(&[
+            workload.name().to_string(),
+            format!("{:.1}", get(SystemKind::Infless)),
+            format!("{:.1}", get(SystemKind::Esg)),
+            format!("{:.1}", get(SystemKind::FluidFaaS)),
+            format!("{:+.0}%", gain_over(rows, workload, SystemKind::Esg) * 100.0),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_shapes_match_paper() {
+        let rows = run(90.0, 1);
+        // Light: similar throughput (within ~12%).
+        let light = gain_over(&rows, WorkloadClass::Light, SystemKind::Esg);
+        assert!(light.abs() < 0.12, "light gain {light:.2}");
+        // Medium: FluidFaaS ahead (paper ~+25%).
+        let medium = gain_over(&rows, WorkloadClass::Medium, SystemKind::Esg);
+        assert!(medium > 0.10, "medium gain {medium:.2}");
+        // Heavy: FluidFaaS far ahead (paper ~+75%).
+        let heavy = gain_over(&rows, WorkloadClass::Heavy, SystemKind::Esg);
+        assert!(heavy > 0.40, "heavy gain {heavy:.2}");
+        assert!(heavy > medium, "heavy gain exceeds medium");
+    }
+}

@@ -1,0 +1,121 @@
+//! Figure 16: GPU utilization over time in the three workloads,
+//! ESG vs FluidFaaS.
+//!
+//! Utilization = busy GPCs / total GPCs. The paper: similar utilization in
+//! light workloads; in heavy bursts FluidFaaS reaches ~7/4 of ESG's
+//! utilization because it can put the 2g/1g fragments to work.
+
+use ffs_metrics::TextTable;
+use ffs_trace::WorkloadClass;
+use fluidfaas::FfsConfig;
+
+use crate::runner::{run_system, saturating_trace, run_workload, SystemKind};
+
+/// A utilization curve for one (workload, system).
+#[derive(Clone, Debug)]
+pub struct Fig16Curve {
+    /// The workload.
+    pub workload: WorkloadClass,
+    /// The system.
+    pub system: SystemKind,
+    /// `(t_secs, utilization 0..1)`.
+    pub curve: Vec<(f64, f64)>,
+    /// Peak utilization during the steady window.
+    pub peak: f64,
+    /// Mean utilization during the steady window.
+    pub mean: f64,
+}
+
+fn summarize(workload: WorkloadClass, system: SystemKind, busy: Vec<(f64, f64)>, total_gpcs: f64, duration_secs: f64) -> Fig16Curve {
+    let curve: Vec<(f64, f64)> = busy.iter().map(|&(t, b)| (t, b / total_gpcs)).collect();
+    let steady: Vec<f64> = curve
+        .iter()
+        .filter(|&&(t, _)| t >= 20.0 && t <= duration_secs)
+        .map(|&(_, u)| u)
+        .collect();
+    let peak = steady.iter().copied().fold(0.0, f64::max);
+    let mean = if steady.is_empty() {
+        0.0
+    } else {
+        steady.iter().sum::<f64>() / steady.len() as f64
+    };
+    Fig16Curve {
+        workload,
+        system,
+        curve,
+        peak,
+        mean,
+    }
+}
+
+/// Runs the utilization measurement. Light/medium use the bursty traces;
+/// heavy additionally demonstrates the burst-saturation utilization gap
+/// with the saturating trace (Figure 16 (c) focuses on task bursts).
+pub fn run(duration_secs: f64, seed: u64) -> Vec<Fig16Curve> {
+    let total_gpcs = (2 * 8 * 7) as f64;
+    let mut out = Vec::new();
+    for workload in [WorkloadClass::Light, WorkloadClass::Medium] {
+        for system in [SystemKind::Esg, SystemKind::FluidFaaS] {
+            let run = run_workload(system, workload, duration_secs, seed);
+            out.push(summarize(workload, system, run.busy_gpcs, total_gpcs, duration_secs));
+        }
+    }
+    let trace = saturating_trace(WorkloadClass::Heavy, duration_secs, seed);
+    for system in [SystemKind::Esg, SystemKind::FluidFaaS] {
+        let cfg = FfsConfig::paper_default(WorkloadClass::Heavy);
+        let run = run_system(system, cfg, &trace);
+        out.push(summarize(WorkloadClass::Heavy, system, run.busy_gpcs, total_gpcs, duration_secs));
+    }
+    out
+}
+
+/// Looks up a curve.
+pub fn find<'a>(curves: &'a [Fig16Curve], workload: WorkloadClass, system: SystemKind) -> &'a Fig16Curve {
+    curves
+        .iter()
+        .find(|c| c.workload == workload && c.system == system)
+        .expect("curve present")
+}
+
+/// Renders peak/mean rows per workload and system.
+pub fn render(curves: &[Fig16Curve]) -> String {
+    let mut t = TextTable::new(&["workload", "system", "mean util", "peak util"]);
+    for c in curves {
+        t.row(&[
+            c.workload.name().to_string(),
+            c.system.name().to_string(),
+            format!("{:.2}", c.mean),
+            format!("{:.2}", c.peak),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heavy_utilization_gap_matches_the_7_vs_4_story() {
+        let curves = run(90.0, 1);
+        let esg = find(&curves, WorkloadClass::Heavy, SystemKind::Esg);
+        let fluid = find(&curves, WorkloadClass::Heavy, SystemKind::FluidFaaS);
+        // ESG can only keep the 4g slices busy: utilization caps near 4/7.
+        assert!(esg.peak <= 4.0 / 7.0 + 0.05, "esg peak {:.2}", esg.peak);
+        // FluidFaaS puts fragments to work: well above ESG (paper: +75%).
+        assert!(
+            fluid.mean > esg.mean * 1.4,
+            "fluid {:.2} vs esg {:.2}",
+            fluid.mean,
+            esg.mean
+        );
+    }
+
+    #[test]
+    fn light_utilization_is_similar() {
+        let curves = run(90.0, 1);
+        let esg = find(&curves, WorkloadClass::Light, SystemKind::Esg);
+        let fluid = find(&curves, WorkloadClass::Light, SystemKind::FluidFaaS);
+        assert!((fluid.mean - esg.mean).abs() < 0.1, "fluid {:.2} esg {:.2}", fluid.mean, esg.mean);
+    }
+}

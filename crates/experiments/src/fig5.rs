@@ -1,0 +1,85 @@
+//! Figure 5: occupied vs actively-used MIG percentage per GPU under the
+//! exclusive keep-alive policy.
+//!
+//! The paper's observation: MIGs are occupied far more than they are used —
+//! the average active percentage is 16.1%, and occupancy exceeds activity
+//! severalfold, which is the headroom eviction-based time sharing exploits.
+
+use ffs_metrics::TextTable;
+use ffs_trace::WorkloadClass;
+use fluidfaas::FfsConfig;
+use ffs_sim::SimDuration;
+
+use crate::runner::{run_system, SystemKind};
+
+/// Output of the Figure 5 experiment.
+#[derive(Clone, Debug)]
+pub struct Fig5 {
+    /// Per-GPU occupied percentage (0–100).
+    pub occupied_pct: Vec<f64>,
+    /// Per-GPU actively-used percentage (0–100).
+    pub active_pct: Vec<f64>,
+}
+
+impl Fig5 {
+    /// Mean active percentage across GPUs.
+    pub fn mean_active_pct(&self) -> f64 {
+        self.active_pct.iter().sum::<f64>() / self.active_pct.len() as f64
+    }
+
+    /// Mean occupied percentage across GPUs.
+    pub fn mean_occupied_pct(&self) -> f64 {
+        self.occupied_pct.iter().sum::<f64>() / self.occupied_pct.len() as f64
+    }
+}
+
+/// Runs ESG with a production-style long keep-alive and measures
+/// occupancy vs activity per GPU.
+pub fn run(duration_secs: f64, seed: u64) -> Fig5 {
+    let mut cfg = FfsConfig::paper_default(WorkloadClass::Light);
+    // The production trace analysis uses the common 10-minute keep-alive.
+    cfg.baseline_keep_alive = SimDuration::from_mins(10);
+    let trace = ffs_trace::AzureTraceConfig::for_workload(WorkloadClass::Light, duration_secs, seed)
+        .generate();
+    let out = run_system(SystemKind::Esg, cfg, &trace);
+    let n = out.cost.gpu_time_secs.len();
+    let slices = out.slices_per_gpu;
+    Fig5 {
+        occupied_pct: (0..n).map(|g| out.cost.occupied_pct(g, slices)).collect(),
+        active_pct: (0..n).map(|g| out.cost.active_pct(g, slices)).collect(),
+    }
+}
+
+/// Renders the per-GPU table (paper shows GPUs 1–8).
+pub fn render(fig: &Fig5) -> String {
+    let mut t = TextTable::new(&["GPU", "occupied %", "actively used %"]);
+    for (i, (&o, &a)) in fig.occupied_pct.iter().zip(&fig.active_pct).enumerate() {
+        t.row(&[format!("{}", i + 1), format!("{o:.1}"), format!("{a:.1}")]);
+    }
+    format!(
+        "{}\nmean occupied {:.1}%  mean active {:.1}%\n",
+        t.render(),
+        fig.mean_occupied_pct(),
+        fig.mean_active_pct()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_greatly_exceeds_activity() {
+        let fig = run(120.0, 1);
+        let occ = fig.mean_occupied_pct();
+        let act = fig.mean_active_pct();
+        assert!(occ > 2.0 * act, "occupied {occ:.1}% vs active {act:.1}%");
+        // The paper's production measurement: mean active 16.1%, MIGs below
+        // 35% for 90% of the time. Our synthetic light workload lands in the
+        // same under-utilized regime.
+        assert!(act < 35.0, "active {act:.1}%");
+        for (&o, &a) in fig.occupied_pct.iter().zip(&fig.active_pct) {
+            assert!(o >= a - 1e-9, "activity cannot exceed occupancy");
+        }
+    }
+}

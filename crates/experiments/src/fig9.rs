@@ -1,0 +1,100 @@
+//! Figure 9: SLO hit rate in different workloads for each application,
+//! for INFless / ESG / FluidFaaS.
+
+use ffs_metrics::TextTable;
+use ffs_trace::WorkloadClass;
+
+use crate::runner::{run_workload, SystemKind};
+
+/// One bar of Figure 9.
+#[derive(Clone, Debug)]
+pub struct Fig9Row {
+    /// The workload class.
+    pub workload: WorkloadClass,
+    /// The app index (paper's App 0–3).
+    pub app_index: usize,
+    /// The system.
+    pub system: SystemKind,
+    /// The SLO hit rate (0–1).
+    pub slo_hit_rate: f64,
+}
+
+/// Runs all three systems over all three workloads.
+pub fn run(duration_secs: f64, seed: u64) -> Vec<Fig9Row> {
+    let mut rows = Vec::new();
+    for workload in WorkloadClass::ALL {
+        for system in SystemKind::ALL {
+            let out = run_workload(system, workload, duration_secs, seed);
+            for app in workload.apps() {
+                rows.push(Fig9Row {
+                    workload,
+                    app_index: app.index(),
+                    system,
+                    slo_hit_rate: out.log.slo_hit_rate_for(app.index()),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Renders Figure 9 as one row per (workload, app) with a column per
+/// system.
+pub fn render(rows: &[Fig9Row]) -> String {
+    let mut t = TextTable::new(&["workload", "app", "INFless", "ESG", "FluidFaaS"]);
+    for workload in WorkloadClass::ALL {
+        for app in workload.apps() {
+            let get = |sys: SystemKind| -> String {
+                rows.iter()
+                    .find(|r| r.workload == workload && r.app_index == app.index() && r.system == sys)
+                    .map(|r| format!("{:.3}", r.slo_hit_rate))
+                    .unwrap_or_else(|| "-".into())
+            };
+            t.row(&[
+                workload.name().to_string(),
+                format!("App {}", app.index()),
+                get(SystemKind::Infless),
+                get(SystemKind::Esg),
+                get(SystemKind::FluidFaaS),
+            ]);
+        }
+    }
+    t.render()
+}
+
+/// Aggregate hit rate per (workload, system) — used by tests and the
+/// summary output.
+pub fn aggregate(rows: &[Fig9Row], workload: WorkloadClass, system: SystemKind) -> f64 {
+    let sel: Vec<&Fig9Row> = rows
+        .iter()
+        .filter(|r| r.workload == workload && r.system == system)
+        .collect();
+    sel.iter().map(|r| r.slo_hit_rate).sum::<f64>() / sel.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shapes_hold() {
+        // A short run is enough for the qualitative shapes.
+        let rows = run(120.0, 1);
+        assert_eq!(rows.len(), 4 + 4 + 3 + 4 + 4 + 3 + 4 + 4 + 3);
+
+        // Light: all three systems comparable and healthy.
+        let light_fluid = aggregate(&rows, WorkloadClass::Light, SystemKind::FluidFaaS);
+        let light_esg = aggregate(&rows, WorkloadClass::Light, SystemKind::Esg);
+        assert!((light_fluid - light_esg).abs() < 0.1, "{light_fluid} vs {light_esg}");
+        assert!(light_fluid > 0.85);
+
+        // Medium and heavy: FluidFaaS clearly ahead of ESG, ESG >= INFless.
+        for wl in [WorkloadClass::Medium, WorkloadClass::Heavy] {
+            let fluid = aggregate(&rows, wl, SystemKind::FluidFaaS);
+            let esg = aggregate(&rows, wl, SystemKind::Esg);
+            let inf = aggregate(&rows, wl, SystemKind::Infless);
+            assert!(fluid > esg * 1.1, "{}: fluid {fluid} esg {esg}", wl.name());
+            assert!(esg >= inf - 0.05, "{}: esg {esg} inf {inf}", wl.name());
+        }
+    }
+}

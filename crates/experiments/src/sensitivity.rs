@@ -1,0 +1,162 @@
+//! Sensitivity studies beyond Figure 15's partition sweep:
+//!
+//! * **SLO scale** — the paper fixes SLO scale = 1.5 (§6); sweeping it
+//!   shows where each system's hit rate collapses.
+//! * **Seed sweep** — mean ± std of the headline metrics across trace
+//!   seeds, demonstrating the comparisons are not one-seed artifacts.
+
+use ffs_metrics::TextTable;
+use ffs_sim::OnlineStats;
+use ffs_trace::{AzureTraceConfig, WorkloadClass};
+use fluidfaas::FfsConfig;
+
+use crate::runner::{run_system, run_workload, SystemKind};
+
+/// One row of the SLO-scale sweep.
+#[derive(Clone, Debug)]
+pub struct SloScaleRow {
+    /// The SLO scale (SLO = scale x reference latency).
+    pub slo_scale: f64,
+    /// The system.
+    pub system: SystemKind,
+    /// Aggregate SLO hit rate.
+    pub slo_hit_rate: f64,
+}
+
+/// Sweeps the SLO scale on the medium workload for ESG and FluidFaaS.
+pub fn slo_scale_sweep(duration_secs: f64, seed: u64) -> Vec<SloScaleRow> {
+    let mut rows = Vec::new();
+    for &scale in &[1.2, 1.5, 2.0, 3.0] {
+        let trace = AzureTraceConfig::for_workload(WorkloadClass::Medium, duration_secs, seed)
+            .generate();
+        for system in [SystemKind::Esg, SystemKind::FluidFaaS] {
+            let mut cfg = FfsConfig::paper_default(WorkloadClass::Medium);
+            cfg.slo_scale = scale;
+            let out = run_system(system, cfg, &trace);
+            rows.push(SloScaleRow {
+                slo_scale: scale,
+                system,
+                slo_hit_rate: out.log.slo_hit_rate(),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the SLO sweep.
+pub fn render_slo_sweep(rows: &[SloScaleRow]) -> String {
+    let mut t = TextTable::new(&["SLO scale", "ESG", "FluidFaaS"]);
+    for &scale in &[1.2, 1.5, 2.0, 3.0] {
+        let get = |sys: SystemKind| {
+            rows.iter()
+                .find(|r| (r.slo_scale - scale).abs() < 1e-9 && r.system == sys)
+                .map(|r| format!("{:.3}", r.slo_hit_rate))
+                .unwrap_or_else(|| "-".into())
+        };
+        t.row(&[
+            format!("{scale:.1}"),
+            get(SystemKind::Esg),
+            get(SystemKind::FluidFaaS),
+        ]);
+    }
+    t.render()
+}
+
+/// Seed-sweep statistics for one (workload, system).
+#[derive(Clone, Debug)]
+pub struct SeedStats {
+    /// The workload.
+    pub workload: WorkloadClass,
+    /// The system.
+    pub system: SystemKind,
+    /// Mean SLO hit rate across seeds.
+    pub hit_mean: f64,
+    /// Std dev of the SLO hit rate across seeds.
+    pub hit_std: f64,
+    /// Number of seeds.
+    pub seeds: usize,
+}
+
+/// Runs `seeds` independent traces per workload and system.
+pub fn seed_sweep(duration_secs: f64, seeds: &[u64]) -> Vec<SeedStats> {
+    let mut out = Vec::new();
+    for workload in WorkloadClass::ALL {
+        for system in [SystemKind::Esg, SystemKind::FluidFaaS] {
+            let mut stats = OnlineStats::new();
+            for &seed in seeds {
+                let run = run_workload(system, workload, duration_secs, seed);
+                stats.push(run.log.slo_hit_rate());
+            }
+            out.push(SeedStats {
+                workload,
+                system,
+                hit_mean: stats.mean(),
+                hit_std: stats.std_dev(),
+                seeds: seeds.len(),
+            });
+        }
+    }
+    out
+}
+
+/// Renders the seed sweep.
+pub fn render_seed_sweep(rows: &[SeedStats]) -> String {
+    let mut t = TextTable::new(&["workload", "system", "SLO hit mean", "std", "seeds"]);
+    for r in rows {
+        t.row(&[
+            r.workload.name().to_string(),
+            r.system.name().to_string(),
+            format!("{:.3}", r.hit_mean),
+            format!("{:.3}", r.hit_std),
+            r.seeds.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn looser_slos_help_everyone_and_fluid_stays_ahead() {
+        let rows = slo_scale_sweep(90.0, 1);
+        let get = |scale: f64, sys: SystemKind| {
+            rows.iter()
+                .find(|r| (r.slo_scale - scale).abs() < 1e-9 && r.system == sys)
+                .unwrap()
+                .slo_hit_rate
+        };
+        for sys in [SystemKind::Esg, SystemKind::FluidFaaS] {
+            assert!(
+                get(3.0, sys) >= get(1.2, sys),
+                "{}: looser SLO cannot hurt",
+                sys.name()
+            );
+        }
+        for &scale in &[1.2, 1.5, 2.0] {
+            assert!(
+                get(scale, SystemKind::FluidFaaS) >= get(scale, SystemKind::Esg) - 0.02,
+                "scale {scale}: fluid behind esg"
+            );
+        }
+    }
+
+    #[test]
+    fn seed_sweep_is_stable() {
+        let rows = seed_sweep(60.0, &[1, 2, 3]);
+        for r in &rows {
+            assert!(r.hit_std < 0.25, "{} {} std {:.3}", r.workload.name(), r.system.name(), r.hit_std);
+        }
+        // The medium/heavy ordering holds in the mean.
+        let get = |wl: WorkloadClass, sys: SystemKind| {
+            rows.iter()
+                .find(|r| r.workload == wl && r.system == sys)
+                .unwrap()
+                .hit_mean
+        };
+        for wl in [WorkloadClass::Medium, WorkloadClass::Heavy] {
+            assert!(get(wl, SystemKind::FluidFaaS) > get(wl, SystemKind::Esg));
+        }
+    }
+}

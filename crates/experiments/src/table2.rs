@@ -1,0 +1,60 @@
+//! Table 2: the complete list of MIG profiles on an A100 GPU.
+
+use ffs_metrics::TextTable;
+use ffs_mig::SliceProfile;
+
+/// One row of Table 2.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table2Row {
+    /// Slice name (e.g. `7g.80gb`).
+    pub slice: &'static str,
+    /// Compute (GPCs).
+    pub compute_gpcs: u32,
+    /// Memory (GB).
+    pub memory_gb: u32,
+    /// Maximum co-resident count.
+    pub max_count: u32,
+}
+
+/// Regenerates Table 2 (largest slice first, as in the paper).
+pub fn rows() -> Vec<Table2Row> {
+    let mut profiles = SliceProfile::ALL.to_vec();
+    profiles.reverse();
+    profiles
+        .into_iter()
+        .map(|p| Table2Row {
+            slice: p.name(),
+            compute_gpcs: p.gpcs(),
+            memory_gb: p.memory_gb(),
+            max_count: p.max_count(),
+        })
+        .collect()
+}
+
+/// Renders the table.
+pub fn render() -> String {
+    let mut t = TextTable::new(&["Slice", "Compute", "Memory", "Max Count"]);
+    for r in rows() {
+        t.row(&[
+            r.slice.to_string(),
+            format!("{}GPC", r.compute_gpcs),
+            format!("{}gb", r.memory_gb),
+            r.max_count.to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_table2() {
+        let rows = rows();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0], Table2Row { slice: "7g.80gb", compute_gpcs: 7, memory_gb: 80, max_count: 1 });
+        assert_eq!(rows[4], Table2Row { slice: "1g.10gb", compute_gpcs: 1, memory_gb: 10, max_count: 7 });
+        assert!(render().contains("4g.40gb"));
+    }
+}

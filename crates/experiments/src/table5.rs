@@ -1,0 +1,94 @@
+//! Table 5: application variants and the minimum MIG slice each needs,
+//! monolithic (baseline) vs pipelined (FluidFaaS).
+
+use ffs_metrics::TextTable;
+use ffs_profile::{App, FunctionProfile, PerfModel, Variant};
+
+/// One row of Table 5.
+#[derive(Clone, Debug)]
+pub struct Table5Row {
+    /// The application.
+    pub app: App,
+    /// The variant.
+    pub variant: Variant,
+    /// Minimum slice for a monolithic (baseline) deployment; `None` for the
+    /// excluded row.
+    pub baseline: Option<&'static str>,
+    /// Minimum per-stage slice for a pipelined deployment; `None` for the
+    /// excluded row.
+    pub fluidfaas: Option<&'static str>,
+}
+
+/// Regenerates Table 5 from the profiles.
+pub fn rows() -> Vec<Table5Row> {
+    let perf = PerfModel::default();
+    let mut out = Vec::new();
+    for app in App::ALL {
+        for variant in Variant::ALL {
+            let p = FunctionProfile::build(app, variant, &perf);
+            let (baseline, fluidfaas) = if app.excluded_from_study(variant) {
+                // The paper lists NULL: it cannot run on the default
+                // partition's slices.
+                (None, None)
+            } else {
+                (
+                    p.min_baseline_slice().map(|s| s.name()),
+                    p.min_pipeline_slice().map(|s| s.name()),
+                )
+            };
+            out.push(Table5Row {
+                app,
+                variant,
+                baseline,
+                fluidfaas,
+            });
+        }
+    }
+    out
+}
+
+/// Renders the table.
+pub fn render() -> String {
+    let mut t = TextTable::new(&["Application", "Variant", "MIG (Baseline)", "MIG (FluidFaaS)"]);
+    for r in rows() {
+        t.row(&[
+            r.app.name().to_string(),
+            r.variant.name().to_string(),
+            r.baseline.map_or("NULL".to_string(), |s| format!(">= {s}")),
+            r.fluidfaas.map_or("NULL".to_string(), |s| format!(">= {s}")),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_rows_with_one_null() {
+        let rows = rows();
+        assert_eq!(rows.len(), 12);
+        let nulls: Vec<&Table5Row> = rows.iter().filter(|r| r.baseline.is_none()).collect();
+        assert_eq!(nulls.len(), 1);
+        assert_eq!(nulls[0].app, App::ExpandedImageClassification);
+        assert_eq!(nulls[0].variant, Variant::Large);
+    }
+
+    #[test]
+    fn fluidfaas_never_needs_a_bigger_slice() {
+        use ffs_mig::SliceProfile;
+        for r in rows() {
+            if let (Some(b), Some(f)) = (r.baseline, r.fluidfaas) {
+                let b = SliceProfile::parse(b).unwrap();
+                let f = SliceProfile::parse(f).unwrap();
+                assert!(f <= b, "{} {}", r.app.name(), r.variant.name());
+            }
+        }
+    }
+
+    #[test]
+    fn render_contains_null_row() {
+        assert!(render().contains("NULL"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Table 6: resource cost comparison — GPU time and MIG time per system
+//! per workload, normalized to FluidFaaS = 1 (lower is better).
+
+use ffs_metrics::TextTable;
+use ffs_trace::WorkloadClass;
+
+use crate::runner::{run_workload, SystemKind};
+
+/// Costs of one system under one workload.
+#[derive(Clone, Debug)]
+pub struct Table6Cell {
+    /// The workload.
+    pub workload: WorkloadClass,
+    /// The system.
+    pub system: SystemKind,
+    /// Total GPU time (seconds): a GPU accrues while any slice is held.
+    pub gpu_time_secs: f64,
+    /// Total MIG time (seconds): per-slice allocation time.
+    pub mig_time_secs: f64,
+    /// GPC-weighted MIG time (compute-seconds reserved).
+    pub mig_gpc_secs: f64,
+    /// Requests completed (for per-request cost normalisation).
+    pub completed: usize,
+}
+
+/// Runs all systems over all workloads and collects the cost totals.
+pub fn run(duration_secs: f64, seed: u64) -> Vec<Table6Cell> {
+    let mut cells = Vec::new();
+    for workload in WorkloadClass::ALL {
+        for system in SystemKind::ALL {
+            let out = run_workload(system, workload, duration_secs, seed);
+            cells.push(Table6Cell {
+                workload,
+                system,
+                gpu_time_secs: out.cost.total_gpu_time_secs(),
+                mig_time_secs: out.cost.total_mig_time_secs(),
+                mig_gpc_secs: out.cost.total_mig_gpc_secs(),
+                completed: out
+                    .log
+                    .records()
+                    .iter()
+                    .filter(|r| r.completed.is_some())
+                    .count(),
+            });
+        }
+    }
+    cells
+}
+
+/// A metric for a (workload, system), normalized to FluidFaaS.
+pub fn normalized(
+    cells: &[Table6Cell],
+    workload: WorkloadClass,
+    system: SystemKind,
+    gpu: bool,
+) -> f64 {
+    let get = |sys: SystemKind| {
+        cells
+            .iter()
+            .find(|c| c.workload == workload && c.system == sys)
+            .map(|c| if gpu { c.gpu_time_secs } else { c.mig_time_secs })
+            .unwrap_or(0.0)
+    };
+    get(system) / get(SystemKind::FluidFaaS)
+}
+
+/// GPC-weighted MIG time per completed request (GPC-seconds/request),
+/// normalized to FluidFaaS = 1. This is the work-normalized view under
+/// which the paper reports near-parity: a system that reserves fewer
+/// compute-seconds but also completes fewer requests is not actually
+/// cheaper.
+pub fn normalized_mig_per_request(
+    cells: &[Table6Cell],
+    workload: WorkloadClass,
+    system: SystemKind,
+) -> f64 {
+    let get = |sys: SystemKind| {
+        cells
+            .iter()
+            .find(|c| c.workload == workload && c.system == sys)
+            .map(|c| c.mig_gpc_secs / c.completed.max(1) as f64)
+            .unwrap_or(0.0)
+    };
+    get(system) / get(SystemKind::FluidFaaS)
+}
+
+/// Renders the table in the paper's layout.
+pub fn render(cells: &[Table6Cell]) -> String {
+    let mut t = TextTable::new(&[
+        "metric", "workload", "INF", "ESG", "Fluid",
+    ]);
+    for gpu in [false, true] {
+        for workload in WorkloadClass::ALL {
+            t.row(&[
+                if gpu { "GPU time" } else { "MIG time" }.to_string(),
+                workload.name().to_string(),
+                format!("{:.2}", normalized(cells, workload, SystemKind::Infless, gpu)),
+                format!("{:.2}", normalized(cells, workload, SystemKind::Esg, gpu)),
+                "1.00".to_string(),
+            ]);
+        }
+    }
+    for workload in WorkloadClass::ALL {
+        t.row(&[
+            "MIG GPCs/req".to_string(),
+            workload.name().to_string(),
+            format!(
+                "{:.2}",
+                normalized_mig_per_request(cells, workload, SystemKind::Infless)
+            ),
+            format!(
+                "{:.2}",
+                normalized_mig_per_request(cells, workload, SystemKind::Esg)
+            ),
+            "1.00".to_string(),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_are_comparable_across_systems() {
+        let cells = run(120.0, 1);
+        for workload in WorkloadClass::ALL {
+            for system in [SystemKind::Esg, SystemKind::Infless] {
+                let gpu = normalized(&cells, workload, system, true);
+                // Paper Table 6: GPU time within [0.99, 1.17] of FluidFaaS.
+                // Our bands are looser but must stay the same order of
+                // magnitude, and FluidFaaS must never cost dramatically more.
+                assert!(
+                    (0.8..2.0).contains(&gpu),
+                    "{} {} gpu ratio {gpu:.2}",
+                    workload.name(),
+                    system.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_request_mig_time_is_comparable() {
+        // The paper's Table 6 shows all systems within ~7% on MIG time; the
+        // work-normalized equivalent in our accounting stays within a
+        // factor band across workloads.
+        let cells = run(120.0, 1);
+        for workload in WorkloadClass::ALL {
+            let esg = normalized_mig_per_request(&cells, workload, SystemKind::Esg);
+            assert!(
+                (0.5..2.0).contains(&esg),
+                "{} per-request MIG ratio {esg:.2}",
+                workload.name()
+            );
+        }
+    }
+
+    #[test]
+    fn fluidfaas_light_gpu_time_not_higher_than_infless() {
+        let cells = run(120.0, 1);
+        let inf = normalized(&cells, WorkloadClass::Light, SystemKind::Infless, true);
+        assert!(inf >= 0.98, "INFless ratio {inf:.2} (Fluid should not cost more)");
+    }
+}

@@ -1,0 +1,273 @@
+//! GPU-time / MIG-time cost accounting (§6, Table 6) and the
+//! occupied-vs-active percentages of Figure 5.
+//!
+//! Definitions from the paper: *GPU time* is the total time a GPU is
+//! active, even if only one slice is used; *MIG time* measures the active
+//! time of individual slices. For Figure 5 we additionally distinguish a
+//! slice being *occupied* (allocated to an instance, i.e. kept alive) from
+//! being *actively used* (processing a request) — the gap between the two
+//! is the waste caused by exclusive keep-alive.
+
+use std::collections::HashMap;
+
+use ffs_sim::{SimDuration, SimTime};
+
+/// Identifies a slice for accounting: (GPU index, slice index).
+pub type SliceKey = (u16, u8);
+
+/// Tracks allocation and activity intervals for a fleet.
+#[derive(Clone, Debug)]
+pub struct CostTracker {
+    start: SimTime,
+    num_gpus: usize,
+    /// Allocated-slice count per GPU (drives "GPU time").
+    alloc_count: Vec<u32>,
+    gpu_busy_since: Vec<Option<SimTime>>,
+    gpu_time: Vec<SimDuration>,
+    /// Allocation start per slice (drives "MIG time" / occupied), with the
+    /// slice's GPC weight for compute-normalized cost.
+    occupied_since: HashMap<SliceKey, (SimTime, u32)>,
+    occupied_total: Vec<SimDuration>,
+    occupied_gpc_secs: Vec<f64>,
+    /// Activity start per slice (drives "actively used").
+    active_since: HashMap<SliceKey, SimTime>,
+    active_total: Vec<SimDuration>,
+}
+
+/// Finalised cost report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostReport {
+    /// Per-GPU "GPU time" in seconds.
+    pub gpu_time_secs: Vec<f64>,
+    /// Per-GPU occupied MIG-seconds (sum over the GPU's slices).
+    pub occupied_secs: Vec<f64>,
+    /// Per-GPU occupied GPC-seconds (slice-seconds weighted by slice GPCs).
+    pub occupied_gpc_secs: Vec<f64>,
+    /// Per-GPU actively-used MIG-seconds.
+    pub active_secs: Vec<f64>,
+    /// Observation window in seconds.
+    pub window_secs: f64,
+}
+
+impl CostReport {
+    /// Total GPU time across the fleet.
+    pub fn total_gpu_time_secs(&self) -> f64 {
+        self.gpu_time_secs.iter().sum()
+    }
+
+    /// Total MIG (occupied) time across the fleet.
+    pub fn total_mig_time_secs(&self) -> f64 {
+        self.occupied_secs.iter().sum()
+    }
+
+    /// Total GPC-weighted MIG time across the fleet (compute-seconds
+    /// actually reserved).
+    pub fn total_mig_gpc_secs(&self) -> f64 {
+        self.occupied_gpc_secs.iter().sum()
+    }
+
+    /// Total actively-used MIG time across the fleet.
+    pub fn total_active_secs(&self) -> f64 {
+        self.active_secs.iter().sum()
+    }
+
+    /// Figure 5's per-GPU occupied percentage: occupied MIG-seconds divided
+    /// by the GPU's total slice-seconds (`slices * window`). Requires the
+    /// per-GPU slice count.
+    pub fn occupied_pct(&self, gpu: usize, slices_on_gpu: usize) -> f64 {
+        if self.window_secs == 0.0 || slices_on_gpu == 0 {
+            return 0.0;
+        }
+        self.occupied_secs[gpu] / (slices_on_gpu as f64 * self.window_secs) * 100.0
+    }
+
+    /// Figure 5's per-GPU actively-used percentage.
+    pub fn active_pct(&self, gpu: usize, slices_on_gpu: usize) -> f64 {
+        if self.window_secs == 0.0 || slices_on_gpu == 0 {
+            return 0.0;
+        }
+        self.active_secs[gpu] / (slices_on_gpu as f64 * self.window_secs) * 100.0
+    }
+}
+
+impl CostTracker {
+    /// Creates a tracker for `num_gpus` GPUs, starting at `start`.
+    pub fn new(num_gpus: usize, start: SimTime) -> Self {
+        CostTracker {
+            start,
+            num_gpus,
+            alloc_count: vec![0; num_gpus],
+            gpu_busy_since: vec![None; num_gpus],
+            gpu_time: vec![SimDuration::ZERO; num_gpus],
+            occupied_since: HashMap::new(),
+            occupied_total: vec![SimDuration::ZERO; num_gpus],
+            occupied_gpc_secs: vec![0.0; num_gpus],
+            active_since: HashMap::new(),
+            active_total: vec![SimDuration::ZERO; num_gpus],
+        }
+    }
+
+    /// Records that a slice with `gpcs` compute units was allocated to an
+    /// instance at `t`.
+    pub fn slice_allocated(&mut self, t: SimTime, key: SliceKey, gpcs: u32) {
+        let gpu = key.0 as usize;
+        debug_assert!(gpu < self.num_gpus);
+        let prev = self.occupied_since.insert(key, (t, gpcs));
+        debug_assert!(prev.is_none(), "double allocation of {key:?}");
+        if self.alloc_count[gpu] == 0 {
+            self.gpu_busy_since[gpu] = Some(t);
+        }
+        self.alloc_count[gpu] += 1;
+    }
+
+    /// Records that a slice was released at `t`.
+    pub fn slice_released(&mut self, t: SimTime, key: SliceKey) {
+        let gpu = key.0 as usize;
+        if let Some((since, gpcs)) = self.occupied_since.remove(&key) {
+            let d = t.saturating_since(since);
+            self.occupied_total[gpu] += d;
+            self.occupied_gpc_secs[gpu] += d.as_secs_f64() * gpcs as f64;
+        } else {
+            debug_assert!(false, "release of unallocated {key:?}");
+        }
+        // Activity implicitly ends with the allocation.
+        self.slice_idle(t, key);
+        debug_assert!(self.alloc_count[gpu] > 0);
+        self.alloc_count[gpu] -= 1;
+        if self.alloc_count[gpu] == 0 {
+            if let Some(since) = self.gpu_busy_since[gpu].take() {
+                self.gpu_time[gpu] += t.saturating_since(since);
+            }
+        }
+    }
+
+    /// Records that a slice began processing a request at `t`. Idempotent
+    /// while already active.
+    pub fn slice_active(&mut self, t: SimTime, key: SliceKey) {
+        self.active_since.entry(key).or_insert(t);
+    }
+
+    /// Records that a slice stopped processing at `t`. Idempotent while
+    /// already idle.
+    pub fn slice_idle(&mut self, t: SimTime, key: SliceKey) {
+        if let Some(since) = self.active_since.remove(&key) {
+            self.active_total[key.0 as usize] += t.saturating_since(since);
+        }
+    }
+
+    /// Closes all open intervals at `end` and produces the report.
+    pub fn finalize(mut self, end: SimTime) -> CostReport {
+        let keys: Vec<SliceKey> = self.active_since.keys().copied().collect();
+        for key in keys {
+            self.slice_idle(end, key);
+        }
+        let keys: Vec<SliceKey> = self.occupied_since.keys().copied().collect();
+        for key in keys {
+            let gpu = key.0 as usize;
+            let (since, gpcs) = self.occupied_since.remove(&key).expect("present");
+            let d = end.saturating_since(since);
+            self.occupied_total[gpu] += d;
+            self.occupied_gpc_secs[gpu] += d.as_secs_f64() * gpcs as f64;
+        }
+        for gpu in 0..self.num_gpus {
+            if let Some(since) = self.gpu_busy_since[gpu].take() {
+                self.gpu_time[gpu] += end.saturating_since(since);
+            }
+        }
+        CostReport {
+            gpu_time_secs: self.gpu_time.iter().map(|d| d.as_secs_f64()).collect(),
+            occupied_secs: self.occupied_total.iter().map(|d| d.as_secs_f64()).collect(),
+            occupied_gpc_secs: self.occupied_gpc_secs.clone(),
+            active_secs: self.active_total.iter().map(|d| d.as_secs_f64()).collect(),
+            window_secs: end.saturating_since(self.start).as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn gpu_time_counts_any_allocation() {
+        let mut c = CostTracker::new(2, t(0));
+        c.slice_allocated(t(10), (0, 0), 4);
+        c.slice_allocated(t(20), (0, 1), 2); // overlapping on same GPU
+        c.slice_released(t(30), (0, 0));
+        c.slice_released(t(50), (0, 1));
+        let r = c.finalize(t(100));
+        // GPU 0 busy from 10 to 50 = 40 s, GPU 1 never.
+        assert!((r.gpu_time_secs[0] - 40.0).abs() < 1e-9);
+        assert_eq!(r.gpu_time_secs[1], 0.0);
+        // MIG time: slice (0,0) 20 s + slice (0,1) 30 s = 50 s.
+        assert!((r.occupied_secs[0] - 50.0).abs() < 1e-9);
+        assert!((r.total_gpu_time_secs() - 40.0).abs() < 1e-9);
+        assert!((r.total_mig_time_secs() - 50.0).abs() < 1e-9);
+        // GPC-weighted: 20 s x 4 GPCs + 30 s x 2 GPCs = 140 GPC-seconds.
+        assert!((r.total_mig_gpc_secs() - 140.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn active_time_tracked_separately() {
+        let mut c = CostTracker::new(1, t(0));
+        c.slice_allocated(t(0), (0, 0), 1);
+        c.slice_active(t(10), (0, 0));
+        c.slice_idle(t(15), (0, 0));
+        c.slice_active(t(20), (0, 0));
+        c.slice_idle(t(30), (0, 0));
+        c.slice_released(t(100), (0, 0));
+        let r = c.finalize(t(100));
+        assert!((r.active_secs[0] - 15.0).abs() < 1e-9);
+        assert!((r.occupied_secs[0] - 100.0).abs() < 1e-9);
+        // Figure 5's story: occupied 100%, active 15% of one slice over 100 s.
+        assert!((r.occupied_pct(0, 1) - 100.0).abs() < 1e-9);
+        assert!((r.active_pct(0, 1) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn finalize_closes_open_intervals() {
+        let mut c = CostTracker::new(1, t(0));
+        c.slice_allocated(t(40), (0, 2), 2);
+        c.slice_active(t(50), (0, 2));
+        let r = c.finalize(t(60));
+        assert!((r.gpu_time_secs[0] - 20.0).abs() < 1e-9);
+        assert!((r.occupied_secs[0] - 20.0).abs() < 1e-9);
+        assert!((r.active_secs[0] - 10.0).abs() < 1e-9);
+        assert!((r.window_secs - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn release_ends_activity() {
+        let mut c = CostTracker::new(1, t(0));
+        c.slice_allocated(t(0), (0, 0), 1);
+        c.slice_active(t(5), (0, 0));
+        c.slice_released(t(8), (0, 0));
+        let r = c.finalize(t(10));
+        assert!((r.active_secs[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idempotent_activity_calls() {
+        let mut c = CostTracker::new(1, t(0));
+        c.slice_allocated(t(0), (0, 0), 1);
+        c.slice_active(t(2), (0, 0));
+        c.slice_active(t(4), (0, 0)); // ignored: already active since 2
+        c.slice_idle(t(6), (0, 0));
+        c.slice_idle(t(8), (0, 0)); // ignored
+        c.slice_released(t(10), (0, 0));
+        let r = c.finalize(t(10));
+        assert!((r.active_secs[0] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_window_percentages() {
+        let c = CostTracker::new(1, t(0));
+        let r = c.finalize(t(0));
+        assert_eq!(r.occupied_pct(0, 3), 0.0);
+        assert_eq!(r.active_pct(0, 0), 0.0);
+    }
+}

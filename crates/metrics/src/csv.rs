@@ -1,0 +1,109 @@
+//! CSV serialisation of experiment outputs (for plotting with external
+//! tools).
+
+use std::fmt::Write as _;
+
+/// Writes `(x, y)` series as a two-column CSV with a header.
+pub fn series_csv(x_name: &str, y_name: &str, points: &[(f64, f64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{x_name},{y_name}");
+    for (x, y) in points {
+        let _ = writeln!(out, "{x},{y}");
+    }
+    out
+}
+
+/// Writes several aligned series as one CSV: a shared x column plus one
+/// column per named series. Series must have the same length as `xs`.
+pub fn multi_series_csv(x_name: &str, xs: &[f64], series: &[(&str, &[f64])]) -> String {
+    for (name, ys) in series {
+        assert_eq!(ys.len(), xs.len(), "series {name} length mismatch");
+    }
+    let mut out = String::new();
+    let header: Vec<&str> = std::iter::once(x_name)
+        .chain(series.iter().map(|(n, _)| *n))
+        .collect();
+    let _ = writeln!(out, "{}", header.join(","));
+    for (i, x) in xs.iter().enumerate() {
+        let mut row = vec![x.to_string()];
+        for (_, ys) in series {
+            row.push(ys[i].to_string());
+        }
+        let _ = writeln!(out, "{}", row.join(","));
+    }
+    out
+}
+
+/// Escapes a value for CSV (quotes fields containing commas/quotes).
+pub fn escape(value: &str) -> String {
+    if value.contains(',') || value.contains('"') || value.contains('\n') {
+        format!("\"{}\"", value.replace('"', "\"\""))
+    } else {
+        value.to_string()
+    }
+}
+
+/// Writes generic rows (already stringified) with a header.
+pub fn rows_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}",
+        header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+    );
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row arity mismatch");
+        let _ = writeln!(
+            out,
+            "{}",
+            row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_round_trip_shape() {
+        let s = series_csv("t", "util", &[(0.0, 0.5), (1.0, 0.75)]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines, vec!["t,util", "0,0.5", "1,0.75"]);
+    }
+
+    #[test]
+    fn multi_series_alignment() {
+        let s = multi_series_csv(
+            "t",
+            &[0.0, 1.0],
+            &[("esg", &[1.0, 2.0][..]), ("fluid", &[3.0, 4.0][..])],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "t,esg,fluid");
+        assert_eq!(lines[2], "1,2,4");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn multi_series_rejects_ragged_input() {
+        multi_series_csv("t", &[0.0], &[("a", &[1.0, 2.0][..])]);
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn rows_csv_with_header() {
+        let s = rows_csv(
+            &["app", "hit"],
+            &[vec!["image,cls".into(), "0.95".into()]],
+        );
+        assert!(s.contains("\"image,cls\",0.95"));
+    }
+}

@@ -1,0 +1,33 @@
+//! # ffs-metrics — SLO, latency, utilization and cost metrics
+//!
+//! Everything the paper's evaluation section measures, as reusable
+//! recorders:
+//!
+//! * [`record`] — per-request lifecycle records with the latency breakdown
+//!   of Figure 14 (queueing / loading / execution / data transfer), SLO hit
+//!   accounting (Figure 9) and completion throughput (Figure 10).
+//! * [`cdf`] — latency CDFs and percentiles (Figures 11–13, P95 tail
+//!   latency claims).
+//! * [`timeline`] — binned time series of utilization (Figures 3 and 16)
+//!   and the occupied-vs-active accounting of Figure 5.
+//! * [`cost`] — "GPU time" and "MIG time" accounting per §6 (Table 6): a
+//!   GPU accrues GPU time whenever any of its slices is allocated; a slice
+//!   accrues MIG time while allocated, and *active* time while actually
+//!   processing.
+//! * [`report`] — plain-text tables and JSON rows for the experiment
+//!   binaries.
+
+pub mod cdf;
+pub mod cost;
+pub mod csv;
+pub mod histogram;
+pub mod record;
+pub mod report;
+pub mod timeline;
+
+pub use cdf::LatencyCdf;
+pub use histogram::LogHistogram;
+pub use cost::{CostReport, CostTracker};
+pub use record::{Breakdown, RequestLog, RequestRecord};
+pub use report::TextTable;
+pub use timeline::BinnedSeries;

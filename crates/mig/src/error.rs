@@ -1,0 +1,87 @@
+//! Error types for MIG management operations.
+
+use std::fmt;
+
+use crate::gpu::SliceId;
+use crate::profile::SliceProfile;
+
+/// Errors raised by the MIG model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MigError {
+    /// Two placements overlap on the compute slots.
+    OverlappingPlacement {
+        /// The profile whose placement overlaps.
+        profile: SliceProfile,
+        /// Its start slot.
+        start: u8,
+    },
+    /// A placement starts at a slot the profile does not support.
+    InvalidStartSlot {
+        /// The offending profile.
+        profile: SliceProfile,
+        /// The requested start slot.
+        start: u8,
+    },
+    /// The layout exceeds the GPU's 8 memory slices.
+    MemoryOvercommit {
+        /// Total memory slices demanded by the layout.
+        demanded: u32,
+    },
+    /// More slices of one profile than Table 2 allows.
+    MaxCountExceeded {
+        /// The offending profile.
+        profile: SliceProfile,
+        /// How many were requested.
+        requested: u32,
+    },
+    /// The referenced slice does not exist.
+    NoSuchSlice(SliceId),
+    /// The slice is already allocated to an instance.
+    SliceBusy(SliceId),
+    /// The slice is not currently allocated.
+    SliceNotAllocated(SliceId),
+    /// Reconfiguration was attempted while slices are allocated.
+    GpuBusy {
+        /// Number of still-allocated slices.
+        allocated: usize,
+    },
+    /// No free placement can host the requested profile.
+    InsufficientResources(SliceProfile),
+    /// The referenced GPU index is out of range.
+    NoSuchGpu(u16),
+}
+
+impl fmt::Display for MigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MigError::OverlappingPlacement { profile, start } => {
+                write!(f, "placement of {profile} at slot {start} overlaps another slice")
+            }
+            MigError::InvalidStartSlot { profile, start } => {
+                write!(f, "{profile} cannot start at compute slot {start}")
+            }
+            MigError::MemoryOvercommit { demanded } => {
+                write!(f, "layout demands {demanded} memory slices but the GPU has 8")
+            }
+            MigError::MaxCountExceeded { profile, requested } => {
+                write!(
+                    f,
+                    "{requested} x {profile} exceeds the max count of {}",
+                    profile.max_count()
+                )
+            }
+            MigError::NoSuchSlice(id) => write!(f, "no such MIG slice: {id:?}"),
+            MigError::SliceBusy(id) => write!(f, "MIG slice {id:?} is already allocated"),
+            MigError::SliceNotAllocated(id) => write!(f, "MIG slice {id:?} is not allocated"),
+            MigError::GpuBusy { allocated } => {
+                write!(f, "cannot reconfigure: {allocated} slices still allocated")
+            }
+            MigError::InsufficientResources(p) => {
+                write!(f, "no free placement can host a {p} instance")
+            }
+            MigError::NoSuchGpu(i) => write!(f, "no such GPU index: {i}"),
+        }
+    }
+}
+
+impl std::error::Error for MigError {}

@@ -1,0 +1,288 @@
+//! A thin NVML-flavoured management facade over the MIG model.
+//!
+//! A production FluidFaaS deployment would talk to NVIDIA's NVML library to
+//! create and destroy GPU instances. The paper's reproduction gap ("thin
+//! NVML bindings") is bridged by this module: it mirrors the relevant slice
+//! of the NVML MIG API surface (`device_count`, MIG mode toggles,
+//! `create_gpu_instance`, `destroy_gpu_instance`, instance listing) on top
+//! of the in-memory [`Gpu`] model, including the multi-minute repartition
+//! latency. Code written against [`NvmlSim`] exercises the same control flow
+//! it would against real NVML.
+
+use std::collections::BTreeMap;
+
+use crate::error::MigError;
+use crate::gpu::{Gpu, GpuId, SliceId, RECONFIGURE_SECS};
+use crate::placement::{PartitionLayout, Placement};
+use crate::profile::SliceProfile;
+
+/// Handle to a created GPU instance (NVML's `nvmlGpuInstance_t` analogue).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GpuInstanceId(pub u64);
+
+/// Information about a live GPU instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GpuInstanceInfo {
+    /// The instance handle.
+    pub id: GpuInstanceId,
+    /// The GPU the instance lives on.
+    pub gpu: GpuId,
+    /// The instance's profile.
+    pub profile: SliceProfile,
+    /// The placement start slot.
+    pub start_slot: u8,
+    /// The backing slice id in the [`Gpu`] model.
+    pub slice: SliceId,
+}
+
+/// Whether MIG mode is enabled on a device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MigMode {
+    /// MIG disabled: the GPU is one monolithic device.
+    Disabled,
+    /// MIG enabled: GPU instances may be created.
+    Enabled,
+}
+
+/// A simulated NVML session managing a set of A100 devices.
+#[derive(Debug)]
+pub struct NvmlSim {
+    devices: Vec<Device>,
+    next_instance: u64,
+    instances: BTreeMap<GpuInstanceId, GpuInstanceInfo>,
+    /// Accumulated seconds spent in reconfiguration operations; lets callers
+    /// account for the (prohibitive) cost of repartitioning.
+    pub reconfigure_seconds: u64,
+}
+
+#[derive(Debug)]
+struct Device {
+    gpu: Gpu,
+    mode: MigMode,
+}
+
+impl NvmlSim {
+    /// Initialises a session over `count` A100 devices with MIG disabled
+    /// (each GPU starts as one `7g.80gb` partition).
+    pub fn init(count: u16) -> Self {
+        let devices = (0..count)
+            .map(|i| Device {
+                gpu: Gpu::new(GpuId(i), PartitionLayout::preset_full())
+                    .expect("full layout is valid"),
+                mode: MigMode::Disabled,
+            })
+            .collect();
+        NvmlSim {
+            devices,
+            next_instance: 1,
+            instances: BTreeMap::new(),
+            reconfigure_seconds: 0,
+        }
+    }
+
+    /// Number of devices (`nvmlDeviceGetCount`).
+    pub fn device_count(&self) -> u16 {
+        self.devices.len() as u16
+    }
+
+    fn device(&self, index: u16) -> Result<&Device, MigError> {
+        self.devices
+            .get(index as usize)
+            .ok_or(MigError::NoSuchGpu(index))
+    }
+
+    fn device_mut(&mut self, index: u16) -> Result<&mut Device, MigError> {
+        self.devices
+            .get_mut(index as usize)
+            .ok_or(MigError::NoSuchGpu(index))
+    }
+
+    /// Current MIG mode of a device.
+    pub fn mig_mode(&self, index: u16) -> Result<MigMode, MigError> {
+        Ok(self.device(index)?.mode)
+    }
+
+    /// Enables MIG mode (`nvmlDeviceSetMigMode`). A mode flip requires the
+    /// device to be idle.
+    pub fn set_mig_mode(&mut self, index: u16, mode: MigMode) -> Result<(), MigError> {
+        let has_instances = self.instances.values().any(|i| i.gpu == GpuId(index));
+        if has_instances {
+            return Err(MigError::GpuBusy {
+                allocated: self
+                    .instances
+                    .values()
+                    .filter(|i| i.gpu == GpuId(index))
+                    .count(),
+            });
+        }
+        self.device_mut(index)?.mode = mode;
+        Ok(())
+    }
+
+    /// Repartitions a device to a new layout
+    /// (`nvmlDeviceCreateGpuInstance` preparation in the real API requires
+    /// destroying and re-creating instances; we model it as a layout swap).
+    /// Returns the seconds the operation takes — "several minutes" per the
+    /// paper — and accumulates them in [`NvmlSim::reconfigure_seconds`].
+    pub fn repartition(&mut self, index: u16, layout: PartitionLayout) -> Result<u64, MigError> {
+        if self.device(index)?.mode != MigMode::Enabled {
+            return Err(MigError::GpuBusy { allocated: 0 });
+        }
+        let has_instances = self.instances.values().any(|i| i.gpu == GpuId(index));
+        if has_instances {
+            return Err(MigError::GpuBusy {
+                allocated: self
+                    .instances
+                    .values()
+                    .filter(|i| i.gpu == GpuId(index))
+                    .count(),
+            });
+        }
+        let secs = self.device_mut(index)?.gpu.reconfigure(layout)?;
+        self.reconfigure_seconds += secs;
+        debug_assert_eq!(secs, RECONFIGURE_SECS);
+        Ok(secs)
+    }
+
+    /// Creates a GPU instance of `profile` on device `index`, picking the
+    /// first free slice of that profile (`nvmlDeviceCreateGpuInstance`).
+    pub fn create_gpu_instance(
+        &mut self,
+        index: u16,
+        profile: SliceProfile,
+    ) -> Result<GpuInstanceId, MigError> {
+        if self.device(index)?.mode != MigMode::Enabled {
+            return Err(MigError::InsufficientResources(profile));
+        }
+        let slice = {
+            let dev = self.device(index)?;
+            dev.gpu
+                .free_slices()
+                .find(|s| s.profile == profile)
+                .map(|s| (s.id, s.start_slot))
+        };
+        let (slice_id, start_slot) = slice.ok_or(MigError::InsufficientResources(profile))?;
+        self.device_mut(index)?.gpu.allocate(slice_id)?;
+        let id = GpuInstanceId(self.next_instance);
+        self.next_instance += 1;
+        self.instances.insert(
+            id,
+            GpuInstanceInfo {
+                id,
+                gpu: GpuId(index),
+                profile,
+                start_slot,
+                slice: slice_id,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Destroys a GPU instance (`nvmlGpuInstanceDestroy`).
+    pub fn destroy_gpu_instance(&mut self, id: GpuInstanceId) -> Result<(), MigError> {
+        let info = self
+            .instances
+            .remove(&id)
+            .ok_or(MigError::NoSuchSlice(SliceId::new(GpuId(u16::MAX), 0)))?;
+        self.device_mut(info.gpu.0)?.gpu.release(info.slice)
+    }
+
+    /// Lists live instances on a device (`nvmlDeviceGetGpuInstances`).
+    pub fn gpu_instances(&self, index: u16) -> Vec<&GpuInstanceInfo> {
+        self.instances
+            .values()
+            .filter(|i| i.gpu == GpuId(index))
+            .collect()
+    }
+
+    /// The current partition layout of a device.
+    pub fn layout(&self, index: u16) -> Result<&PartitionLayout, MigError> {
+        Ok(self.device(index)?.gpu.layout())
+    }
+
+    /// Convenience: enable MIG and partition a device in one call, as an
+    /// operator's bootstrap script would.
+    pub fn bootstrap(&mut self, index: u16, profiles: &[SliceProfile]) -> Result<u64, MigError> {
+        self.set_mig_mode(index, MigMode::Enabled)?;
+        let placements: Result<PartitionLayout, MigError> = PartitionLayout::from_profiles(profiles);
+        self.repartition(index, placements?)
+    }
+}
+
+// Re-export Placement so facade users don't need the placement module.
+pub use crate::placement::Placement as NvmlPlacement;
+
+#[allow(unused_imports)]
+use Placement as _;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_devices_start_unpartitioned() {
+        let nv = NvmlSim::init(2);
+        assert_eq!(nv.device_count(), 2);
+        assert_eq!(nv.mig_mode(0).unwrap(), MigMode::Disabled);
+        assert_eq!(nv.layout(0).unwrap().describe(), "7g.80gb");
+        assert!(nv.mig_mode(5).is_err());
+    }
+
+    #[test]
+    fn instance_creation_requires_mig_mode() {
+        let mut nv = NvmlSim::init(1);
+        assert!(nv.create_gpu_instance(0, SliceProfile::G1_10).is_err());
+        nv.set_mig_mode(0, MigMode::Enabled).unwrap();
+        nv.repartition(0, PartitionLayout::preset_p1()).unwrap();
+        let id = nv.create_gpu_instance(0, SliceProfile::G1_10).unwrap();
+        assert_eq!(nv.gpu_instances(0).len(), 1);
+        nv.destroy_gpu_instance(id).unwrap();
+        assert_eq!(nv.gpu_instances(0).len(), 0);
+    }
+
+    #[test]
+    fn repartition_accounts_minutes_and_requires_idle() {
+        let mut nv = NvmlSim::init(1);
+        nv.set_mig_mode(0, MigMode::Enabled).unwrap();
+        let secs = nv.repartition(0, PartitionLayout::preset_p1()).unwrap();
+        assert_eq!(secs, RECONFIGURE_SECS);
+        assert_eq!(nv.reconfigure_seconds, RECONFIGURE_SECS);
+        let _inst = nv.create_gpu_instance(0, SliceProfile::G4_40).unwrap();
+        assert!(matches!(
+            nv.repartition(0, PartitionLayout::preset_p2()),
+            Err(MigError::GpuBusy { .. })
+        ));
+    }
+
+    #[test]
+    fn exhausting_a_profile_fails_cleanly() {
+        let mut nv = NvmlSim::init(1);
+        nv.bootstrap(
+            0,
+            &[SliceProfile::G4_40, SliceProfile::G2_20, SliceProfile::G1_10],
+        )
+        .unwrap();
+        nv.create_gpu_instance(0, SliceProfile::G4_40).unwrap();
+        assert_eq!(
+            nv.create_gpu_instance(0, SliceProfile::G4_40),
+            Err(MigError::InsufficientResources(SliceProfile::G4_40))
+        );
+    }
+
+    #[test]
+    fn destroy_unknown_instance_errors() {
+        let mut nv = NvmlSim::init(1);
+        assert!(nv.destroy_gpu_instance(GpuInstanceId(42)).is_err());
+    }
+
+    #[test]
+    fn mode_flip_blocked_while_instances_exist() {
+        let mut nv = NvmlSim::init(1);
+        nv.bootstrap(0, &[SliceProfile::G1_10]).unwrap();
+        let _id = nv.create_gpu_instance(0, SliceProfile::G1_10).unwrap();
+        assert!(matches!(
+            nv.set_mig_mode(0, MigMode::Disabled),
+            Err(MigError::GpuBusy { .. })
+        ));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests of the MIG placement and allocation invariants.
+
+use proptest::prelude::*;
+
+use std::sync::OnceLock;
+
+use ffs_mig::placement::{enumerate_all_layouts, enumerate_maximal_layouts};
+use ffs_mig::{Fleet, PartitionLayout, PartitionScheme, SliceProfile};
+
+fn all_layouts() -> &'static [PartitionLayout] {
+    static CACHE: OnceLock<Vec<PartitionLayout>> = OnceLock::new();
+    CACHE.get_or_init(enumerate_all_layouts)
+}
+
+fn maximal_layouts() -> &'static [PartitionLayout] {
+    static CACHE: OnceLock<Vec<PartitionLayout>> = OnceLock::new();
+    CACHE.get_or_init(enumerate_maximal_layouts)
+}
+
+proptest! {
+    /// from_profiles either fails or produces a layout with exactly the
+    /// requested multiset.
+    #[test]
+    fn from_profiles_is_faithful(picks in proptest::collection::vec(0usize..5, 0..8)) {
+        let profiles: Vec<SliceProfile> =
+            picks.iter().map(|&i| SliceProfile::ALL[i]).collect();
+        if let Ok(layout) = PartitionLayout::from_profiles(&profiles) {
+            layout.validate().unwrap();
+            let mut got: Vec<SliceProfile> = layout.profiles().collect();
+            let mut want = profiles.clone();
+            got.sort();
+            want.sort();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Every maximal layout is valid and truly maximal; every non-maximal
+    /// valid layout extends to some maximal one by adding a slice.
+    #[test]
+    fn maximality_is_consistent(idx in 0usize..4096) {
+        let all = all_layouts();
+        let l = &all[idx % all.len()];
+        l.validate().unwrap();
+        if l.is_maximal() {
+            prop_assert!(maximal_layouts().contains(l));
+        } else {
+            // Some single placement can be added.
+            let mut extended = false;
+            for p in SliceProfile::ALL {
+                for &s in p.start_slots() {
+                    let mut placements = l.placements().to_vec();
+                    placements.push(ffs_mig::Placement::new(p, s));
+                    if PartitionLayout::new(placements).validate().is_ok() {
+                        extended = true;
+                    }
+                }
+            }
+            prop_assert!(extended);
+        }
+    }
+
+    /// GPC accounting is conserved under arbitrary allocate/release
+    /// interleavings.
+    #[test]
+    fn gpc_conservation(ops in proptest::collection::vec((0usize..48, any::<bool>()), 0..200)) {
+        let mut fleet = Fleet::new(2, 8, &PartitionScheme::p1()).unwrap();
+        let ids: Vec<_> = fleet.free_slices(None).iter().map(|s| s.id).collect();
+        let total = fleet.total_gpcs();
+        let mut held = std::collections::BTreeSet::new();
+        for (i, alloc) in ops {
+            let id = ids[i % ids.len()];
+            if alloc {
+                if fleet.allocate(id).is_ok() {
+                    held.insert(id);
+                }
+            } else if fleet.release(id).is_ok() {
+                held.remove(&id);
+            }
+        }
+        let held_gpcs: u32 = held.iter().map(|&id| fleet.profile_of(id).unwrap().gpcs()).sum();
+        prop_assert_eq!(fleet.allocated_gpcs(), held_gpcs);
+        let free_gpcs: u32 = fleet
+            .free_slices(None)
+            .iter()
+            .map(|s| s.profile.gpcs())
+            .sum();
+        prop_assert_eq!(free_gpcs + held_gpcs, total);
+    }
+}

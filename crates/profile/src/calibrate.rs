@@ -1,0 +1,172 @@
+//! Calibrating the analytic model against measured profiles.
+//!
+//! On real hardware, the `BUILDDAG` profiling pass produces measured
+//! execution times per MIG slice size. This module fits the analytic
+//! model's Amdahl serial fraction to such measurements, so a deployment
+//! with real profiling data can plug its numbers into the same planner and
+//! simulators. (It also closes the loop for the reproduction: fitting the
+//! model to its own output recovers the generating parameters.)
+
+use crate::perf::PerfModel;
+
+/// A measured point: execution time on a slice with `gpcs` GPCs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MeasuredPoint {
+    /// GPCs of the slice the measurement ran on.
+    pub gpcs: u32,
+    /// Measured execution time (ms).
+    pub exec_ms: f64,
+}
+
+/// Result of a model fit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fit {
+    /// The fitted 1-GPC work (ms).
+    pub work_ms: f64,
+    /// The fitted serial fraction.
+    pub serial_fraction: f64,
+    /// Root-mean-square error of the fit (ms).
+    pub rmse_ms: f64,
+}
+
+/// Fits `exec(g) = work * (s + (1-s)/g)` to measured points by scanning the
+/// serial fraction (the model is linear in `work` given `s`, so each
+/// candidate `s` has a closed-form best `work`).
+///
+/// Returns `None` for fewer than two distinct GPC counts (the model is
+/// under-determined).
+pub fn fit_amdahl(points: &[MeasuredPoint]) -> Option<Fit> {
+    let mut gpcs: Vec<u32> = points.iter().map(|p| p.gpcs).collect();
+    gpcs.sort_unstable();
+    gpcs.dedup();
+    if gpcs.len() < 2 || points.iter().any(|p| p.exec_ms <= 0.0 || p.gpcs == 0) {
+        return None;
+    }
+    let mut best: Option<Fit> = None;
+    let mut s = 0.0;
+    while s <= 1.0 + 1e-9 {
+        // exec = work * k(g); least squares: work = sum(exec*k)/sum(k^2).
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for p in points {
+            let k = s + (1.0 - s) / p.gpcs as f64;
+            num += p.exec_ms * k;
+            den += k * k;
+        }
+        let work = num / den;
+        let mut sq = 0.0;
+        for p in points {
+            let k = s + (1.0 - s) / p.gpcs as f64;
+            let e = p.exec_ms - work * k;
+            sq += e * e;
+        }
+        let rmse = (sq / points.len() as f64).sqrt();
+        if best.map_or(true, |b| rmse < b.rmse_ms) {
+            best = Some(Fit {
+                work_ms: work,
+                serial_fraction: s,
+                rmse_ms: rmse,
+            });
+        }
+        s += 0.001;
+    }
+    best
+}
+
+/// Builds a [`PerfModel`] with the fitted serial fraction, keeping the
+/// other cost parameters from `base`.
+pub fn model_from_fit(base: &PerfModel, fit: &Fit) -> PerfModel {
+    PerfModel {
+        serial_fraction: fit.serial_fraction,
+        ..base.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_generating_parameters() {
+        let truth = PerfModel {
+            serial_fraction: 0.2,
+            ..PerfModel::default()
+        };
+        let work = 120.0;
+        let points: Vec<MeasuredPoint> = [1u32, 2, 3, 4, 7]
+            .iter()
+            .map(|&g| MeasuredPoint {
+                gpcs: g,
+                exec_ms: truth.exec_ms(work, g),
+            })
+            .collect();
+        let fit = fit_amdahl(&points).unwrap();
+        assert!((fit.serial_fraction - 0.2).abs() < 0.002, "{fit:?}");
+        assert!((fit.work_ms - work).abs() < 0.5, "{fit:?}");
+        assert!(fit.rmse_ms < 1e-6, "{fit:?}");
+        let model = model_from_fit(&truth, &fit);
+        assert!((model.exec_ms(work, 4) - truth.exec_ms(work, 4)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tolerates_noise() {
+        let truth = PerfModel {
+            serial_fraction: 0.35,
+            ..PerfModel::default()
+        };
+        let work = 200.0;
+        // ±3% deterministic "measurement noise".
+        let noise = [1.03, 0.97, 1.02, 0.98, 1.01];
+        let points: Vec<MeasuredPoint> = [1u32, 2, 3, 4, 7]
+            .iter()
+            .zip(noise)
+            .map(|(&g, n)| MeasuredPoint {
+                gpcs: g,
+                exec_ms: truth.exec_ms(work, g) * n,
+            })
+            .collect();
+        let fit = fit_amdahl(&points).unwrap();
+        assert!((fit.serial_fraction - 0.35).abs() < 0.08, "{fit:?}");
+        assert!(fit.rmse_ms < work * 0.05);
+    }
+
+    #[test]
+    fn underdetermined_inputs_rejected() {
+        assert_eq!(fit_amdahl(&[]), None);
+        assert_eq!(
+            fit_amdahl(&[MeasuredPoint { gpcs: 2, exec_ms: 50.0 }]),
+            None
+        );
+        // Two points on the same slice size are still one distinct size.
+        assert_eq!(
+            fit_amdahl(&[
+                MeasuredPoint { gpcs: 2, exec_ms: 50.0 },
+                MeasuredPoint { gpcs: 2, exec_ms: 51.0 }
+            ]),
+            None
+        );
+        assert_eq!(
+            fit_amdahl(&[
+                MeasuredPoint { gpcs: 1, exec_ms: -1.0 },
+                MeasuredPoint { gpcs: 2, exec_ms: 50.0 }
+            ]),
+            None
+        );
+    }
+
+    #[test]
+    fn perfectly_parallel_and_serial_extremes() {
+        // Perfectly parallel: exec halves with double GPCs -> s ~ 0.
+        let par: Vec<MeasuredPoint> = [1u32, 2, 4]
+            .iter()
+            .map(|&g| MeasuredPoint { gpcs: g, exec_ms: 100.0 / g as f64 })
+            .collect();
+        assert!(fit_amdahl(&par).unwrap().serial_fraction < 0.01);
+        // Perfectly serial: exec constant -> s ~ 1.
+        let ser: Vec<MeasuredPoint> = [1u32, 2, 4]
+            .iter()
+            .map(|&g| MeasuredPoint { gpcs: g, exec_ms: 100.0 })
+            .collect();
+        assert!(fit_amdahl(&ser).unwrap().serial_fraction > 0.99);
+    }
+}

@@ -1,0 +1,42 @@
+//! # ffs-profile — performance model, model zoo and the paper's applications
+//!
+//! The FluidFaaS runtime consumes *profiles*: per-component memory
+//! footprints and execution times on each MIG slice size, produced offline
+//! by the `BUILDDAG` entry point of an FFS function. On real hardware these
+//! come from measurement; this reproduction generates them from an analytic
+//! model:
+//!
+//! * [`perf::PerfModel`] — Amdahl-style compute scaling over GPCs, PCIe
+//!   load/eviction costs, host-shared-memory transfer costs (the 10–40 ms
+//!   pipeline overhead of §7.3), and cold-start costs.
+//! * [`zoo`] — the six DNN components appearing in the paper's Table 4
+//!   (super resolution, segmentation, classification, deblur, depth
+//!   recognition, background removal) with calibrated parameters.
+//! * [`apps`] — the four applications of Table 4, each in the small /
+//!   medium / large variants of Table 5. Component memory footprints are
+//!   calibrated so that the "MIG to run" columns of Table 5 hold exactly.
+//! * [`profiler::FunctionProfile`] — the profile bundle (DAG + blocks +
+//!   per-slice execution times) the invoker's pipeline planner consumes.
+//!
+//! ```
+//! use ffs_profile::{App, Variant, FunctionProfile, PerfModel};
+//!
+//! let profile = FunctionProfile::build(App::ImageClassification, Variant::Medium,
+//!                                      &PerfModel::default());
+//! // Table 5: medium image classification needs >= 2g.20gb monolithic
+//! // but only >= 1g.10gb when pipelined.
+//! assert_eq!(profile.min_baseline_slice().unwrap().name(), "2g.20gb");
+//! assert_eq!(profile.min_pipeline_slice().unwrap().name(), "1g.10gb");
+//! ```
+
+pub mod apps;
+pub mod calibrate;
+pub mod perf;
+pub mod profiler;
+pub mod zoo;
+
+pub use apps::{App, Variant};
+pub use calibrate::{fit_amdahl, Fit, MeasuredPoint};
+pub use perf::PerfModel;
+pub use profiler::FunctionProfile;
+pub use zoo::ComponentKind;

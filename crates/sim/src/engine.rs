@@ -1,0 +1,241 @@
+//! The event loop: a time-ordered queue with deterministic tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A simulated system: receives events, mutates state, schedules more events.
+pub trait World {
+    /// The event alphabet of this world.
+    type Event;
+
+    /// Handles one event at simulation time `now`.
+    fn handle(&mut self, now: SimTime, ev: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first. Ties broken by
+        // insertion sequence so execution order is deterministic and FIFO.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The pending-event set and simulation clock.
+///
+/// Handlers receive `&mut Scheduler` and may enqueue future events with
+/// [`Scheduler::at`] or [`Scheduler::after`]. Scheduling into the past is a
+/// logic error and panics in debug builds; in release it clamps to `now`.
+pub struct Scheduler<E> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Scheduled<E>>,
+    executed: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler at time zero.
+    pub fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            executed: 0,
+        }
+    }
+
+    /// The current simulation time (the timestamp of the event being
+    /// processed, or zero before the first event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedules `ev` at absolute time `at`.
+    pub fn at(&mut self, at: SimTime, ev: E) {
+        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, ev });
+    }
+
+    /// Schedules `ev` a relative duration after the current time.
+    pub fn after(&mut self, d: crate::time::SimDuration, ev: E) {
+        let at = self.now.saturating_add(d);
+        self.at(at, ev);
+    }
+
+    /// Schedules `ev` at the current instant (runs after all events already
+    /// queued for this instant, preserving FIFO order).
+    pub fn immediately(&mut self, ev: E) {
+        self.at(self.now, ev);
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.at, s.ev))
+    }
+}
+
+/// Why [`run_until`] returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The event queue drained before the deadline.
+    QueueEmpty,
+    /// The next event lies at or beyond the deadline; it remains queued.
+    DeadlineReached,
+}
+
+/// Runs the world until the queue empties or the clock reaches `until`.
+///
+/// Events scheduled exactly at `until` are *not* executed, so consecutive
+/// calls with increasing deadlines partition time unambiguously.
+pub fn run_until<W: World>(
+    world: &mut W,
+    sched: &mut Scheduler<W::Event>,
+    until: SimTime,
+) -> StopReason {
+    loop {
+        // Peek first: popping and re-queueing a boundary event would give it
+        // a fresh sequence number and reorder it behind same-timestamp peers
+        // (a bug the engine's property tests guard against).
+        match sched.heap.peek() {
+            None => return StopReason::QueueEmpty,
+            Some(s) if s.at >= until => {
+                sched.now = until;
+                return StopReason::DeadlineReached;
+            }
+            Some(_) => {}
+        }
+        let (at, ev) = sched.pop().expect("peeked non-empty");
+        sched.now = at;
+        sched.executed += 1;
+        world.handle(at, ev, sched);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    struct Recorder {
+        log: Vec<(SimTime, u32)>,
+    }
+
+    impl World for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+            self.log.push((now, ev));
+            if ev == 1 {
+                // Chain: event 1 schedules events 10 and 11 at the same instant.
+                sched.immediately(10);
+                sched.immediately(11);
+                sched.after(SimDuration::from_secs(5), 99);
+            }
+        }
+    }
+
+    #[test]
+    fn events_run_in_time_order_with_fifo_ties() {
+        let mut w = Recorder { log: vec![] };
+        let mut s = Scheduler::new();
+        s.at(SimTime::from_secs(2), 2);
+        s.at(SimTime::from_secs(1), 1);
+        s.at(SimTime::from_secs(2), 3); // same time as 2, inserted later
+        let reason = run_until(&mut w, &mut s, SimTime::from_secs(100));
+        assert_eq!(reason, StopReason::QueueEmpty);
+        let evs: Vec<u32> = w.log.iter().map(|&(_, e)| e).collect();
+        assert_eq!(evs, vec![1, 10, 11, 2, 3, 99]);
+    }
+
+    #[test]
+    fn deadline_excludes_boundary_event() {
+        let mut w = Recorder { log: vec![] };
+        let mut s = Scheduler::new();
+        s.at(SimTime::from_secs(1), 1);
+        let reason = run_until(&mut w, &mut s, SimTime::from_secs(6));
+        assert_eq!(reason, StopReason::DeadlineReached);
+        // Event 99 (at t=6) must still be pending.
+        assert_eq!(s.pending(), 1);
+        assert_eq!(s.now(), SimTime::from_secs(6));
+        // Resuming executes it.
+        let reason = run_until(&mut w, &mut s, SimTime::from_secs(7));
+        assert_eq!(reason, StopReason::QueueEmpty);
+        assert_eq!(w.log.last().unwrap().1, 99);
+    }
+
+    #[test]
+    fn immediately_runs_after_already_queued_same_instant_events() {
+        struct W {
+            order: Vec<u32>,
+        }
+        impl World for W {
+            type Event = u32;
+            fn handle(&mut self, _t: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+                self.order.push(ev);
+                if ev == 0 {
+                    sched.immediately(5);
+                }
+            }
+        }
+        let mut w = W { order: vec![] };
+        let mut s = Scheduler::new();
+        s.at(SimTime::ZERO, 0);
+        s.at(SimTime::ZERO, 1);
+        run_until(&mut w, &mut s, SimTime::MAX);
+        assert_eq!(w.order, vec![0, 1, 5]);
+    }
+
+    #[test]
+    fn executed_counter_counts() {
+        let mut w = Recorder { log: vec![] };
+        let mut s = Scheduler::new();
+        s.at(SimTime::ZERO, 7);
+        run_until(&mut w, &mut s, SimTime::MAX);
+        assert_eq!(s.executed(), 1);
+    }
+
+    #[test]
+    fn empty_queue_returns_immediately() {
+        let mut w = Recorder { log: vec![] };
+        let mut s: Scheduler<u32> = Scheduler::new();
+        assert_eq!(run_until(&mut w, &mut s, SimTime::from_secs(1)), StopReason::QueueEmpty);
+    }
+}

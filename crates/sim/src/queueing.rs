@@ -1,0 +1,128 @@
+//! Small queueing-theory toolbox: Erlang B/C and M/M/c waiting times.
+//!
+//! The reactive autoscaler in `fluidfaas` provisions by measured demand
+//! versus capacity; a model-based alternative (and several tests) want the
+//! classical formulas: given arrival rate λ, service rate μ and `c`
+//! servers, what is the probability a request waits, and how long?
+
+/// Offered load in Erlangs: `lambda / mu`.
+pub fn offered_load(lambda: f64, mu: f64) -> f64 {
+    assert!(mu > 0.0);
+    lambda / mu
+}
+
+/// Erlang-B blocking probability for `c` servers at offered load `a`
+/// (computed by the stable recurrence).
+pub fn erlang_b(c: u32, a: f64) -> f64 {
+    assert!(a >= 0.0);
+    let mut b = 1.0;
+    for k in 1..=c {
+        b = a * b / (k as f64 + a * b);
+    }
+    b
+}
+
+/// Erlang-C probability that an arrival must wait, for `c` servers at
+/// offered load `a`. Returns 1.0 when the system is unstable (`a >= c`).
+pub fn erlang_c(c: u32, a: f64) -> f64 {
+    if a >= c as f64 {
+        return 1.0;
+    }
+    let b = erlang_b(c, a);
+    let rho = a / c as f64;
+    b / (1.0 - rho + rho * b)
+}
+
+/// Mean waiting time in an M/M/c queue (same units as `1/mu`). `None` when
+/// unstable.
+pub fn mmc_mean_wait(lambda: f64, mu: f64, c: u32) -> Option<f64> {
+    let a = offered_load(lambda, mu);
+    if a >= c as f64 {
+        return None;
+    }
+    let pw = erlang_c(c, a);
+    Some(pw / (c as f64 * mu - lambda))
+}
+
+/// The minimum number of servers for which the probability of waiting is at
+/// most `target_pw` (a model-based sizing rule for autoscalers).
+pub fn servers_for_wait_probability(lambda: f64, mu: f64, target_pw: f64) -> u32 {
+    assert!((0.0..1.0).contains(&target_pw) && target_pw > 0.0);
+    let a = offered_load(lambda, mu);
+    let mut c = a.ceil().max(1.0) as u32;
+    while erlang_c(c, a) > target_pw {
+        c += 1;
+        debug_assert!(c < 100_000, "sizing diverged");
+    }
+    c
+}
+
+/// The minimum number of servers keeping the mean wait below
+/// `target_wait` (same units as `1/mu`).
+pub fn servers_for_mean_wait(lambda: f64, mu: f64, target_wait: f64) -> u32 {
+    assert!(target_wait > 0.0);
+    let a = offered_load(lambda, mu);
+    let mut c = (a + 1.0).ceil() as u32;
+    loop {
+        if let Some(w) = mmc_mean_wait(lambda, mu, c) {
+            if w <= target_wait {
+                return c;
+            }
+        }
+        c += 1;
+        debug_assert!(c < 100_000, "sizing diverged");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erlang_b_known_values() {
+        // Classic table values: c=10, a=5 -> B ~ 0.018.
+        let b = erlang_b(10, 5.0);
+        assert!((b - 0.0184).abs() < 0.001, "B {b}");
+        // Single server: B = a / (1 + a).
+        assert!((erlang_b(1, 2.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(erlang_b(5, 0.0), 0.0);
+    }
+
+    #[test]
+    fn erlang_c_known_values() {
+        // c=2, a=1 (rho=0.5): C = 1/3.
+        let c = erlang_c(2, 1.0);
+        assert!((c - 1.0 / 3.0).abs() < 1e-9, "C {c}");
+        // Unstable -> certain wait.
+        assert_eq!(erlang_c(2, 2.5), 1.0);
+        // More servers, less waiting.
+        assert!(erlang_c(12, 8.0) < erlang_c(9, 8.0));
+    }
+
+    #[test]
+    fn mmc_wait_matches_mm1_closed_form() {
+        // M/M/1: W_q = rho / (mu - lambda).
+        let (lambda, mu) = (0.5, 1.0);
+        let w = mmc_mean_wait(lambda, mu, 1).unwrap();
+        assert!((w - 0.5 / 0.5).abs() < 1e-9);
+        assert_eq!(mmc_mean_wait(2.0, 1.0, 1), None);
+    }
+
+    #[test]
+    fn sizing_rules_are_minimal() {
+        let (lambda, mu) = (40.0, 5.0); // a = 8 Erlangs
+        let c = servers_for_wait_probability(lambda, mu, 0.2);
+        assert!(erlang_c(c, 8.0) <= 0.2);
+        assert!(erlang_c(c - 1, 8.0) > 0.2, "c={c} not minimal");
+        let c = servers_for_mean_wait(lambda, mu, 0.05);
+        assert!(mmc_mean_wait(lambda, mu, c).unwrap() <= 0.05);
+        assert!(mmc_mean_wait(lambda, mu, c - 1).map_or(true, |w| w > 0.05));
+    }
+
+    #[test]
+    fn sizing_scales_with_load() {
+        let low = servers_for_wait_probability(10.0, 5.0, 0.1);
+        let high = servers_for_wait_probability(50.0, 5.0, 0.1);
+        assert!(high > low);
+    }
+}

@@ -1,0 +1,207 @@
+//! Small online statistics used across the workspace.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Welford online mean / variance accumulator.
+#[derive(Clone, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation: `std / mean` (Eq. 1 of the paper). Returns 0
+    /// for an empty or zero-mean sample.
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / m
+        }
+    }
+
+    /// Smallest observation (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Coefficient of variation of a slice: `std(xs) / mean(xs)`.
+///
+/// This is Equation 1 of the FluidFaaS paper, used to rank pipeline
+/// partitions by balance (lower is more balanced).
+pub fn coefficient_of_variation(xs: &[f64]) -> f64 {
+    let mut s = OnlineStats::new();
+    for &x in xs {
+        s.push(x);
+    }
+    s.cv()
+}
+
+/// Time-weighted mean of a piecewise-constant signal.
+///
+/// Used for utilization metrics: feed it `(time, new_value)` transitions and
+/// it integrates value-over-time.
+#[derive(Clone, Debug)]
+pub struct TimeWeightedMean {
+    start: SimTime,
+    last_t: SimTime,
+    last_v: f64,
+    integral: f64,
+}
+
+impl TimeWeightedMean {
+    /// Creates an integrator starting at `start` with initial value `v0`.
+    pub fn new(start: SimTime, v0: f64) -> Self {
+        TimeWeightedMean {
+            start,
+            last_t: start,
+            last_v: v0,
+            integral: 0.0,
+        }
+    }
+
+    /// Records that the signal changed to `v` at time `t`.
+    pub fn set(&mut self, t: SimTime, v: f64) {
+        debug_assert!(t >= self.last_t, "time must be monotone");
+        self.integral += self.last_v * t.saturating_since(self.last_t).as_secs_f64();
+        self.last_t = t;
+        self.last_v = v;
+    }
+
+    /// Current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.last_v
+    }
+
+    /// Mean value over `[start, t]`.
+    pub fn mean_until(&self, t: SimTime) -> f64 {
+        let total: SimDuration = t.saturating_since(self.start);
+        if total.is_zero() {
+            return self.last_v;
+        }
+        let integral = self.integral + self.last_v * t.saturating_since(self.last_t).as_secs_f64();
+        integral / total.as_secs_f64()
+    }
+
+    /// Integral of the signal over `[start, t]`, in value-seconds.
+    pub fn integral_until(&self, t: SimTime) -> f64 {
+        self.integral + self.last_v * t.saturating_since(self.last_t).as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_matches_closed_form() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert!((s.cv() - 0.4).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn cv_of_balanced_stages_is_zero() {
+        assert_eq!(coefficient_of_variation(&[3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn cv_prefers_balanced_partitions() {
+        // [10, 10, 10] is more balanced than [25, 2.5, 2.5].
+        let balanced = coefficient_of_variation(&[10.0, 10.0, 10.0]);
+        let skewed = coefficient_of_variation(&[25.0, 2.5, 2.5]);
+        assert!(balanced < skewed);
+    }
+
+    #[test]
+    fn time_weighted_mean_integrates() {
+        let mut m = TimeWeightedMean::new(SimTime::ZERO, 0.0);
+        m.set(SimTime::from_secs(10), 1.0); // 0 for 10s
+        m.set(SimTime::from_secs(20), 0.5); // 1 for 10s
+        // then 0.5 for 10s → integral = 0 + 10 + 5 = 15 over 30s
+        assert!((m.mean_until(SimTime::from_secs(30)) - 0.5).abs() < 1e-12);
+        assert!((m.integral_until(SimTime::from_secs(30)) - 15.0).abs() < 1e-9);
+        assert_eq!(m.current(), 0.5);
+    }
+
+    #[test]
+    fn time_weighted_mean_zero_span() {
+        let m = TimeWeightedMean::new(SimTime::from_secs(5), 2.0);
+        assert_eq!(m.mean_until(SimTime::from_secs(5)), 2.0);
+    }
+}

@@ -1,0 +1,321 @@
+//! Integer simulation time.
+//!
+//! Simulation clocks based on `f64` make the order of same-instant events
+//! depend on floating-point rounding, which destroys reproducibility. All
+//! times in this workspace are microsecond counters wrapped in newtypes so
+//! instants and durations cannot be confused.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of microseconds in one second.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+
+/// An instant on the simulation clock, in microseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulation time, in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant, used as an "infinity" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Creates an instant from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Creates an instant from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * MICROS_PER_SEC)
+    }
+
+    /// Creates an instant from fractional seconds, rounding to the nearest
+    /// microsecond. Negative inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 {
+            SimTime(0)
+        } else {
+            SimTime((s * MICROS_PER_SEC as f64).round() as u64)
+        }
+    }
+
+    /// Raw microseconds since the epoch.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// The duration since an earlier instant, saturating at zero if `earlier`
+    /// is actually later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Adds a duration, saturating at [`SimTime::MAX`].
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * MICROS_PER_SEC)
+    }
+
+    /// Creates a duration from whole minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60 * MICROS_PER_SEC)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// microsecond. Negative inputs clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 {
+            SimDuration(0)
+        } else {
+            SimDuration((s * MICROS_PER_SEC as f64).round() as u64)
+        }
+    }
+
+    /// Creates a duration from fractional milliseconds.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Self::from_secs_f64(ms / 1_000.0)
+    }
+
+    /// Raw microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Duration in seconds as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Duration in milliseconds as a float (for reporting only).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// True if this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies by a non-negative float, rounding to the nearest
+    /// microsecond.
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        debug_assert!(k >= 0.0, "duration scale must be non-negative");
+        SimDuration((self.0 as f64 * k).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "subtracting a later SimTime");
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "subtracting a longer SimDuration");
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        debug_assert!(self.0 >= rhs.0, "subtracting a longer SimDuration");
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Div for SimDuration {
+    /// Ratio of two durations.
+    type Output = f64;
+    fn div(self, rhs: SimDuration) -> f64 {
+        self.0 as f64 / rhs.0 as f64
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= MICROS_PER_SEC {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimTime::from_secs(3).as_micros(), 3_000_000);
+        assert_eq!(SimTime::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimDuration::from_mins(2).as_micros(), 120_000_000);
+        assert_eq!(SimDuration::from_secs_f64(0.5).as_micros(), 500_000);
+        assert_eq!(SimDuration::from_millis_f64(1.5).as_micros(), 1_500);
+    }
+
+    #[test]
+    fn negative_float_inputs_clamp_to_zero() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(-0.5), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10);
+        let d = SimDuration::from_secs(4);
+        assert_eq!(t + d, SimTime::from_secs(14));
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t - d, SimTime::from_secs(6));
+        assert_eq!(d * 3, SimDuration::from_secs(12));
+        assert_eq!(d / 2, SimDuration::from_secs(2));
+        assert!((d / SimDuration::from_secs(8) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        let early = SimTime::from_secs(1);
+        let late = SimTime::from_secs(5);
+        assert_eq!(late.saturating_since(early), SimDuration::from_secs(4));
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimDuration::from_secs(1).saturating_sub(SimDuration::from_secs(2)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        let d = SimDuration::from_micros(10);
+        assert_eq!(d.mul_f64(1.26), SimDuration::from_micros(13));
+        assert_eq!(d.mul_f64(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![SimTime::from_secs(3), SimTime::ZERO, SimTime::from_millis(1)];
+        v.sort();
+        assert_eq!(v, vec![SimTime::ZERO, SimTime::from_millis(1), SimTime::from_secs(3)]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_millis(250)), "250.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(2)), "2.000s");
+        assert_eq!(format!("{}", SimTime::from_millis(1500)), "1.500s");
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests of the event engine's ordering guarantees.
+
+use proptest::prelude::*;
+
+use ffs_sim::{run_until, Scheduler, SimDuration, SimTime, World};
+
+#[derive(Default)]
+struct Recorder {
+    log: Vec<(SimTime, u32)>,
+}
+
+impl World for Recorder {
+    type Event = u32;
+    fn handle(&mut self, now: SimTime, ev: u32, _s: &mut Scheduler<u32>) {
+        self.log.push((now, ev));
+    }
+}
+
+proptest! {
+    /// Events always execute in non-decreasing time order, and same-time
+    /// events in insertion order.
+    #[test]
+    fn time_order_and_fifo_ties(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut w = Recorder::default();
+        let mut s = Scheduler::new();
+        for (i, &t) in times.iter().enumerate() {
+            s.at(SimTime::from_micros(t), i as u32);
+        }
+        run_until(&mut w, &mut s, SimTime::MAX);
+        prop_assert_eq!(w.log.len(), times.len());
+        for pair in w.log.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "time order");
+            if pair[0].0 == pair[1].0 {
+                prop_assert!(pair[0].1 < pair[1].1, "FIFO among ties");
+            }
+        }
+    }
+
+    /// Splitting a run at an arbitrary deadline never changes the executed
+    /// sequence.
+    #[test]
+    fn run_splitting_is_transparent(
+        times in proptest::collection::vec(0u64..1_000, 1..100),
+        split in 0u64..1_000,
+    ) {
+        let mut w1 = Recorder::default();
+        let mut s1 = Scheduler::new();
+        let mut w2 = Recorder::default();
+        let mut s2 = Scheduler::new();
+        for (i, &t) in times.iter().enumerate() {
+            s1.at(SimTime::from_micros(t), i as u32);
+            s2.at(SimTime::from_micros(t), i as u32);
+        }
+        run_until(&mut w1, &mut s1, SimTime::MAX);
+        run_until(&mut w2, &mut s2, SimTime::from_micros(split));
+        run_until(&mut w2, &mut s2, SimTime::MAX);
+        prop_assert_eq!(w1.log, w2.log);
+    }
+
+    /// `after` never schedules into the past and executed counts match.
+    #[test]
+    fn after_is_relative(delays in proptest::collection::vec(1u64..10_000, 1..50)) {
+        struct Chain {
+            delays: Vec<u64>,
+            idx: usize,
+            last: SimTime,
+        }
+        impl World for Chain {
+            type Event = ();
+            fn handle(&mut self, now: SimTime, _ev: (), s: &mut Scheduler<()>) {
+                assert!(now >= self.last);
+                self.last = now;
+                if self.idx < self.delays.len() {
+                    s.after(SimDuration::from_micros(self.delays[self.idx]), ());
+                    self.idx += 1;
+                }
+            }
+        }
+        let total: u64 = delays.iter().sum();
+        let n = delays.len();
+        let mut w = Chain { delays, idx: 0, last: SimTime::ZERO };
+        let mut s = Scheduler::new();
+        s.at(SimTime::ZERO, ());
+        run_until(&mut w, &mut s, SimTime::MAX);
+        prop_assert_eq!(s.executed(), n as u64 + 1);
+        prop_assert_eq!(w.last, SimTime::from_micros(total));
+    }
+}

@@ -1,0 +1,214 @@
+//! Loading real Azure Functions traces.
+//!
+//! The Azure Functions 2019 dataset (Shahrad et al., ATC'20) ships CSV
+//! files with one row per function and one column per minute of the day:
+//!
+//! ```text
+//! HashOwner,HashApp,HashFunction,Trigger,1,2,3,...,1440
+//! a13e...,f2b1...,9c8d...,http,0,3,1,...,7
+//! ```
+//!
+//! This loader parses that format and converts per-minute invocation counts
+//! into an [`Invocation`] stream: counts are spread uniformly at random
+//! within their minute (the dataset does not preserve sub-minute timing),
+//! and rows are mapped round-robin onto the paper's applications so the
+//! trace can drive the same catalog. The synthetic generator in
+//! [`crate::azure`] remains the default; this loader exists so the
+//! experiments can be re-driven with the real dataset when available.
+
+use std::fmt;
+
+use ffs_profile::App;
+use ffs_sim::{SimDuration, SimRng, SimTime};
+
+use crate::azure::Trace;
+use crate::workload::Invocation;
+
+/// Errors from trace parsing.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LoadError {
+    /// The CSV has no header line.
+    MissingHeader,
+    /// The header has fewer than five columns (no minute columns).
+    TooFewColumns,
+    /// A data row has a non-numeric invocation count.
+    BadCount {
+        /// 1-based data-row number.
+        row: usize,
+        /// Column index within the minute columns.
+        minute: usize,
+    },
+    /// The file has a header but no data rows.
+    NoRows,
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::MissingHeader => write!(f, "missing CSV header"),
+            LoadError::TooFewColumns => write!(f, "header has no minute columns"),
+            LoadError::BadCount { row, minute } => {
+                write!(f, "non-numeric invocation count at row {row}, minute {minute}")
+            }
+            LoadError::NoRows => write!(f, "no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// One parsed function row: identity plus per-minute invocation counts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FunctionRow {
+    /// `HashOwner` column.
+    pub owner: String,
+    /// `HashApp` column.
+    pub app: String,
+    /// `HashFunction` column.
+    pub function: String,
+    /// `Trigger` column.
+    pub trigger: String,
+    /// Invocations per minute.
+    pub per_minute: Vec<u32>,
+}
+
+impl FunctionRow {
+    /// Total invocations over the row.
+    pub fn total(&self) -> u64 {
+        self.per_minute.iter().map(|&c| u64::from(c)).sum()
+    }
+}
+
+/// Parses the Azure CSV format from a string.
+pub fn parse_csv(content: &str) -> Result<Vec<FunctionRow>, LoadError> {
+    let mut lines = content.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or(LoadError::MissingHeader)?;
+    let header_cols = header.split(',').count();
+    if header_cols < 5 {
+        return Err(LoadError::TooFewColumns);
+    }
+    let mut rows = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let mut cols = line.split(',');
+        let owner = cols.next().unwrap_or_default().to_string();
+        let app = cols.next().unwrap_or_default().to_string();
+        let function = cols.next().unwrap_or_default().to_string();
+        let trigger = cols.next().unwrap_or_default().to_string();
+        let mut per_minute = Vec::new();
+        for (m, c) in cols.enumerate() {
+            let count: u32 = c
+                .trim()
+                .parse()
+                .map_err(|_| LoadError::BadCount { row: i + 1, minute: m })?;
+            per_minute.push(count);
+        }
+        rows.push(FunctionRow {
+            owner,
+            app,
+            function,
+            trigger,
+            per_minute,
+        });
+    }
+    if rows.is_empty() {
+        return Err(LoadError::NoRows);
+    }
+    Ok(rows)
+}
+
+/// Converts parsed rows into an invocation trace.
+///
+/// Rows are assigned round-robin to `apps`; per-minute counts are placed
+/// uniformly at random within their minute (seeded, deterministic). The
+/// result is truncated/padded to `minutes` minutes.
+pub fn to_trace(rows: &[FunctionRow], apps: &[App], minutes: usize, seed: u64) -> Trace {
+    let root = SimRng::seed_from_u64(seed);
+    let mut invocations: Vec<Invocation> = Vec::new();
+    for (ri, row) in rows.iter().enumerate() {
+        let app = apps[ri % apps.len()];
+        let mut rng = root.split(ri as u64);
+        for (m, &count) in row.per_minute.iter().take(minutes).enumerate() {
+            for _ in 0..count {
+                let offset = rng.range_f64(0.0, 60.0);
+                invocations.push(Invocation {
+                    id: 0,
+                    app,
+                    arrival: SimTime::from_secs_f64(m as f64 * 60.0 + offset),
+                });
+            }
+        }
+    }
+    invocations.sort_by_key(|i| (i.arrival, i.app.index()));
+    for (i, inv) in invocations.iter_mut().enumerate() {
+        inv.id = i as u64;
+    }
+    Trace {
+        invocations,
+        duration: SimDuration::from_secs(minutes as u64 * 60),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+HashOwner,HashApp,HashFunction,Trigger,1,2,3
+o1,a1,f1,http,2,0,1
+o2,a2,f2,timer,0,3,0
+";
+
+    #[test]
+    fn parses_the_azure_format() {
+        let rows = parse_csv(SAMPLE).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].function, "f1");
+        assert_eq!(rows[0].per_minute, vec![2, 0, 1]);
+        assert_eq!(rows[0].total(), 3);
+        assert_eq!(rows[1].trigger, "timer");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert_eq!(parse_csv(""), Err(LoadError::MissingHeader));
+        assert_eq!(parse_csv("a,b,c\n"), Err(LoadError::TooFewColumns));
+        assert!(matches!(
+            parse_csv("HashOwner,HashApp,HashFunction,Trigger,1\no,a,f,t,xyz\n"),
+            Err(LoadError::BadCount { row: 1, minute: 0 })
+        ));
+        assert_eq!(
+            parse_csv("HashOwner,HashApp,HashFunction,Trigger,1\n"),
+            Err(LoadError::NoRows)
+        );
+    }
+
+    #[test]
+    fn trace_conversion_preserves_counts_and_timing() {
+        let rows = parse_csv(SAMPLE).unwrap();
+        let apps = [App::ImageClassification, App::DepthRecognition];
+        let trace = to_trace(&rows, &apps, 3, 7);
+        assert_eq!(trace.len(), 6); // 3 + 3 invocations
+        assert_eq!(trace.duration, SimDuration::from_secs(180));
+        // Row 0 -> app 0, row 1 -> app 1.
+        assert_eq!(trace.count_for(App::ImageClassification), 3);
+        assert_eq!(trace.count_for(App::DepthRecognition), 3);
+        // Minute placement respected: row 1's 3 invocations are in minute 2.
+        let depth: Vec<f64> = trace
+            .invocations
+            .iter()
+            .filter(|i| i.app == App::DepthRecognition)
+            .map(|i| i.arrival.as_secs_f64())
+            .collect();
+        assert!(depth.iter().all(|&t| (60.0..120.0).contains(&t)), "{depth:?}");
+        // Deterministic.
+        let again = to_trace(&rows, &apps, 3, 7);
+        assert_eq!(trace.invocations, again.invocations);
+    }
+
+    #[test]
+    fn truncation_by_minutes() {
+        let rows = parse_csv(SAMPLE).unwrap();
+        let trace = to_trace(&rows, &[App::ImageClassification], 1, 1);
+        assert_eq!(trace.len(), 2, "only minute 1 kept");
+    }
+}

@@ -1,0 +1,115 @@
+//! Trace characterisation: the statistics the Azure-trace substitution must
+//! match (DESIGN.md) and the numbers experiment binaries print.
+
+use ffs_profile::App;
+use ffs_sim::stats::coefficient_of_variation;
+
+use crate::azure::Trace;
+
+/// Per-app trace characteristics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AppTraceStats {
+    /// The app.
+    pub app: App,
+    /// Invocation count.
+    pub count: usize,
+    /// Mean rate over the trace (req/s).
+    pub mean_rps: f64,
+    /// Inter-arrival coefficient of variation (1 = Poisson, >1 bursty).
+    pub interarrival_cv: f64,
+    /// Peak-to-mean ratio of per-second arrival counts.
+    pub peak_to_mean: f64,
+}
+
+/// Characterises one app's arrival stream.
+pub fn app_stats(trace: &Trace, app: App) -> AppTraceStats {
+    let times: Vec<f64> = trace
+        .invocations
+        .iter()
+        .filter(|i| i.app == app)
+        .map(|i| i.arrival.as_secs_f64())
+        .collect();
+    let duration = trace.duration.as_secs_f64().max(1e-9);
+    let count = times.len();
+    let mean_rps = count as f64 / duration;
+    let gaps: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+    let interarrival_cv = if gaps.len() >= 2 {
+        coefficient_of_variation(&gaps)
+    } else {
+        0.0
+    };
+    // Per-second bins.
+    let bins = duration.ceil() as usize;
+    let mut counts = vec![0u32; bins.max(1)];
+    for &t in &times {
+        let b = (t as usize).min(counts.len() - 1);
+        counts[b] += 1;
+    }
+    let peak = counts.iter().copied().max().unwrap_or(0) as f64;
+    let peak_to_mean = if mean_rps > 0.0 { peak / mean_rps } else { 0.0 };
+    AppTraceStats {
+        app,
+        count,
+        mean_rps,
+        interarrival_cv,
+        peak_to_mean,
+    }
+}
+
+/// Characterises every app present in the trace.
+pub fn all_stats(trace: &Trace) -> Vec<AppTraceStats> {
+    let mut apps: Vec<App> = trace.invocations.iter().map(|i| i.app).collect();
+    apps.sort_by_key(|a| a.index());
+    apps.dedup();
+    apps.into_iter().map(|a| app_stats(trace, a)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::azure::AzureTraceConfig;
+    use crate::workload::WorkloadClass;
+
+    #[test]
+    fn bursty_trace_statistics() {
+        let trace = AzureTraceConfig::for_workload(WorkloadClass::Medium, 300.0, 5).generate();
+        let stats = all_stats(&trace);
+        assert_eq!(stats.len(), 4);
+        for s in &stats {
+            assert!(s.count > 0);
+            assert!(s.interarrival_cv > 1.0, "{:?}", s);
+            assert!(s.peak_to_mean > 1.5, "{:?}", s);
+            // Rate near the configured per-app mean.
+            let target = WorkloadClass::Medium.mean_rps_per_app();
+            assert!(
+                (s.mean_rps - target).abs() / target < 0.4,
+                "{:?} vs target {target}",
+                s
+            );
+        }
+    }
+
+    #[test]
+    fn steady_trace_statistics() {
+        let trace = AzureTraceConfig::steady(
+            vec![App::ImageClassification],
+            300.0,
+            8.0,
+            2,
+        )
+        .generate();
+        let s = app_stats(&trace, App::ImageClassification);
+        assert!((s.interarrival_cv - 1.0).abs() < 0.2, "{s:?}");
+        assert!((s.mean_rps - 8.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_app_is_benign() {
+        let trace = AzureTraceConfig::steady(vec![App::ImageClassification], 10.0, 1.0, 2)
+            .generate();
+        let s = app_stats(&trace, App::DepthRecognition);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_rps, 0.0);
+        assert_eq!(s.peak_to_mean, 0.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Replay a bursty Azure-style trace against the full simulated cluster and
+//! compare FluidFaaS with the ESG and INFless baselines — a miniature of
+//! the paper's end-to-end evaluation.
+//!
+//! ```sh
+//! cargo run --release --example cluster_simulation            # medium, 120 s
+//! cargo run --release --example cluster_simulation -- heavy 300
+//! ```
+
+use fluidfaas_repro::experiments::runner::{run_workload, SystemKind};
+use fluidfaas_repro::trace::WorkloadClass;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let workload = match args.get(1).map(String::as_str) {
+        Some("light") => WorkloadClass::Light,
+        Some("heavy") => WorkloadClass::Heavy,
+        _ => WorkloadClass::Medium,
+    };
+    let secs: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(120.0);
+    let seed = 1;
+
+    println!(
+        "replaying a {}s {} workload (apps in their {} variants) on 2 nodes x 8 A100s\n",
+        secs,
+        workload.name(),
+        workload.variant().name()
+    );
+    println!(
+        "{:<10} {:>8} {:>10} {:>9} {:>9} {:>10} {:>10}",
+        "system", "SLO hit", "completed", "p50 ms", "p95 ms", "GPU time", "MIG time"
+    );
+    for system in SystemKind::ALL {
+        let out = run_workload(system, workload, secs, seed);
+        let cdf = out.latency_cdf();
+        println!(
+            "{:<10} {:>7.1}% {:>10} {:>9.0} {:>9.0} {:>9.0}s {:>9.0}s",
+            system.name(),
+            out.log.slo_hit_rate() * 100.0,
+            out.log.records().iter().filter(|r| r.completed.is_some()).count(),
+            cdf.p50().unwrap_or(0.0),
+            cdf.p95().unwrap_or(0.0),
+            out.cost.total_gpu_time_secs(),
+            out.cost.total_mig_time_secs(),
+        );
+    }
+    println!(
+        "\n(the monolithic baselines cannot place {} variants on the fragmented slices\n that FluidFaaS turns into pipelines — see Figure 9/10 of the paper)",
+        workload.variant().name()
+    );
+}

@@ -1,0 +1,96 @@
+//! Quickstart: define a FluidFaaS function, profile it, and plan a
+//! deployment onto whatever MIG slices are free.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use fluidfaas_repro::dag::{FfsFunctionBuilder, Mode};
+use fluidfaas_repro::dag::module::SimpleModule;
+use fluidfaas_repro::mig::{Fleet, PartitionScheme};
+use fluidfaas_repro::pipeline::{estimate, plan::plan_deployment};
+use fluidfaas_repro::profile::{App, FunctionProfile, PerfModel, Variant};
+
+fn main() {
+    // --- 1. The programming model (paper Figure 7) -----------------------
+    // Define DNN components and register them into an FFS DAG. In the
+    // paper this is `class MyFFaaS(FFS.FFaaS): def defDAG(...)`.
+    let mut f = FfsFunctionBuilder::new("my_function", Mode::BuildDag);
+    let preprocess = SimpleModule {
+        name: "preprocess".into(),
+        mem_gb: 2.0,
+        work: 40.0,
+        output_mb: 12.0,
+    };
+    let detect = SimpleModule {
+        name: "detector".into(),
+        mem_gb: 6.0,
+        work: 120.0,
+        output_mb: 4.0,
+    };
+    let classify = SimpleModule {
+        name: "classifier".into(),
+        mem_gb: 3.0,
+        work: 35.0,
+        output_mb: 0.01,
+    };
+    let a = f.reg(&preprocess, &[]).unwrap();
+    let b = f.reg(&detect, &[a]).unwrap();
+    let _c = f.reg(&classify, &[b]).unwrap();
+    let dag = f.build().unwrap();
+    println!("registered FFS DAG `{}` with {} components, {:.1} GB total", dag.name(), dag.len(), dag.total_mem_gb());
+
+    // --- 2. Offline profiling (the BUILDDAG entry point) ------------------
+    // The paper's applications ship pre-built; profile one of them.
+    let profile = FunctionProfile::build(App::ImageClassification, Variant::Medium, &PerfModel::default());
+    println!(
+        "\nprofiled `{}`: reference latency {:.0} ms, SLO(1.5x) {:.0} ms",
+        profile.name,
+        profile.reference_latency_ms(),
+        profile.slo_ms(1.5)
+    );
+    println!(
+        "minimum slice: monolithic >= {}, pipelined >= {}",
+        profile.min_baseline_slice().unwrap(),
+        profile.min_pipeline_slice().unwrap()
+    );
+
+    // --- 3. Pipeline planning on fragmented slices (§5.2.2) ---------------
+    let mut fleet = Fleet::new(1, 2, &PartitionScheme::p1()).unwrap();
+    // Occupy the large slices so only 1g.10gb fragments remain — the
+    // Figure 1 scenario where a monolithic scheduler would have to wait.
+    for s in fleet.free_slices(None) {
+        if s.profile.gpcs() >= 2 {
+            fleet.allocate(s.id).unwrap();
+        }
+    }
+    println!("\nfree slices: only {:?}", fleet.free_profile_histogram());
+    match plan_deployment(&profile, &fleet.free_slices(None)) {
+        Some(plan) => {
+            println!(
+                "planned a {}-stage pipeline (CV {:.3}):",
+                plan.num_stages(),
+                plan.cv
+            );
+            for (i, stage) in plan.stages.iter().enumerate() {
+                let names: Vec<&str> = stage
+                    .nodes
+                    .iter()
+                    .map(|&n| profile.dag.component(n).name.as_str())
+                    .collect();
+                println!(
+                    "  stage {i}: [{}] on {} ({:.1} GB)",
+                    names.join(", "),
+                    stage.profile,
+                    stage.mem_gb
+                );
+            }
+            let est = estimate(&profile, &plan);
+            println!(
+                "estimated latency {:.0} ms, bottleneck {:.0} ms, throughput {:.1} req/s",
+                est.latency_ms, est.bottleneck_ms, est.throughput_rps
+            );
+        }
+        None => println!("no deployment fits the free slices"),
+    }
+}

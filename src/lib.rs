@@ -1,0 +1,15 @@
+//! Top-level facade for the FluidFaaS reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use a
+//! single dependency. See `DESIGN.md` for the system inventory.
+
+pub use ffs_baselines as baselines;
+pub use ffs_dag as dag;
+pub use ffs_experiments as experiments;
+pub use ffs_metrics as metrics;
+pub use ffs_mig as mig;
+pub use ffs_pipeline as pipeline;
+pub use ffs_profile as profile;
+pub use ffs_sim as sim;
+pub use ffs_trace as trace;
+pub use fluidfaas;

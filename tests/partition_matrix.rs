@@ -1,0 +1,58 @@
+//! Robustness matrix: every preset partition scheme x every system x every
+//! workload runs to completion with sane accounting.
+
+use fluidfaas_repro::experiments::runner::{run_system, SystemKind};
+use fluidfaas_repro::fluidfaas::FfsConfig;
+use fluidfaas_repro::mig::PartitionScheme;
+use fluidfaas_repro::trace::{AzureTraceConfig, WorkloadClass};
+
+#[test]
+fn all_schemes_all_systems_all_workloads() {
+    for scheme in [PartitionScheme::p1(), PartitionScheme::p2(), PartitionScheme::hybrid()] {
+        for workload in WorkloadClass::ALL {
+            let trace = AzureTraceConfig::for_workload(workload, 30.0, 2).generate();
+            for system in SystemKind::ALL {
+                let mut cfg = FfsConfig::paper_default(workload);
+                cfg.scheme = scheme.clone();
+                let out = run_system(system, cfg, &trace);
+                // Every arrival accounted exactly once.
+                assert_eq!(
+                    out.log.len(),
+                    trace.len(),
+                    "{} {} {}",
+                    scheme.name(),
+                    workload.name(),
+                    system.name()
+                );
+                // Cost accounting is self-consistent.
+                assert!(out.cost.total_active_secs() <= out.cost.total_mig_time_secs() + 1e-6);
+                assert!(out.cost.total_gpu_time_secs() <= 16.0 * out.cost.window_secs + 1e-6);
+                // Some work actually happened.
+                let completed = out
+                    .log
+                    .records()
+                    .iter()
+                    .filter(|r| r.completed.is_some())
+                    .count();
+                assert!(
+                    completed > 0,
+                    "{} {} {}: nothing completed",
+                    scheme.name(),
+                    workload.name(),
+                    system.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn erlang_c_policy_runs_end_to_end() {
+    let mut cfg = FfsConfig::paper_default(WorkloadClass::Medium);
+    cfg.scaling_policy = fluidfaas_repro::fluidfaas::ScalingPolicy::ErlangC {
+        target_wait_frac: 0.25,
+    };
+    let trace = AzureTraceConfig::for_workload(WorkloadClass::Medium, 60.0, 3).generate();
+    let out = run_system(SystemKind::FluidFaaS, cfg, &trace);
+    assert!(out.log.slo_hit_rate() > 0.3);
+}

@@ -1,0 +1,121 @@
+//! Property-based tests of the core cross-crate invariants.
+
+use proptest::prelude::*;
+
+use fluidfaas_repro::dag::{enumerate_partitions, linear_blocks, Component, FfsDag, NodeId};
+use fluidfaas_repro::mig::placement::{enumerate_all_layouts, PLACEMENT_UNITS};
+use fluidfaas_repro::mig::{Fleet, PartitionScheme, SliceProfile};
+use fluidfaas_repro::profile::{App, FunctionProfile, PerfModel, Variant};
+use fluidfaas_repro::sim::{SimDuration, SimRng, SimTime};
+
+proptest! {
+    /// Every valid MIG layout respects the hardware budgets.
+    #[test]
+    fn all_valid_layouts_respect_budgets(idx in 0usize..512) {
+        static CACHE: std::sync::OnceLock<Vec<fluidfaas_repro::mig::PartitionLayout>> =
+            std::sync::OnceLock::new();
+        let layouts = CACHE.get_or_init(enumerate_all_layouts);
+        let l = &layouts[idx % layouts.len()];
+        prop_assert!(l.total_gpcs() <= 7);
+        prop_assert!(l.units_used() <= PLACEMENT_UNITS as u32);
+        for p in SliceProfile::ALL {
+            let n = l.profiles().filter(|&q| q == p).count() as u32;
+            prop_assert!(n <= p.max_count());
+        }
+    }
+
+    /// The fleet allocator never double-books and always restores state.
+    #[test]
+    fn fleet_allocation_round_trip(picks in proptest::collection::vec(0usize..48, 0..48)) {
+        let mut fleet = Fleet::new(2, 8, &PartitionScheme::p1()).unwrap();
+        let all: Vec<_> = fleet.free_slices(None).iter().map(|s| s.id).collect();
+        let mut allocated = Vec::new();
+        for p in picks {
+            let id = all[p % all.len()];
+            if fleet.allocate(id).is_ok() {
+                allocated.push(id);
+            } else {
+                // Double allocation must be the only failure reason.
+                prop_assert!(allocated.contains(&id));
+            }
+        }
+        let free_now = fleet.free_slices(None).len();
+        prop_assert_eq!(free_now, all.len() - allocated.len());
+        for id in allocated {
+            fleet.release(id).unwrap();
+        }
+        prop_assert_eq!(fleet.free_slices(None).len(), all.len());
+        prop_assert_eq!(fleet.allocated_gpcs(), 0);
+    }
+
+    /// Consecutive-partition enumeration is complete and order-preserving
+    /// for random chains.
+    #[test]
+    fn chain_partitions_complete(n in 1usize..8, works in proptest::collection::vec(1.0f64..100.0, 8)) {
+        let mut dag = FfsDag::new("chain");
+        let mut prev: Option<NodeId> = None;
+        for i in 0..n {
+            let inputs: Vec<NodeId> = prev.into_iter().collect();
+            prev = Some(dag.register(
+                Component::new(format!("c{i}"), 1.0, works[i], 1.0),
+                &inputs,
+            ).unwrap());
+        }
+        let blocks = linear_blocks(&dag);
+        prop_assert_eq!(blocks.len(), n);
+        let parts = enumerate_partitions(&blocks);
+        prop_assert_eq!(parts.len(), 1usize << (n - 1));
+        for p in &parts {
+            let flat: Vec<NodeId> = p.stages().iter().flatten().copied().collect();
+            prop_assert_eq!(flat.len(), n);
+            for w in flat.windows(2) {
+                prop_assert!(w[0] < w[1], "topological order preserved");
+            }
+        }
+    }
+
+    /// Pipeline latency always at least the bottleneck, and both scale
+    /// monotonically with slice size.
+    #[test]
+    fn estimate_algebra(variant_idx in 0usize..3, app_idx in 0usize..4) {
+        let app = App::ALL[app_idx];
+        let variant = Variant::ALL[variant_idx];
+        let p = FunctionProfile::build(app, variant, &PerfModel::default());
+        let full = fluidfaas_repro::dag::PipelinePartition::new(p.blocks.clone());
+        for slice in [SliceProfile::G1_10, SliceProfile::G2_20, SliceProfile::G4_40] {
+            let slices = vec![slice; full.num_stages()];
+            let lat = p.pipeline_latency_ms(&full, &slices);
+            let bott = p.pipeline_bottleneck_ms(&full, &slices);
+            prop_assert!(lat >= bott);
+            prop_assert!(bott > 0.0);
+        }
+        let lat_small = p.pipeline_latency_ms(&full, &vec![SliceProfile::G1_10; full.num_stages()]);
+        let lat_big = p.pipeline_latency_ms(&full, &vec![SliceProfile::G7_80; full.num_stages()]);
+        prop_assert!(lat_big < lat_small);
+    }
+
+    /// SimTime arithmetic is consistent for random values.
+    #[test]
+    fn simtime_algebra(a in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_micros(a);
+        let dur = SimDuration::from_micros(d);
+        prop_assert_eq!((t + dur) - t, dur);
+        prop_assert_eq!((t + dur).saturating_since(t), dur);
+        prop_assert_eq!(t.saturating_since(t + dur), SimDuration::ZERO);
+    }
+
+    /// Split RNG streams are reproducible and disjoint-seeming.
+    #[test]
+    fn rng_split_reproducible(seed in any::<u64>(), stream in 0u64..1024) {
+        let root = SimRng::seed_from_u64(seed);
+        let mut a = root.split(stream);
+        let mut b = root.split(stream);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_raw(), b.next_raw());
+        }
+        let mut c = root.split(stream.wrapping_add(1));
+        let first_c = c.next_raw();
+        let mut a2 = root.split(stream);
+        prop_assert_ne!(a2.next_raw(), first_c);
+    }
+}
