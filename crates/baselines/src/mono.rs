@@ -144,7 +144,7 @@ impl MonolithicSystem {
                 let mut best: Option<(InstanceId, f64)> = None;
                 for inst in self.instances.values() {
                     if inst.func == f && inst.has_capacity(slo) {
-                        let better = best.map_or(true, |(_, lat)| inst.est.latency_ms < lat);
+                        let better = best.is_none_or(|(_, lat)| inst.est.latency_ms < lat);
                         if better {
                             best = Some((inst.id, inst.est.latency_ms));
                         }

@@ -37,6 +37,7 @@
 pub mod config;
 pub mod instance;
 pub mod keepalive;
+pub mod plancache;
 pub mod platform;
 pub mod shared;
 pub mod system;

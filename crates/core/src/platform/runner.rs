@@ -68,7 +68,9 @@ impl RunOutput {
 /// Runs a platform through a trace: schedules all arrivals plus the first
 /// scale tick, runs to completion (trace end + drain), finalises metrics.
 pub fn run_platform<P: Platform>(platform: &mut P, trace: &Trace) -> RunOutput {
-    let mut sched: Scheduler<Event> = Scheduler::new();
+    // All arrivals plus the first scale tick go in up front; sizing the heap
+    // to the trace avoids its doubling reallocations on large traces.
+    let mut sched: Scheduler<Event> = Scheduler::with_capacity(trace.invocations.len() + 1);
     for inv in &trace.invocations {
         sched.at(inv.arrival, Event::Arrival(inv.id));
     }

@@ -6,13 +6,14 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use ffs_mig::Fleet;
-use ffs_pipeline::{estimate, plan_deployment, plan_deployment_unranked, DeploymentPlan};
+use ffs_pipeline::{estimate, DeploymentPlan};
 use ffs_sim::{Scheduler, SimDuration, SimTime, World};
 use ffs_trace::Trace;
 
 use crate::config::FfsConfig;
 use crate::instance::{Instance, Phase};
 use crate::keepalive::{KeepAliveState, Transition};
+use crate::plancache::PlanCache;
 use crate::platform::catalog::{FuncId, FunctionCatalog};
 use crate::platform::events::{Event, InstanceId};
 use crate::platform::hub::MetricsHub;
@@ -71,6 +72,8 @@ pub struct FluidFaaSSystem {
     peak_instances: usize,
     peak_pipelines: usize,
     sched_log: SchedulerLog,
+    /// Memoized launch plans, invalidated on any slice alloc/free.
+    plan_cache: PlanCache,
 }
 
 impl FluidFaaSSystem {
@@ -102,6 +105,7 @@ impl FluidFaaSSystem {
             peak_instances: 0,
             peak_pipelines: 0,
             sched_log: SchedulerLog::default(),
+            plan_cache: PlanCache::new(),
         }
     }
 
@@ -143,6 +147,11 @@ impl FluidFaaSSystem {
     /// The scheduler's decision counters for this run.
     pub fn scheduler_log(&self) -> SchedulerLog {
         self.sched_log
+    }
+
+    /// Launch-plan cache counters `(hits, misses)` for this run.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        (self.plan_cache.hits(), self.plan_cache.misses())
     }
 
     /// Introspection: one row per live exclusive instance —
@@ -308,6 +317,7 @@ impl FluidFaaSSystem {
         candidates.sort_by_key(|s| (s.profile, s.id));
         let pick = *candidates.first()?;
         self.fleet.allocate(pick.id).expect("slice was free");
+        self.plan_cache.invalidate();
         self.hub.slice_allocated(now, pick.id, pick.profile.gpcs());
         self.sched_log.pool_grows += 1;
         Some(self.pool.add_slot(pick, now))
@@ -340,7 +350,7 @@ impl FluidFaaSSystem {
                 self.catalog.profile(f).load_ms(&all_nodes(&self.catalog, f))
             };
             let key = self.requests[req as usize].urgency_key(exec, load);
-            if best.map_or(true, |(k, _, _)| key < k) {
+            if best.is_none_or(|(k, _, _)| key < k) {
                 best = Some((key, f, req));
             }
         }
@@ -664,16 +674,13 @@ impl FluidFaaSSystem {
     /// Launches one exclusive-hot instance for `f` on whichever node can
     /// host the best-ranked feasible plan. Returns false if no node can.
     fn launch_instance(&mut self, f: FuncId, now: SimTime, sched: &mut Scheduler<Event>) -> bool {
-        let profile = self.catalog.profile(f).clone();
+        let profile = self.catalog.profile(f);
+        let ranked = self.cfg.enable_cv_ranking;
         let mut chosen: Option<DeploymentPlan> = None;
         let mut chosen_node = None;
         for node in self.fleet.nodes().iter().map(|n| n.id).collect::<Vec<_>>() {
             let free = self.fleet.free_slices(Some(node));
-            let plan = if self.cfg.enable_cv_ranking {
-                plan_deployment(&profile, &free)
-            } else {
-                plan_deployment_unranked(&profile, &free)
-            };
+            let plan = self.plan_cache.plan(f, node, ranked, profile, &free);
             if let Some(p) = plan {
                 let better = match &chosen {
                     None => true,
@@ -695,7 +702,8 @@ impl FluidFaaSSystem {
             self.fleet.allocate(s.slice).expect("planned slice is free");
             self.hub.slice_allocated(now, s.slice, s.profile.gpcs());
         }
-        let est = estimate(&profile, &plan);
+        self.plan_cache.invalidate();
+        let est = estimate(profile, &plan);
         self.peak_instances = self.peak_instances.max(self.instances.len() + 1);
         if !plan.is_monolithic() {
             let pipes = self.instances.values().filter(|i| !i.plan.is_monolithic()).count() + 1;
@@ -723,6 +731,7 @@ impl FluidFaaSSystem {
             self.fleet.release(s.slice).expect("allocated slice");
             self.hub.slice_released(now, s.slice);
         }
+        self.plan_cache.invalidate();
         let f = inst.func;
         if !self.instances.values().any(|i| i.func == f) {
             // Last exclusive instance gone: lineage drops to time sharing ③.
@@ -754,6 +763,7 @@ impl FluidFaaSSystem {
             if slot.bound.is_empty() && slot.is_free() && slot.queue.is_empty() {
                 let slice = self.pool.remove_slot(idx);
                 self.fleet.release(slice.id).expect("allocated shared slice");
+                self.plan_cache.invalidate();
                 self.hub.slice_released(now, slice.id);
                 self.sched_log.pool_shrinks += 1;
             } else {
@@ -787,14 +797,17 @@ impl FluidFaaSSystem {
             .collect();
         for id in candidates {
             let f = self.instances.get(&id).expect("live").func;
-            let profile = self.catalog.profile(f).clone();
-            // A monolithic plan on currently free slices?
-            let mono_possible = self.fleet.nodes().iter().any(|n| {
-                let free = self.fleet.free_slices(Some(n.id));
-                plan_deployment(&profile, &free)
-                    .map(|p| p.is_monolithic())
-                    .unwrap_or(false)
-            });
+            // A monolithic plan on currently free slices? (Always the
+            // ranked planner: monolithic ranks first regardless.)
+            let mut mono_possible = false;
+            for node in self.fleet.nodes().iter().map(|n| n.id).collect::<Vec<_>>() {
+                let free = self.fleet.free_slices(Some(node));
+                let profile = self.catalog.profile(f);
+                if self.plan_cache.monolithic_possible(f, node, profile, &free) {
+                    mono_possible = true;
+                    break;
+                }
+            }
             if mono_possible && self.launch_instance(f, now, sched) {
                 self.sched_log.migrations += 1;
                 let inst = self.instances.get_mut(&id).expect("live");

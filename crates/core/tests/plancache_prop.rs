@@ -1,0 +1,122 @@
+//! Property tests for the launch-plan cache: under any sequence of slice
+//! allocations and releases — with the system's invalidate-on-mutation
+//! discipline — a cached plan is indistinguishable from a fresh run of the
+//! planner.
+
+use ffs_mig::{Fleet, NodeId};
+use ffs_pipeline::{plan_deployment, plan_deployment_unranked};
+use ffs_profile::{App, FunctionProfile, PerfModel, Variant};
+use fluidfaas::plancache::PlanCache;
+use proptest::prelude::*;
+
+fn test_profiles() -> Vec<FunctionProfile> {
+    let perf = PerfModel::default();
+    vec![
+        FunctionProfile::build(App::ImageClassification, Variant::Large, &perf),
+        FunctionProfile::build(App::ExpandedImageClassification, Variant::Medium, &perf),
+        FunctionProfile::build(App::DepthRecognition, Variant::Small, &perf),
+    ]
+}
+
+/// Applies one encoded mutation to the fleet (allocate a free slice or
+/// release an allocated one) and returns whether anything changed.
+fn apply_op(fleet: &mut Fleet, allocated: &mut Vec<ffs_mig::SliceId>, op: u8) -> bool {
+    if op.is_multiple_of(2) {
+        let free = fleet.free_slices(None);
+        if free.is_empty() {
+            return false;
+        }
+        let id = free[op as usize % free.len()].id;
+        fleet.allocate(id).expect("free slice allocates");
+        allocated.push(id);
+    } else {
+        if allocated.is_empty() {
+            return false;
+        }
+        let id = allocated.remove(op as usize % allocated.len());
+        fleet.release(id).expect("allocated slice releases");
+    }
+    true
+}
+
+proptest! {
+    /// After every mutation (followed by the mandatory invalidate), the
+    /// cache's answer — on the miss *and* on the subsequent hit — equals a
+    /// fresh `plan_deployment`/`plan_deployment_unranked` call, for both
+    /// ranking modes and the monolithic migration probe.
+    #[test]
+    fn cache_matches_fresh_planner(ops in proptest::collection::vec(0u8..=255u8, 1..24)) {
+        let profiles = test_profiles();
+        let mut fleet = Fleet::paper_default();
+        let mut cache = PlanCache::new();
+        let mut allocated = Vec::new();
+        for &op in &ops {
+            if apply_op(&mut fleet, &mut allocated, op) {
+                // The system discipline: every alloc/free invalidates.
+                cache.invalidate();
+                prop_assert!(cache.is_empty());
+            }
+            let node = NodeId(op as u16 % 2);
+            let free = fleet.free_slices(Some(node));
+            for (f, profile) in profiles.iter().enumerate() {
+                let fresh = plan_deployment(profile, &free);
+                let miss = cache.plan(f, node, true, profile, &free);
+                let hit = cache.plan(f, node, true, profile, &free);
+                prop_assert_eq!(&miss, &fresh);
+                prop_assert_eq!(&hit, &fresh);
+
+                let fresh_unranked = plan_deployment_unranked(profile, &free);
+                let unranked = cache.plan(f, node, false, profile, &free);
+                prop_assert_eq!(&unranked, &fresh_unranked);
+
+                let mono = cache.monolithic_possible(f, node, profile, &free);
+                let fresh_mono = fresh
+                    .as_ref()
+                    .map(|p| p.is_monolithic())
+                    .unwrap_or(false);
+                prop_assert_eq!(mono, fresh_mono);
+            }
+        }
+        // The loop exercised both sides of the cache.
+        prop_assert!(cache.hits() > 0);
+        prop_assert!(cache.misses() > 0);
+    }
+
+    /// Invalidation after a mutation is not optional: a stale entry keyed
+    /// by an unchanged signature could survive a mutation that swaps
+    /// *which* slices are free. The signature only tracks the multiset, so
+    /// the cache must start empty after every invalidate.
+    #[test]
+    fn invalidate_always_empties(ops in proptest::collection::vec(0u8..=255u8, 1..16)) {
+        let profiles = test_profiles();
+        let mut fleet = Fleet::paper_default();
+        let mut cache = PlanCache::new();
+        let mut allocated = Vec::new();
+        for &op in &ops {
+            let node = NodeId(0);
+            let free = fleet.free_slices(Some(node));
+            let _ = cache.plan(0, node, true, &profiles[0], &free);
+            prop_assert!(!cache.is_empty());
+            apply_op(&mut fleet, &mut allocated, op);
+            cache.invalidate();
+            prop_assert!(cache.is_empty());
+        }
+    }
+}
+
+#[test]
+fn hit_returns_identical_plan_without_replanning() {
+    let profiles = test_profiles();
+    let fleet = Fleet::paper_default();
+    let mut cache = PlanCache::new();
+    let node = NodeId(0);
+    let free = fleet.free_slices(Some(node));
+    let first = cache.plan(0, node, true, &profiles[0], &free);
+    assert_eq!(cache.misses(), 1);
+    assert_eq!(cache.hits(), 0);
+    let second = cache.plan(0, node, true, &profiles[0], &free);
+    assert_eq!(cache.misses(), 1);
+    assert_eq!(cache.hits(), 1);
+    assert_eq!(first, second);
+    assert_eq!(first, plan_deployment(&profiles[0], &free));
+}

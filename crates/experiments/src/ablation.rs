@@ -7,10 +7,11 @@
 //!   before pipelining stops paying off).
 
 use ffs_metrics::TextTable;
-use ffs_trace::{AzureTraceConfig, WorkloadClass};
+use ffs_trace::WorkloadClass;
 use fluidfaas::FfsConfig;
 
-use crate::runner::{run_system, SystemKind};
+use crate::parallel::run_matrix;
+use crate::runner::{run_system, shared_workload_trace, SystemKind};
 
 /// Result of one ablation arm.
 #[derive(Clone, Debug)]
@@ -26,7 +27,7 @@ pub struct AblationRow {
 }
 
 fn run_arm(arm: &str, cfg: FfsConfig, duration_secs: f64, seed: u64) -> AblationRow {
-    let trace = AzureTraceConfig::for_workload(cfg.workload, duration_secs, seed).generate();
+    let trace = shared_workload_trace(cfg.workload, duration_secs, seed);
     let out = run_system(SystemKind::FluidFaaS, cfg, &trace);
     AblationRow {
         arm: arm.to_string(),
@@ -37,39 +38,42 @@ fn run_arm(arm: &str, cfg: FfsConfig, duration_secs: f64, seed: u64) -> Ablation
 }
 
 /// Runs the feature ablations on the heavy workload (where every mechanism
-/// matters most).
+/// matters most). The arms are independent and run in parallel; row order
+/// is the arm-definition order.
 pub fn run(duration_secs: f64, seed: u64) -> Vec<AblationRow> {
     let workload = WorkloadClass::Heavy;
-    let mut rows = Vec::new();
+    let mut arms: Vec<(String, FfsConfig)> = Vec::new();
 
-    rows.push(run_arm("full", FfsConfig::paper_default(workload), duration_secs, seed));
+    arms.push(("full".into(), FfsConfig::paper_default(workload)));
 
     let mut cfg = FfsConfig::paper_default(workload);
     cfg.enable_cv_ranking = false;
-    rows.push(run_arm("no-cv-ranking", cfg, duration_secs, seed));
+    arms.push(("no-cv-ranking".into(), cfg));
 
     let mut cfg = FfsConfig::paper_default(workload);
     cfg.enable_time_sharing = false;
-    rows.push(run_arm("no-time-sharing", cfg, duration_secs, seed));
+    arms.push(("no-time-sharing".into(), cfg));
 
     let mut cfg = FfsConfig::paper_default(workload);
     cfg.enable_migration = false;
-    rows.push(run_arm("no-migration", cfg, duration_secs, seed));
+    arms.push(("no-migration".into(), cfg));
 
     // Model-based (Erlang-C) autoscaling instead of reactive.
     let mut cfg = FfsConfig::paper_default(workload);
     cfg.scaling_policy = fluidfaas::ScalingPolicy::ErlangC { target_wait_frac: 0.25 };
-    rows.push(run_arm("erlang-c-scaling", cfg, duration_secs, seed));
+    arms.push(("erlang-c-scaling".into(), cfg));
 
     // Transfer-cost sensitivity: inflate the boundary cost.
     for mult in [2.0_f64, 4.0] {
         let mut cfg = FfsConfig::paper_default(workload);
         cfg.perf.boundary_base_ms *= mult;
         cfg.perf.shm_gbps /= mult;
-        rows.push(run_arm(&format!("transfer-x{mult:.0}"), cfg, duration_secs, seed));
+        arms.push((format!("transfer-x{mult:.0}"), cfg));
     }
 
-    rows
+    run_matrix(&arms, |(arm, cfg)| {
+        run_arm(arm, cfg.clone(), duration_secs, seed)
+    })
 }
 
 /// Renders the ablation table.

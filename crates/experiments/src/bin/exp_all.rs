@@ -1,10 +1,20 @@
 //! Runs every experiment in sequence (the full paper reproduction).
+//!
+//! Each experiment fans its (system × workload × seed) cross-product out
+//! over the [`ffs_experiments::parallel`] worker pool (`FFS_EXP_THREADS`
+//! workers); outputs are bit-identical regardless of thread count. The
+//! harness timing summary is written to `BENCH_harness.json`.
+use std::path::Path;
+use std::time::Instant;
+
+use ffs_experiments::parallel;
 use ffs_experiments::runner::{experiment_secs, experiment_seed};
 use ffs_trace::WorkloadClass;
 fn main() {
     let secs = experiment_secs();
     let seed = experiment_seed();
-    println!("FluidFaaS reproduction — full experiment sweep ({secs}s traces, seed {seed})\n");
+    let started = Instant::now();
+    println!("FluidFaaS reproduction — full experiment sweep ({secs}s traces, seed {seed}, {} threads)\n", parallel::threads());
     println!("== Table 2 ==\n{}", ffs_experiments::table2::render());
     println!("== Table 5 ==\n{}", ffs_experiments::table5::render());
     println!("== Figure 3 ==\n{}", ffs_experiments::fig3::render(&ffs_experiments::fig3::run(secs, seed)));
@@ -20,4 +30,14 @@ fn main() {
     println!("== Figure 16 ==\n{}", ffs_experiments::fig16::render(&ffs_experiments::fig16::run(secs, seed)));
     println!("== Table 6 ==\n{}", ffs_experiments::table6::render(&ffs_experiments::table6::run(secs, seed)));
     println!("== Ablations ==\n{}", ffs_experiments::ablation::render(&ffs_experiments::ablation::run(secs, seed)));
+
+    let report = parallel::bench_report(started.elapsed().as_secs_f64());
+    eprintln!(
+        "harness: {} runs in {:.1}s wall ({:.2} runs/s, {:.1}s simulated busy, {} threads)",
+        report.runs, report.total_secs, report.runs_per_sec, report.busy_secs, report.threads
+    );
+    match parallel::write_bench_json(Path::new("BENCH_harness.json"), &report) {
+        Ok(()) => eprintln!("harness: wrote BENCH_harness.json"),
+        Err(e) => eprintln!("harness: could not write BENCH_harness.json: {e}"),
+    }
 }

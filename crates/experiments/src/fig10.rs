@@ -9,7 +9,8 @@ use ffs_metrics::TextTable;
 use ffs_trace::WorkloadClass;
 use fluidfaas::FfsConfig;
 
-use crate::runner::{run_system, saturating_trace, SystemKind};
+use crate::parallel::run_matrix;
+use crate::runner::{run_system, shared_saturating_trace, SystemKind};
 
 /// One bar of Figure 10.
 #[derive(Clone, Debug)]
@@ -22,14 +23,22 @@ pub struct Fig10Row {
     pub throughput_rps: f64,
 }
 
-/// Runs the saturation-throughput measurement.
+/// Runs the saturation-throughput measurement (in parallel; one shared
+/// trace per workload).
 pub fn run(duration_secs: f64, seed: u64) -> Vec<Fig10Row> {
-    let mut rows = Vec::new();
-    for workload in WorkloadClass::ALL {
-        let trace = saturating_trace(workload, duration_secs, seed);
-        for system in SystemKind::ALL {
-            let cfg = FfsConfig::paper_default(workload);
-            let out = run_system(system, cfg, &trace);
+    let specs: Vec<(WorkloadClass, SystemKind)> = WorkloadClass::ALL
+        .into_iter()
+        .flat_map(|w| SystemKind::ALL.into_iter().map(move |s| (w, s)))
+        .collect();
+    let outs = run_matrix(&specs, |&(workload, system)| {
+        let trace = shared_saturating_trace(workload, duration_secs, seed);
+        let cfg = FfsConfig::paper_default(workload);
+        run_system(system, cfg, &trace)
+    });
+    specs
+        .iter()
+        .zip(&outs)
+        .map(|(&(workload, system), out)| {
             // Completions during the offered window only (the drain tail
             // would let an infinitely-backlogged system inflate its count).
             let completed_in_window = out
@@ -42,14 +51,13 @@ pub fn run(duration_secs: f64, seed: u64) -> Vec<Fig10Row> {
                         .unwrap_or(false)
                 })
                 .count();
-            rows.push(Fig10Row {
+            Fig10Row {
                 workload,
                 system,
                 throughput_rps: completed_in_window as f64 / duration_secs,
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 /// FluidFaaS's throughput gain over a baseline for a workload.

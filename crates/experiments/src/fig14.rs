@@ -8,6 +8,7 @@
 use ffs_metrics::{Breakdown, TextTable};
 use ffs_trace::WorkloadClass;
 
+use crate::parallel::run_matrix;
 use crate::runner::{run_workload, SystemKind};
 
 /// One bar pair of Figure 14.
@@ -23,32 +24,41 @@ pub struct Fig14Row {
     pub breakdown: Breakdown,
 }
 
-/// Runs ESG and FluidFaaS over all workloads and collects mean breakdowns.
+/// Runs ESG and FluidFaaS over all workloads and collects mean breakdowns
+/// (in parallel; row order matches the sequential loop).
 pub fn run(duration_secs: f64, seed: u64) -> Vec<Fig14Row> {
+    let specs: Vec<(WorkloadClass, SystemKind)> = WorkloadClass::ALL
+        .into_iter()
+        .flat_map(|w| {
+            [SystemKind::Esg, SystemKind::FluidFaaS]
+                .into_iter()
+                .map(move |s| (w, s))
+        })
+        .collect();
+    let outs = run_matrix(&specs, |&(workload, system)| {
+        run_workload(system, workload, duration_secs, seed)
+    });
     let mut rows = Vec::new();
-    for workload in WorkloadClass::ALL {
-        for system in [SystemKind::Esg, SystemKind::FluidFaaS] {
-            let out = run_workload(system, workload, duration_secs, seed);
-            for app in workload.apps() {
-                rows.push(Fig14Row {
-                    workload,
-                    app_index: app.index(),
-                    system,
-                    breakdown: out.log.mean_breakdown_for(app.index()),
-                });
-            }
+    for (&(workload, system), out) in specs.iter().zip(&outs) {
+        for app in workload.apps() {
+            rows.push(Fig14Row {
+                workload,
+                app_index: app.index(),
+                system,
+                breakdown: out.log.mean_breakdown_for(app.index()),
+            });
         }
     }
     rows
 }
 
 /// Finds a row.
-pub fn find<'a>(
-    rows: &'a [Fig14Row],
+pub fn find(
+    rows: &[Fig14Row],
     workload: WorkloadClass,
     system: SystemKind,
     app_index: usize,
-) -> Option<&'a Fig14Row> {
+) -> Option<&Fig14Row> {
     rows.iter()
         .find(|r| r.workload == workload && r.system == system && r.app_index == app_index)
 }

@@ -10,7 +10,8 @@ use ffs_mig::PartitionScheme;
 use ffs_trace::WorkloadClass;
 use fluidfaas::FfsConfig;
 
-use crate::runner::{run_system, saturating_trace, SystemKind};
+use crate::parallel::run_matrix;
+use crate::runner::{run_system, shared_saturating_trace, SystemKind};
 
 /// One bar of Figure 15.
 #[derive(Clone, Debug)]
@@ -32,15 +33,27 @@ pub fn schemes() -> Vec<(&'static str, PartitionScheme)> {
     ]
 }
 
-/// Runs the partition sensitivity study.
+/// Runs the partition sensitivity study (in parallel; one shared heavy
+/// saturating trace).
 pub fn run(duration_secs: f64, seed: u64) -> Vec<Fig15Row> {
-    let mut rows = Vec::new();
-    let trace = saturating_trace(WorkloadClass::Heavy, duration_secs, seed);
-    for (name, scheme) in schemes() {
-        for system in [SystemKind::Esg, SystemKind::FluidFaaS] {
-            let mut cfg = FfsConfig::paper_default(WorkloadClass::Heavy);
-            cfg.scheme = scheme.clone();
-            let out = run_system(system, cfg, &trace);
+    let specs: Vec<(&'static str, PartitionScheme, SystemKind)> = schemes()
+        .into_iter()
+        .flat_map(|(name, scheme)| {
+            [SystemKind::Esg, SystemKind::FluidFaaS]
+                .into_iter()
+                .map(move |s| (name, scheme.clone(), s))
+        })
+        .collect();
+    let outs = run_matrix(&specs, |(_, scheme, system)| {
+        let trace = shared_saturating_trace(WorkloadClass::Heavy, duration_secs, seed);
+        let mut cfg = FfsConfig::paper_default(WorkloadClass::Heavy);
+        cfg.scheme = scheme.clone();
+        run_system(*system, cfg, &trace)
+    });
+    specs
+        .iter()
+        .zip(&outs)
+        .map(|((name, _, system), out)| {
             let completed_in_window = out
                 .log
                 .records()
@@ -51,14 +64,13 @@ pub fn run(duration_secs: f64, seed: u64) -> Vec<Fig15Row> {
                         .unwrap_or(false)
                 })
                 .count();
-            rows.push(Fig15Row {
+            Fig15Row {
                 scheme: name,
-                system,
+                system: *system,
                 throughput_rps: completed_in_window as f64 / duration_secs,
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 /// FluidFaaS gain over ESG for one scheme.

@@ -9,7 +9,8 @@ use ffs_metrics::TextTable;
 use ffs_trace::WorkloadClass;
 use fluidfaas::FfsConfig;
 
-use crate::runner::{run_system, saturating_trace, run_workload, SystemKind};
+use crate::parallel::run_matrix;
+use crate::runner::{run_system, run_workload, shared_saturating_trace, SystemKind};
 
 /// A utilization curve for one (workload, system).
 #[derive(Clone, Debug)]
@@ -53,24 +54,37 @@ fn summarize(workload: WorkloadClass, system: SystemKind, busy: Vec<(f64, f64)>,
 /// with the saturating trace (Figure 16 (c) focuses on task bursts).
 pub fn run(duration_secs: f64, seed: u64) -> Vec<Fig16Curve> {
     let total_gpcs = (2 * 8 * 7) as f64;
-    let mut out = Vec::new();
+    // (workload, system, saturating?) — bursty light/medium first, then
+    // the heavy saturation pair, as in the sequential loop.
+    let mut specs: Vec<(WorkloadClass, SystemKind, bool)> = Vec::new();
     for workload in [WorkloadClass::Light, WorkloadClass::Medium] {
         for system in [SystemKind::Esg, SystemKind::FluidFaaS] {
-            let run = run_workload(system, workload, duration_secs, seed);
-            out.push(summarize(workload, system, run.busy_gpcs, total_gpcs, duration_secs));
+            specs.push((workload, system, false));
         }
     }
-    let trace = saturating_trace(WorkloadClass::Heavy, duration_secs, seed);
     for system in [SystemKind::Esg, SystemKind::FluidFaaS] {
-        let cfg = FfsConfig::paper_default(WorkloadClass::Heavy);
-        let run = run_system(system, cfg, &trace);
-        out.push(summarize(WorkloadClass::Heavy, system, run.busy_gpcs, total_gpcs, duration_secs));
+        specs.push((WorkloadClass::Heavy, system, true));
     }
-    out
+    let outs = run_matrix(&specs, |&(workload, system, saturating)| {
+        if saturating {
+            let trace = shared_saturating_trace(workload, duration_secs, seed);
+            let cfg = FfsConfig::paper_default(workload);
+            run_system(system, cfg, &trace)
+        } else {
+            run_workload(system, workload, duration_secs, seed)
+        }
+    });
+    specs
+        .iter()
+        .zip(outs)
+        .map(|(&(workload, system, _), run)| {
+            summarize(workload, system, run.busy_gpcs, total_gpcs, duration_secs)
+        })
+        .collect()
 }
 
 /// Looks up a curve.
-pub fn find<'a>(curves: &'a [Fig16Curve], workload: WorkloadClass, system: SystemKind) -> &'a Fig16Curve {
+pub fn find(curves: &[Fig16Curve], workload: WorkloadClass, system: SystemKind) -> &Fig16Curve {
     curves
         .iter()
         .find(|c| c.workload == workload && c.system == system)

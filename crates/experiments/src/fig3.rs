@@ -64,7 +64,7 @@ pub fn run(duration_secs: f64, seed: u64) -> Fig3 {
 pub fn render(fig: &Fig3) -> String {
     let mut t = TextTable::new(&["t (s)", "ESG allocated GPCs", "required GPCs", "overalloc"]);
     for (&(ts, a), &(_, r)) in fig.allocated.iter().zip(&fig.required) {
-        if (ts as u64) % 10 != 0 {
+        if !(ts as u64).is_multiple_of(10) {
             continue;
         }
         let ratio = if r > 1.0 { format!("{:.0}%", (a / r - 1.0) * 100.0) } else { "-".into() };

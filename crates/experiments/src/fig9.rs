@@ -4,6 +4,7 @@
 use ffs_metrics::TextTable;
 use ffs_trace::WorkloadClass;
 
+use crate::parallel::run_matrix;
 use crate::runner::{run_workload, SystemKind};
 
 /// One bar of Figure 9.
@@ -19,20 +20,25 @@ pub struct Fig9Row {
     pub slo_hit_rate: f64,
 }
 
-/// Runs all three systems over all three workloads.
+/// Runs all three systems over all three workloads (in parallel; row
+/// order matches the sequential workload-major, system-minor loop).
 pub fn run(duration_secs: f64, seed: u64) -> Vec<Fig9Row> {
+    let specs: Vec<(WorkloadClass, SystemKind)> = WorkloadClass::ALL
+        .into_iter()
+        .flat_map(|w| SystemKind::ALL.into_iter().map(move |s| (w, s)))
+        .collect();
+    let outs = run_matrix(&specs, |&(workload, system)| {
+        run_workload(system, workload, duration_secs, seed)
+    });
     let mut rows = Vec::new();
-    for workload in WorkloadClass::ALL {
-        for system in SystemKind::ALL {
-            let out = run_workload(system, workload, duration_secs, seed);
-            for app in workload.apps() {
-                rows.push(Fig9Row {
-                    workload,
-                    app_index: app.index(),
-                    system,
-                    slo_hit_rate: out.log.slo_hit_rate_for(app.index()),
-                });
-            }
+    for (&(workload, system), out) in specs.iter().zip(&outs) {
+        for app in workload.apps() {
+            rows.push(Fig9Row {
+                workload,
+                app_index: app.index(),
+                system,
+                slo_hit_rate: out.log.slo_hit_rate_for(app.index()),
+            });
         }
     }
     rows

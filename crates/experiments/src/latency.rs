@@ -4,6 +4,7 @@
 use ffs_metrics::{LatencyCdf, TextTable};
 use ffs_trace::WorkloadClass;
 
+use crate::parallel::run_matrix;
 use crate::runner::{run_workload, SystemKind};
 
 /// A latency distribution for one (workload, system, app) cell.
@@ -19,11 +20,15 @@ pub struct LatencyCell {
     pub cdf: LatencyCdf,
 }
 
-/// Runs one workload for all systems and collects per-app CDFs.
+/// Runs one workload for all systems (in parallel) and collects per-app
+/// CDFs in the sequential row order.
 pub fn run(workload: WorkloadClass, duration_secs: f64, seed: u64) -> Vec<LatencyCell> {
+    let specs: Vec<SystemKind> = SystemKind::ALL.to_vec();
+    let runs = run_matrix(&specs, |&system| {
+        run_workload(system, workload, duration_secs, seed)
+    });
     let mut out = Vec::new();
-    for system in SystemKind::ALL {
-        let run = run_workload(system, workload, duration_secs, seed);
+    for (&system, run) in specs.iter().zip(&runs) {
         for app in workload.apps() {
             out.push(LatencyCell {
                 workload,

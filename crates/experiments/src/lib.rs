@@ -29,6 +29,7 @@ pub mod fig3;
 pub mod fig5;
 pub mod fig9;
 pub mod latency;
+pub mod parallel;
 pub mod report;
 pub mod runner;
 pub mod sensitivity;
@@ -36,4 +37,5 @@ pub mod table2;
 pub mod table5;
 pub mod table6;
 
+pub use parallel::{run_matrix, run_matrix_with_threads};
 pub use runner::{run_workload, saturating_trace, SystemKind};

@@ -1,0 +1,167 @@
+//! Parallel experiment harness: fan a cross-product of run specs across a
+//! scoped-thread worker pool.
+//!
+//! Every experiment in this crate is a pure function of (config, seed), so
+//! the (system × workload × seed) cross-products behind each figure and
+//! table are embarrassingly parallel. [`run_matrix`] distributes specs to
+//! `FFS_EXP_THREADS` workers (default: available parallelism) with an
+//! atomic work index and returns results **in spec order**, so parallel
+//! output is byte-identical to a sequential loop.
+//!
+//! The harness also keeps global wall-clock counters per run; binaries use
+//! [`bench_report`]/[`write_bench_json`] to emit `BENCH_harness.json` and
+//! track the perf trajectory across PRs.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+static TOTAL_RUNS: AtomicU64 = AtomicU64::new(0);
+static BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Worker count: `FFS_EXP_THREADS` if set (minimum 1), else the machine's
+/// available parallelism.
+pub fn threads() -> usize {
+    std::env::var("FFS_EXP_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Runs `f` over every spec on [`threads()`] workers; results come back in
+/// spec order regardless of completion order.
+pub fn run_matrix<S, R, F>(specs: &[S], f: F) -> Vec<R>
+where
+    S: Sync,
+    R: Send,
+    F: Fn(&S) -> R + Sync,
+{
+    run_matrix_with_threads(specs, threads(), f)
+}
+
+/// [`run_matrix`] with an explicit worker count (the determinism tests
+/// compare worker counts directly, without touching the environment).
+pub fn run_matrix_with_threads<S, R, F>(specs: &[S], workers: usize, f: F) -> Vec<R>
+where
+    S: Sync,
+    R: Send,
+    F: Fn(&S) -> R + Sync,
+{
+    let timed = |spec: &S| {
+        let start = Instant::now();
+        let result = f(spec);
+        BUSY_NANOS.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        TOTAL_RUNS.fetch_add(1, Ordering::Relaxed);
+        result
+    };
+    let workers = workers.clamp(1, specs.len().max(1));
+    if workers == 1 {
+        return specs.iter().map(timed).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(specs.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= specs.len() {
+                            break;
+                        }
+                        produced.push((i, timed(&specs[i])));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for h in handles {
+            indexed.extend(h.join().expect("experiment worker panicked"));
+        }
+    });
+    indexed.sort_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Total runs submitted through the harness so far (process-wide).
+pub fn harness_runs() -> u64 {
+    TOTAL_RUNS.load(Ordering::Relaxed)
+}
+
+/// Total per-run busy time (seconds, summed across workers) so far.
+pub fn harness_busy_secs() -> f64 {
+    BUSY_NANOS.load(Ordering::Relaxed) as f64 / 1e9
+}
+
+/// The numbers `BENCH_harness.json` records.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// End-to-end wall-clock of the measured section (seconds).
+    pub total_secs: f64,
+    /// Simulation runs executed through the harness.
+    pub runs: u64,
+    /// Runs per wall-clock second.
+    pub runs_per_sec: f64,
+    /// Per-run busy time summed over workers (seconds); busy/total > 1
+    /// means parallelism paid off.
+    pub busy_secs: f64,
+    /// Worker count the harness used.
+    pub threads: usize,
+}
+
+/// Builds a report for a section that took `total_secs` of wall clock.
+pub fn bench_report(total_secs: f64) -> BenchReport {
+    let runs = harness_runs();
+    BenchReport {
+        total_secs,
+        runs,
+        runs_per_sec: if total_secs > 0.0 { runs as f64 / total_secs } else { 0.0 },
+        busy_secs: harness_busy_secs(),
+        threads: threads(),
+    }
+}
+
+/// Writes the report as JSON.
+pub fn write_bench_json(path: &Path, report: &BenchReport) -> std::io::Result<()> {
+    let json = format!(
+        "{{\n  \"total_secs\": {:.3},\n  \"runs\": {},\n  \"runs_per_sec\": {:.3},\n  \"busy_secs\": {:.3},\n  \"threads\": {}\n}}\n",
+        report.total_secs, report.runs, report.runs_per_sec, report.busy_secs, report.threads
+    );
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_spec_order() {
+        let specs: Vec<usize> = (0..64).collect();
+        for workers in [1, 2, 7] {
+            let out = run_matrix_with_threads(&specs, workers, |&i| i * 3);
+            assert_eq!(out, specs.iter().map(|&i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_oversubscribed_matrices_work() {
+        let none: Vec<u32> = Vec::new();
+        assert!(run_matrix_with_threads(&none, 8, |&x| x).is_empty());
+        let one = [41u32];
+        assert_eq!(run_matrix_with_threads(&one, 8, |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn harness_counts_runs() {
+        let before = harness_runs();
+        let specs: Vec<u32> = (0..10).collect();
+        let _ = run_matrix_with_threads(&specs, 2, |&x| x);
+        assert!(harness_runs() >= before + 10);
+    }
+}

@@ -1,9 +1,53 @@
 //! Shared experiment plumbing: pick a system, run a trace, collect output.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 use ffs_baselines::{BaselineKind, MonolithicSystem};
 use ffs_trace::{AzureTraceConfig, Trace, WorkloadClass};
 use fluidfaas::platform::runner::{run_platform, RunOutput};
 use fluidfaas::{FfsConfig, FluidFaaSSystem};
+
+/// Key of one generated trace: workload, duration bits, seed, and whether
+/// it is the saturating (steady) variant.
+type TraceKey = (WorkloadClass, u64, u64, bool);
+
+fn trace_cache() -> &'static Mutex<HashMap<TraceKey, Arc<Trace>>> {
+    static CACHE: OnceLock<Mutex<HashMap<TraceKey, Arc<Trace>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The bursty Azure-style trace for `(workload, duration, seed)`,
+/// generated once and shared (the three systems — and every parallel
+/// worker — replay the identical trace, as the paper's comparisons
+/// require).
+pub fn shared_workload_trace(
+    workload: WorkloadClass,
+    duration_secs: f64,
+    seed: u64,
+) -> Arc<Trace> {
+    let key = (workload, duration_secs.to_bits(), seed, false);
+    let mut cache = trace_cache().lock().expect("trace cache");
+    Arc::clone(cache.entry(key).or_insert_with(|| {
+        Arc::new(AzureTraceConfig::for_workload(workload, duration_secs, seed).generate())
+    }))
+}
+
+/// The saturating trace for `(workload, duration, seed)`, generated once
+/// and shared like [`shared_workload_trace`].
+pub fn shared_saturating_trace(
+    workload: WorkloadClass,
+    duration_secs: f64,
+    seed: u64,
+) -> Arc<Trace> {
+    let key = (workload, duration_secs.to_bits(), seed, true);
+    let mut cache = trace_cache().lock().expect("trace cache");
+    Arc::clone(
+        cache
+            .entry(key)
+            .or_insert_with(|| Arc::new(generate_saturating(workload, duration_secs, seed))),
+    )
+}
 
 /// The three systems the paper evaluates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,7 +102,7 @@ pub fn run_workload(
     seed: u64,
 ) -> RunOutput {
     let cfg = FfsConfig::paper_default(workload);
-    let trace = AzureTraceConfig::for_workload(workload, duration_secs, seed).generate();
+    let trace = shared_workload_trace(workload, duration_secs, seed);
     run_system(kind, cfg, &trace)
 }
 
@@ -68,6 +112,10 @@ pub fn run_workload(
 /// figures (10 and 15) compare, where FluidFaaS's extra usable GPCs turn
 /// directly into completions.
 pub fn saturating_trace(workload: WorkloadClass, duration_secs: f64, seed: u64) -> Trace {
+    generate_saturating(workload, duration_secs, seed)
+}
+
+fn generate_saturating(workload: WorkloadClass, duration_secs: f64, seed: u64) -> Trace {
     // 60 req/s per app saturates all systems for every workload class on
     // the 16-GPU fleet (the richest capacity is < 120 req/s total).
     AzureTraceConfig::steady(workload.apps(), duration_secs, 60.0, seed).generate()

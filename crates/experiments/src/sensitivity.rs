@@ -7,10 +7,11 @@
 
 use ffs_metrics::TextTable;
 use ffs_sim::OnlineStats;
-use ffs_trace::{AzureTraceConfig, WorkloadClass};
+use ffs_trace::WorkloadClass;
 use fluidfaas::FfsConfig;
 
-use crate::runner::{run_system, run_workload, SystemKind};
+use crate::parallel::run_matrix;
+use crate::runner::{run_system, run_workload, shared_workload_trace, SystemKind};
 
 /// One row of the SLO-scale sweep.
 #[derive(Clone, Debug)]
@@ -23,24 +24,32 @@ pub struct SloScaleRow {
     pub slo_hit_rate: f64,
 }
 
-/// Sweeps the SLO scale on the medium workload for ESG and FluidFaaS.
+/// Sweeps the SLO scale on the medium workload for ESG and FluidFaaS (in
+/// parallel; one shared medium trace for the whole sweep).
 pub fn slo_scale_sweep(duration_secs: f64, seed: u64) -> Vec<SloScaleRow> {
-    let mut rows = Vec::new();
-    for &scale in &[1.2, 1.5, 2.0, 3.0] {
-        let trace = AzureTraceConfig::for_workload(WorkloadClass::Medium, duration_secs, seed)
-            .generate();
-        for system in [SystemKind::Esg, SystemKind::FluidFaaS] {
-            let mut cfg = FfsConfig::paper_default(WorkloadClass::Medium);
-            cfg.slo_scale = scale;
-            let out = run_system(system, cfg, &trace);
-            rows.push(SloScaleRow {
-                slo_scale: scale,
-                system,
-                slo_hit_rate: out.log.slo_hit_rate(),
-            });
-        }
-    }
-    rows
+    let specs: Vec<(f64, SystemKind)> = [1.2, 1.5, 2.0, 3.0]
+        .into_iter()
+        .flat_map(|scale| {
+            [SystemKind::Esg, SystemKind::FluidFaaS]
+                .into_iter()
+                .map(move |s| (scale, s))
+        })
+        .collect();
+    let rates = run_matrix(&specs, |&(scale, system)| {
+        let trace = shared_workload_trace(WorkloadClass::Medium, duration_secs, seed);
+        let mut cfg = FfsConfig::paper_default(WorkloadClass::Medium);
+        cfg.slo_scale = scale;
+        run_system(system, cfg, &trace).log.slo_hit_rate()
+    });
+    specs
+        .iter()
+        .zip(rates)
+        .map(|(&(slo_scale, system), slo_hit_rate)| SloScaleRow {
+            slo_scale,
+            system,
+            slo_hit_rate,
+        })
+        .collect()
 }
 
 /// Renders the SLO sweep.
@@ -77,24 +86,37 @@ pub struct SeedStats {
     pub seeds: usize,
 }
 
-/// Runs `seeds` independent traces per workload and system.
+/// Runs `seeds` independent traces per workload and system (the full
+/// workload × system × seed cross-product in parallel; stats accumulate
+/// in seed order, as sequentially).
 pub fn seed_sweep(duration_secs: f64, seeds: &[u64]) -> Vec<SeedStats> {
+    let specs: Vec<(WorkloadClass, SystemKind, u64)> = WorkloadClass::ALL
+        .into_iter()
+        .flat_map(|w| {
+            [SystemKind::Esg, SystemKind::FluidFaaS]
+                .into_iter()
+                .flat_map(move |s| seeds.iter().map(move |&seed| (w, s, seed)))
+        })
+        .collect();
+    let rates = run_matrix(&specs, |&(workload, system, seed)| {
+        run_workload(system, workload, duration_secs, seed)
+            .log
+            .slo_hit_rate()
+    });
     let mut out = Vec::new();
-    for workload in WorkloadClass::ALL {
-        for system in [SystemKind::Esg, SystemKind::FluidFaaS] {
-            let mut stats = OnlineStats::new();
-            for &seed in seeds {
-                let run = run_workload(system, workload, duration_secs, seed);
-                stats.push(run.log.slo_hit_rate());
-            }
-            out.push(SeedStats {
-                workload,
-                system,
-                hit_mean: stats.mean(),
-                hit_std: stats.std_dev(),
-                seeds: seeds.len(),
-            });
+    for group in specs.iter().zip(rates).collect::<Vec<_>>().chunks(seeds.len().max(1)) {
+        let &(workload, system, _) = group[0].0;
+        let mut stats = OnlineStats::new();
+        for (_, rate) in group {
+            stats.push(*rate);
         }
+        out.push(SeedStats {
+            workload,
+            system,
+            hit_mean: stats.mean(),
+            hit_std: stats.std_dev(),
+            seeds: seeds.len(),
+        });
     }
     out
 }

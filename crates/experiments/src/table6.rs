@@ -4,6 +4,7 @@
 use ffs_metrics::TextTable;
 use ffs_trace::WorkloadClass;
 
+use crate::parallel::run_matrix;
 use crate::runner::{run_workload, SystemKind};
 
 /// Costs of one system under one workload.
@@ -23,28 +24,33 @@ pub struct Table6Cell {
     pub completed: usize,
 }
 
-/// Runs all systems over all workloads and collects the cost totals.
+/// Runs all systems over all workloads and collects the cost totals (in
+/// parallel; cell order matches the sequential loop).
 pub fn run(duration_secs: f64, seed: u64) -> Vec<Table6Cell> {
-    let mut cells = Vec::new();
-    for workload in WorkloadClass::ALL {
-        for system in SystemKind::ALL {
-            let out = run_workload(system, workload, duration_secs, seed);
-            cells.push(Table6Cell {
-                workload,
-                system,
-                gpu_time_secs: out.cost.total_gpu_time_secs(),
-                mig_time_secs: out.cost.total_mig_time_secs(),
-                mig_gpc_secs: out.cost.total_mig_gpc_secs(),
-                completed: out
-                    .log
-                    .records()
-                    .iter()
-                    .filter(|r| r.completed.is_some())
-                    .count(),
-            });
-        }
-    }
-    cells
+    let specs: Vec<(WorkloadClass, SystemKind)> = WorkloadClass::ALL
+        .into_iter()
+        .flat_map(|w| SystemKind::ALL.into_iter().map(move |s| (w, s)))
+        .collect();
+    let outs = run_matrix(&specs, |&(workload, system)| {
+        run_workload(system, workload, duration_secs, seed)
+    });
+    specs
+        .iter()
+        .zip(&outs)
+        .map(|(&(workload, system), out)| Table6Cell {
+            workload,
+            system,
+            gpu_time_secs: out.cost.total_gpu_time_secs(),
+            mig_time_secs: out.cost.total_mig_time_secs(),
+            mig_gpc_secs: out.cost.total_mig_gpc_secs(),
+            completed: out
+                .log
+                .records()
+                .iter()
+                .filter(|r| r.completed.is_some())
+                .count(),
+        })
+        .collect()
 }
 
 /// A metric for a (workload, system), normalized to FluidFaaS.

@@ -1,0 +1,63 @@
+//! Regression tests for the parallel harness's determinism guarantee:
+//! `run_matrix` output must be byte-identical to a sequential loop at any
+//! worker count, and repeated same-seed runs must agree exactly.
+
+use ffs_experiments::parallel::run_matrix_with_threads;
+use ffs_experiments::runner::{run_workload, SystemKind};
+use ffs_trace::WorkloadClass;
+
+const SECS: f64 = 30.0;
+const SEED: u64 = 7;
+
+fn specs() -> Vec<(WorkloadClass, SystemKind)> {
+    // A small fig9-style cross-product: two workloads x all three systems.
+    [WorkloadClass::Light, WorkloadClass::Medium]
+        .into_iter()
+        .flat_map(|w| SystemKind::ALL.into_iter().map(move |s| (w, s)))
+        .collect()
+}
+
+/// Renders every run to an exact byte string: float metrics go in as raw
+/// bit patterns so even sub-ulp divergence fails the comparison.
+fn render_matrix(workers: usize) -> String {
+    let specs = specs();
+    let outs = run_matrix_with_threads(&specs, workers, |&(workload, system)| {
+        run_workload(system, workload, SECS, SEED)
+    });
+    let mut s = String::new();
+    for (&(workload, system), out) in specs.iter().zip(&outs) {
+        let completed = out
+            .log
+            .records()
+            .iter()
+            .filter(|r| r.completed.is_some())
+            .count();
+        s.push_str(&format!(
+            "{} {} n={} hit={:016x} thr={:016x} gpu={:016x}\n",
+            workload.name(),
+            system.name(),
+            completed,
+            out.log.slo_hit_rate().to_bits(),
+            out.throughput_rps().to_bits(),
+            out.cost.total_gpu_time_secs().to_bits(),
+        ));
+    }
+    s
+}
+
+#[test]
+fn parallel_output_is_byte_identical_to_sequential() {
+    let sequential = render_matrix(1);
+    for workers in [2, 4] {
+        let parallel = render_matrix(workers);
+        assert_eq!(
+            sequential, parallel,
+            "run_matrix with {workers} workers diverged from sequential"
+        );
+    }
+}
+
+#[test]
+fn repeated_same_seed_runs_agree() {
+    assert_eq!(render_matrix(4), render_matrix(4));
+}

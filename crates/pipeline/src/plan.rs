@@ -130,13 +130,13 @@ pub fn plan_deployment_unranked(
             }
         })
         .collect();
-    plan_from_list(profile, free, list)
+    plan_from_list(profile, free, &list)
 }
 
 fn plan_from_list(
     profile: &FunctionProfile,
     free: &[FreeSlice],
-    list: Vec<ffs_dag::RankedPartition>,
+    list: &[ffs_dag::RankedPartition],
 ) -> Option<DeploymentPlan> {
     for ranked in list {
         let partition = &ranked.partition;

@@ -61,7 +61,7 @@ pub fn fit_amdahl(points: &[MeasuredPoint]) -> Option<Fit> {
             sq += e * e;
         }
         let rmse = (sq / points.len() as f64).sqrt();
-        if best.map_or(true, |b| rmse < b.rmse_ms) {
+        if best.is_none_or(|b| rmse < b.rmse_ms) {
             best = Some(Fit {
                 work_ms: work,
                 serial_fraction: s,

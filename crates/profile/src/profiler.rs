@@ -35,6 +35,10 @@ pub struct FunctionProfile {
     pub min_gpcs_mono: u32,
     /// The performance model the profile was generated with.
     pub perf: PerfModel,
+    /// CV-ranked pipeline partitions, precomputed at registration so the
+    /// launch path borrows instead of re-ranking (private: the cache must
+    /// stay consistent with `blocks`/`exec_ms`).
+    ranked: Vec<RankedPartition>,
 }
 
 impl FunctionProfile {
@@ -53,7 +57,7 @@ impl FunctionProfile {
                 row
             })
             .collect();
-        FunctionProfile {
+        let mut profile = FunctionProfile {
             name: dag.name().to_string(),
             app,
             variant,
@@ -62,7 +66,14 @@ impl FunctionProfile {
             exec_ms,
             min_gpcs_mono: app.min_gpcs_mono(variant),
             perf: perf.clone(),
-        }
+            ranked: Vec::new(),
+        };
+        profile.ranked = rank_partitions(
+            &profile.blocks,
+            |n| profile.node_exec_ms(n, SliceProfile::G1_10),
+            usize::MAX,
+        );
+        profile
     }
 
     /// All 12 paper app-variants profiled with the default model.
@@ -143,12 +154,11 @@ impl FunctionProfile {
 
     /// All pipeline partitions ranked by CV (Equation 1), using the 1-GPC
     /// execution times as the balance metric (the offline step of §5.2.2).
-    pub fn ranked_partitions(&self) -> Vec<RankedPartition> {
-        rank_partitions(
-            &self.blocks,
-            |n| self.node_exec_ms(n, SliceProfile::G1_10),
-            usize::MAX,
-        )
+    ///
+    /// Computed once in [`FunctionProfile::build`] and borrowed here, so
+    /// the launch path never re-ranks.
+    pub fn ranked_partitions(&self) -> &[RankedPartition] {
+        &self.ranked
     }
 
     /// Smallest slice a *monolithic* (baseline) deployment fits on: memory

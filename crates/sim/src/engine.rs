@@ -63,10 +63,17 @@ impl<E> Default for Scheduler<E> {
 impl<E> Scheduler<E> {
     /// Creates an empty scheduler at time zero.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty scheduler with pre-allocated heap space for `cap`
+    /// pending events. Callers that know the event volume up front (e.g. a
+    /// run over a generated trace) avoid the heap's growth reallocations.
+    pub fn with_capacity(cap: usize) -> Self {
         Scheduler {
             now: SimTime::ZERO,
             seq: 0,
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(cap),
             executed: 0,
         }
     }
@@ -88,6 +95,7 @@ impl<E> Scheduler<E> {
     }
 
     /// Schedules `ev` at absolute time `at`.
+    #[inline]
     pub fn at(&mut self, at: SimTime, ev: E) {
         debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
         let at = at.max(self.now);
@@ -97,6 +105,7 @@ impl<E> Scheduler<E> {
     }
 
     /// Schedules `ev` a relative duration after the current time.
+    #[inline]
     pub fn after(&mut self, d: crate::time::SimDuration, ev: E) {
         let at = self.now.saturating_add(d);
         self.at(at, ev);
@@ -108,6 +117,7 @@ impl<E> Scheduler<E> {
         self.at(self.now, ev);
     }
 
+    #[inline]
     fn pop(&mut self) -> Option<(SimTime, E)> {
         self.heap.pop().map(|s| (s.at, s.ev))
     }

@@ -116,7 +116,7 @@ mod tests {
         assert!(erlang_c(c - 1, 8.0) > 0.2, "c={c} not minimal");
         let c = servers_for_mean_wait(lambda, mu, 0.05);
         assert!(mmc_mean_wait(lambda, mu, c).unwrap() <= 0.05);
-        assert!(mmc_mean_wait(lambda, mu, c - 1).map_or(true, |w| w > 0.05));
+        assert!(mmc_mean_wait(lambda, mu, c - 1).is_none_or(|w| w > 0.05));
     }
 
     #[test]

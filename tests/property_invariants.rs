@@ -54,10 +54,10 @@ proptest! {
     fn chain_partitions_complete(n in 1usize..8, works in proptest::collection::vec(1.0f64..100.0, 8)) {
         let mut dag = FfsDag::new("chain");
         let mut prev: Option<NodeId> = None;
-        for i in 0..n {
+        for (i, &work) in works.iter().enumerate().take(n) {
             let inputs: Vec<NodeId> = prev.into_iter().collect();
             prev = Some(dag.register(
-                Component::new(format!("c{i}"), 1.0, works[i], 1.0),
+                Component::new(format!("c{i}"), 1.0, work, 1.0),
                 &inputs,
             ).unwrap());
         }

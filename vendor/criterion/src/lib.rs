@@ -1,0 +1,135 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the API used by `ffs-bench` — `Criterion`,
+//! `bench_function`, `benchmark_group`/`sample_size`/`finish`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! wall-clock-mean measurement loop instead of criterion's statistical
+//! machinery. Benchmarks stay runnable (`cargo bench`) and report a mean
+//! time per iteration, which is enough to track the perf trajectory offline.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for code that imports `black_box` from criterion.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, accumulating elapsed wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up iteration outside the timed region.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.total = start.elapsed();
+        self.iters = self.samples as u64;
+    }
+}
+
+fn run_one(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    let mean_ns = if b.iters == 0 {
+        0.0
+    } else {
+        b.total.as_nanos() as f64 / b.iters as f64
+    };
+    let (value, unit) = if mean_ns >= 1e9 {
+        (mean_ns / 1e9, "s")
+    } else if mean_ns >= 1e6 {
+        (mean_ns / 1e6, "ms")
+    } else if mean_ns >= 1e3 {
+        (mean_ns / 1e3, "us")
+    } else {
+        (mean_ns, "ns")
+    };
+    println!("bench {name:<40} {value:>10.3} {unit}/iter ({} iters)", b.iters);
+}
+
+impl Criterion {
+    /// Benchmarks `f` under `id` (`&str` or `String`, as in criterion).
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(id.as_ref(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,86 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel` module surface used by `ffs-pipeline`'s executor is
+//! provided: `bounded`, `Sender`, `Receiver`, and the matching error types,
+//! backed by `std::sync::mpsc::sync_channel`. The std channel is MPSC
+//! rather than MPMC, which is sufficient for the executor's
+//! one-receiver-per-stage topology.
+
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex, PoisonError};
+
+    /// Sending half of a bounded channel.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    ///
+    /// Cloneable like crossbeam's MPMC receiver; clones share one
+    /// underlying std receiver behind a mutex, so concurrent `recv` calls
+    /// serialize rather than run lock-free. The pipeline executor only ever
+    /// keeps one active consumer per channel, which this covers.
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    /// Error returned when sending on a disconnected channel.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned when receiving from an empty, disconnected channel.
+    #[derive(Debug)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    /// Creates a bounded channel of capacity `cap`.
+    ///
+    /// A capacity of zero creates a rendezvous channel, matching crossbeam's
+    /// semantics.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is enqueued or every receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let rx = self.0.lock().unwrap_or_else(PoisonError::into_inner);
+            rx.recv().map_err(|_| RecvError)
+        }
+
+        /// Returns a message if one is ready, without blocking.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            let rx = self.0.lock().unwrap_or_else(PoisonError::into_inner);
+            rx.try_recv()
+        }
+    }
+}

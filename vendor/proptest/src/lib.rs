@@ -1,0 +1,388 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API that the workspace's property
+//! tests use — the `proptest!` macro, `Strategy` ranges / tuples / `Just` /
+//! `any` / `prop_oneof!` / `collection::vec`, and the `prop_assert*`
+//! macros — on top of a small deterministic generator. Unlike the real
+//! proptest there is no shrinking and no failure persistence: each test
+//! runs a fixed number of cases (default 64, override with
+//! `PROPTEST_CASES`) from a seed derived from the test name, so failures
+//! reproduce exactly across runs.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A generator of values for one property-test argument.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! unsigned_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+    unsigned_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! unsigned_range_inclusive_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    // Span fits in u64 for every type below u64's full range;
+                    // a saturating add keeps 0..=u64::MAX from overflowing
+                    // (it merely never yields u64::MAX itself).
+                    let span = ((*self.end() - *self.start()) as u64).saturating_add(1);
+                    self.start() + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+    unsigned_range_inclusive_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! signed_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    /// Values producible uniformly at random, for [`any`].
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy producing any value of `T`; see [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The strategy of all values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    /// Strategy producing exactly one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident.$idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+
+    /// Uniform choice among boxed strategies; built by `prop_oneof!`.
+    pub struct Union<V> {
+        options: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].generate(rng)
+        }
+    }
+
+    /// Boxes a strategy, erasing its concrete type (helper for `prop_oneof!`).
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec`]: a fixed size or a half-open range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_excl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max_excl: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { min: r.start, max_excl: r.end }
+        }
+    }
+
+    /// Strategy producing vectors of `elem`-generated values.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_excl - self.size.min) as u64;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Deterministic SplitMix64 generator seeded from the test name, so a
+    /// failing case reproduces on every run without persisted regressions.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the test name gives a stable per-test seed.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; returns 0 when `n` is 0.
+        pub fn below(&mut self, n: u64) -> u64 {
+            if n == 0 {
+                0
+            } else {
+                self.next_u64() % n
+            }
+        }
+
+        /// Uniform value in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Runs `f` for the configured number of cases, panicking with the case
+    /// index on the first property failure.
+    pub fn run<F>(name: &str, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), String>,
+    {
+        let cases: u32 = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        let mut rng = TestRng::from_name(name);
+        for case in 0..cases {
+            if let Err(msg) = f(&mut rng) {
+                panic!("property '{name}' failed on case {case}/{cases}: {msg}");
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__ffs_proptest_rng: &mut $crate::test_runner::TestRng| {
+                        $(
+                            let $arg = $crate::strategy::Strategy::generate(
+                                &($strat),
+                                __ffs_proptest_rng,
+                            );
+                        )+
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond), file!(), line!(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond), format!($($fmt)+), file!(), line!(),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r,
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), format!($($fmt)+), l, r,
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left), stringify!($right), l,
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "assertion failed: `{} != {}` ({})\n  both: {:?}",
+                stringify!($left), stringify!($right), format!($($fmt)+), l,
+            ));
+        }
+    }};
+}

@@ -1,0 +1,27 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! `ffs-sim` brings its own deterministic xoshiro256++ generator and only
+//! implements `rand::RngCore` for interoperability, so this stub carries
+//! just that trait and its error type.
+
+use std::fmt;
+
+/// Error type returned by fallible RNG operations.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core of a random number generator, as in `rand` 0.8.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}

@@ -1,0 +1,6 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! The workspace declares this dependency for future distribution sampling
+//! but currently derives every distribution (Poisson arrivals, Gamma
+//! burstiness) from `ffs-sim`'s own `SimRng` via inverse-transform helpers,
+//! so no items are needed here yet.

@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! `Serialize` and `Deserialize` are reduced to marker traits with blanket
+//! implementations so that existing `#[derive(Serialize, Deserialize)]`
+//! annotations and `T: Serialize` bounds keep compiling without network
+//! access to crates.io. No actual serialization is provided; code that needs
+//! a wire format writes it by hand (see `ffs-experiments`' JSON emitters).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}

@@ -1,0 +1,23 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! The repository emits its few JSON artifacts (benchmark reports) by
+//! hand-formatting, so this stub only carries the one helper that
+//! hand-formatting needs: JSON string escaping.
+
+/// Escapes `s` for inclusion inside a JSON string literal (without the
+/// surrounding quotes).
+pub fn escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
