@@ -45,6 +45,19 @@ pub enum Transition {
     IdleTimeout,
 }
 
+impl Transition {
+    /// The trace-facing mirror of this transition.
+    pub fn obs(self) -> ffs_obs::KaCause {
+        match self {
+            Transition::RequestArrived => ffs_obs::KaCause::RequestArrived,
+            Transition::UtilizationHigh => ffs_obs::KaCause::UtilizationHigh,
+            Transition::UtilizationLow => ffs_obs::KaCause::UtilizationLow,
+            Transition::Evicted => ffs_obs::KaCause::Evicted,
+            Transition::IdleTimeout => ffs_obs::KaCause::IdleTimeout,
+        }
+    }
+}
+
 impl KeepAliveState {
     /// Applies a transition, returning the next state. Transitions not
     /// drawn in Figure 8 leave the state unchanged.
@@ -60,6 +73,32 @@ impl KeepAliveState {
             (Warm, IdleTimeout) => Cold,              // ⑤
             (TimeSharing, IdleTimeout) => Cold,       // ⑤ (idle on-slice data)
             (s, _) => s,
+        }
+    }
+
+    /// Applies a transition like [`KeepAliveState::next`], additionally
+    /// recording a `keepalive_transition` trace event for `func` whenever
+    /// the state actually changes (undrawn transitions stay silent).
+    pub fn next_traced(self, t: Transition, func: u32) -> KeepAliveState {
+        let next = self.next(t);
+        if next != self {
+            ffs_obs::record(|| ffs_obs::ObsEvent::KeepAliveTransition {
+                func,
+                from: self.obs(),
+                to: next.obs(),
+                cause: t.obs(),
+            });
+        }
+        next
+    }
+
+    /// The trace-facing mirror of this state.
+    pub fn obs(self) -> ffs_obs::KaState {
+        match self {
+            KeepAliveState::Cold => ffs_obs::KaState::Cold,
+            KeepAliveState::TimeSharing => ffs_obs::KaState::TimeSharing,
+            KeepAliveState::ExclusiveHot => ffs_obs::KaState::ExclusiveHot,
+            KeepAliveState::Warm => ffs_obs::KaState::Warm,
         }
     }
 

@@ -15,6 +15,7 @@
 //! and the cached plan's slice ids are still free.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use ffs_mig::fleet::FreeSlice;
 use ffs_mig::{NodeId, SliceProfile};
@@ -39,6 +40,27 @@ pub fn slice_signature(free: &[FreeSlice]) -> u64 {
         .iter()
         .enumerate()
         .fold(0u64, |sig, (i, &c)| sig | (c << (12 * i)))
+}
+
+/// Process-wide accumulation of plan-cache hits across every run that
+/// called [`note_run_stats`] (each `FluidFaaSSystem` owns its own cache;
+/// the harness surfaces the fleet-wide totals in its end-of-run summary).
+static PROCESS_HITS: AtomicU64 = AtomicU64::new(0);
+/// Process-wide accumulation of plan-cache misses; see [`PROCESS_HITS`].
+static PROCESS_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Folds one run's cache counters into the process-wide totals.
+pub fn note_run_stats(hits: u64, misses: u64) {
+    PROCESS_HITS.fetch_add(hits, Ordering::Relaxed);
+    PROCESS_MISSES.fetch_add(misses, Ordering::Relaxed);
+}
+
+/// The accumulated `(hits, misses)` across all runs in this process.
+pub fn process_stats() -> (u64, u64) {
+    (
+        PROCESS_HITS.load(Ordering::Relaxed),
+        PROCESS_MISSES.load(Ordering::Relaxed),
+    )
 }
 
 type PlanKey = (FuncId, NodeId, bool, u64);
@@ -97,9 +119,19 @@ impl PlanCache {
         let key = (f, node, ranked, slice_signature(free));
         if let Some(cached) = self.map.get(&key) {
             self.hits += 1;
+            ffs_obs::record(|| ffs_obs::ObsEvent::PlanCacheLookup {
+                func: f as u32,
+                node: node.0,
+                hit: true,
+            });
             return cached.clone();
         }
         self.misses += 1;
+        ffs_obs::record(|| ffs_obs::ObsEvent::PlanCacheLookup {
+            func: f as u32,
+            node: node.0,
+            hit: false,
+        });
         let plan = if ranked {
             plan_deployment(profile, free)
         } else {
@@ -121,9 +153,19 @@ impl PlanCache {
         let key = (f, node, true, slice_signature(free));
         if let Some(cached) = self.map.get(&key) {
             self.hits += 1;
+            ffs_obs::record(|| ffs_obs::ObsEvent::PlanCacheLookup {
+                func: f as u32,
+                node: node.0,
+                hit: true,
+            });
             return cached.as_ref().map(|p| p.is_monolithic()).unwrap_or(false);
         }
         self.misses += 1;
+        ffs_obs::record(|| ffs_obs::ObsEvent::PlanCacheLookup {
+            func: f as u32,
+            node: node.0,
+            hit: false,
+        });
         let plan = plan_deployment(profile, free);
         let mono = plan.as_ref().map(|p| p.is_monolithic()).unwrap_or(false);
         self.map.insert(key, plan);

@@ -53,3 +53,19 @@ pub enum Event {
     /// Keep-alive expiry check for function `f`'s time-sharing lineage.
     KeepAlive(usize),
 }
+
+impl Event {
+    /// Stable snake_case tag for trace/diagnostic output.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Arrival(_) => "arrival",
+            Event::InstanceReady(_) => "instance_ready",
+            Event::StageDone { .. } => "stage_done",
+            Event::TransferDone { .. } => "transfer_done",
+            Event::SharedLoadDone { .. } => "shared_load_done",
+            Event::SharedDone { .. } => "shared_done",
+            Event::ScaleTick => "scale_tick",
+            Event::KeepAlive(_) => "keep_alive",
+        }
+    }
+}

@@ -54,6 +54,20 @@ impl MetricsHub {
 
     /// Records a completed request.
     pub fn complete(&mut self, req: &RequestState, breakdown: Breakdown) {
+        if ffs_obs::enabled() {
+            let latency_ms = req
+                .completed
+                .map(|t| t.saturating_since(req.arrival).as_secs_f64() * 1_000.0)
+                .unwrap_or(f64::NAN);
+            let slo_ms = self.slo_of_func[req.func];
+            ffs_obs::record(|| ffs_obs::ObsEvent::RequestCompleted {
+                req: req.id,
+                app: self.app_of_func[req.func] as u32,
+                latency_ms,
+                slo_ms,
+                slo_met: latency_ms <= slo_ms,
+            });
+        }
         self.log.push(RequestRecord {
             id: req.id,
             app_index: self.app_of_func[req.func],
@@ -67,6 +81,10 @@ impl MetricsHub {
     /// Records a request that never completed (dropped or unfinished at
     /// run end) — an SLO miss.
     pub fn abandon(&mut self, req: &RequestState) {
+        ffs_obs::record(|| ffs_obs::ObsEvent::RequestAbandoned {
+            req: req.id,
+            app: self.app_of_func[req.func] as u32,
+        });
         self.log.push(RequestRecord {
             id: req.id,
             app_index: self.app_of_func[req.func],

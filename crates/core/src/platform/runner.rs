@@ -76,8 +76,15 @@ pub fn run_platform<P: Platform>(platform: &mut P, trace: &Trace) -> RunOutput {
     }
     sched.at(SimTime::ZERO, Event::ScaleTick);
     let end = SimTime::ZERO + trace.duration + platform.drain();
+    ffs_obs::record_at(0, || ffs_obs::ObsEvent::RunStart {
+        invocations: trace.invocations.len() as u64,
+        gpus: platform.num_gpus() as u32,
+    });
     run_until(platform, &mut sched, end);
     platform.finalize(end);
+    ffs_obs::record_at(end.as_micros(), || ffs_obs::ObsEvent::RunEnd {
+        sim_secs: end.saturating_since(SimTime::ZERO).as_secs_f64(),
+    });
     let slices_per_gpu = platform.slices_per_gpu();
     let hub = platform.take_hub();
     RunOutput {

@@ -306,12 +306,12 @@ impl FluidFaaSSystem {
                 }
             }
         };
-        self.ka[f] = self.ka[f].next(Transition::RequestArrived);
+        self.ka[f] = self.ka[f].next_traced(Transition::RequestArrived, f as u32);
         self.dispatch_shared(slot_idx, now, sched)
     }
 
     /// Adds a free slice that fits `mem` to the shared pool.
-    fn grow_pool(&mut self, _f: FuncId, mem: f64, now: SimTime) -> Option<usize> {
+    fn grow_pool(&mut self, f: FuncId, mem: f64, now: SimTime) -> Option<usize> {
         let mut candidates = self.fleet.free_slices_at_least(None, mem);
         // Smallest slice that fits, deterministic by id.
         candidates.sort_by_key(|s| (s.profile, s.id));
@@ -320,6 +320,10 @@ impl FluidFaaSSystem {
         self.plan_cache.invalidate();
         self.hub.slice_allocated(now, pick.id, pick.profile.gpcs());
         self.sched_log.pool_grows += 1;
+        ffs_obs::record(|| ffs_obs::ObsEvent::PoolGrow {
+            slice: sref(pick.id),
+            func: f as u32,
+        });
         Some(self.pool.add_slot(pick, now))
     }
 
@@ -336,6 +340,7 @@ impl FluidFaaSSystem {
         // deadline minus estimated execution and load times, ascending).
         let bound = self.pool.slot(slot_idx).bound.clone();
         let slice_profile = self.pool.slot(slot_idx).slice.profile;
+        let slice_id = self.pool.slot(slot_idx).slice.id;
         let resident = self.pool.slot(slot_idx).resident;
         let mut best: Option<(i64, FuncId, u64)> = None;
         for f in bound {
@@ -364,8 +369,13 @@ impl FluidFaaSSystem {
             let mut load_ms = self.catalog.profile(f).load_ms(&all_nodes(&self.catalog, f));
             if let Some(g) = evicted {
                 load_ms += self.catalog.profile(g).load_ms(&all_nodes(&self.catalog, g));
-                self.ka[g] = self.ka[g].next(Transition::Evicted);
+                self.ka[g] = self.ka[g].next_traced(Transition::Evicted, g as u32);
                 self.sched_log.evictions += 1;
+                ffs_obs::record(|| ffs_obs::ObsEvent::Eviction {
+                    func: g as u32,
+                    reason: ffs_obs::EvictionReason::SliceContention,
+                    slice: sref(slice_id),
+                });
             }
             self.sched_log.reloads += 1;
             let slot = self.pool.slot_mut(slot_idx);
@@ -394,6 +404,19 @@ impl FluidFaaSSystem {
         self.requests[req as usize].exec_ms += exec_ms;
         self.requests[req as usize].transfer_ms += handoff_ms;
         self.hub.slice_active(now, slice);
+        if ffs_obs::enabled() {
+            ffs_obs::record(|| ffs_obs::ObsEvent::RequestDispatched {
+                req,
+                func: f as u32,
+                path: ffs_obs::ServePathKind::TimeShared,
+                target: slot_idx as u64,
+            });
+            ffs_obs::record(|| ffs_obs::ObsEvent::SliceActive {
+                slice: sref(slice),
+                func: f as u32,
+                req,
+            });
+        }
         sched.after(
             SimDuration::from_millis_f64(exec_ms + handoff_ms),
             Event::SharedDone { slot: slot_idx, req },
@@ -441,6 +464,26 @@ impl FluidFaaSSystem {
         self.requests[req as usize].exec_ms += exec_ms;
         self.requests[req as usize].transfer_ms += handoff_ms;
         self.hub.slice_active(now, slice);
+        if ffs_obs::enabled() {
+            if stage == 0 {
+                let path = if mono {
+                    ffs_obs::ServePathKind::Monolithic
+                } else {
+                    ffs_obs::ServePathKind::Pipelined
+                };
+                ffs_obs::record(|| ffs_obs::ObsEvent::RequestDispatched {
+                    req,
+                    func: f as u32,
+                    path,
+                    target: id.0,
+                });
+            }
+            ffs_obs::record(|| ffs_obs::ObsEvent::SliceActive {
+                slice: sref(slice),
+                func: f as u32,
+                req,
+            });
+        }
         sched.after(
             SimDuration::from_millis_f64(exec_ms + handoff_ms),
             Event::StageDone { inst: id, stage, req },
@@ -456,6 +499,7 @@ impl FluidFaaSSystem {
         let last = stage + 1 == inst.plan.num_stages();
         let f = inst.func;
         self.hub.slice_idle(now, slice);
+        ffs_obs::record(|| ffs_obs::ObsEvent::SliceIdle { slice: sref(slice) });
         if last {
             let breakdown = self.requests[req as usize].finish(now);
             let state = self.requests[req as usize].clone();
@@ -698,6 +742,25 @@ impl FluidFaaSSystem {
         let (Some(plan), Some(node)) = (chosen, chosen_node) else {
             return false;
         };
+        // The invoker's decision record (§5.2): only assembled when tracing
+        // is live — `explain_plan` re-walks the CV-ranked list, which must
+        // not perturb the disabled hot path.
+        if ffs_obs::enabled() {
+            let free = self.fleet.free_slices(Some(node));
+            let sig = crate::plancache::slice_signature(&free);
+            let explanation =
+                ffs_pipeline::explain_plan(profile, &free, &plan, profile.ranked_partitions());
+            ffs_obs::record(|| ffs_obs::ObsEvent::PlanDecision {
+                func: f as u32,
+                node: node.0,
+                free_signature: sig,
+                chosen_rank: explanation.chosen_rank,
+                stages: plan.num_stages() as u32,
+                cv: plan.cv,
+                gpcs: plan.total_gpcs(),
+                rejected: explanation.rejected,
+            });
+        }
         for s in &plan.stages {
             self.fleet.allocate(s.slice).expect("planned slice is free");
             self.hub.slice_allocated(now, s.slice, s.profile.gpcs());
@@ -711,14 +774,25 @@ impl FluidFaaSSystem {
         }
         let id = InstanceId(self.next_instance);
         self.next_instance += 1;
-        let ready_at = now + SimDuration::from_millis_f64(profile.cold_start_ms());
+        let cold_ms = profile.cold_start_ms();
+        let ready_at = now + SimDuration::from_millis_f64(cold_ms);
         self.sched_log.launches += 1;
         if !plan.is_monolithic() {
             self.sched_log.pipeline_launches += 1;
         }
+        let stages = plan.num_stages() as u32;
+        let pipelined = !plan.is_monolithic();
+        ffs_obs::record(|| ffs_obs::ObsEvent::InstanceLaunched {
+            inst: id.0,
+            func: f as u32,
+            node: node.0,
+            stages,
+            pipelined,
+            cold_ms,
+        });
         self.instances
             .insert(id, Instance::new(id, f, plan, est, node, now, ready_at));
-        self.ka[f] = self.ka[f].next(Transition::UtilizationHigh); // ② lineage is hot
+        self.ka[f] = self.ka[f].next_traced(Transition::UtilizationHigh, f as u32); // ② lineage is hot
         sched.at(ready_at, Event::InstanceReady(id));
         true
     }
@@ -726,6 +800,10 @@ impl FluidFaaSSystem {
     fn retire_instance(&mut self, id: InstanceId, now: SimTime) {
         let Some(inst) = self.instances.remove(&id) else { return };
         self.sched_log.retirements += 1;
+        ffs_obs::record(|| ffs_obs::ObsEvent::InstanceRetired {
+            inst: id.0,
+            func: inst.func as u32,
+        });
         debug_assert!(inst.is_empty(), "retiring a non-empty instance");
         for s in &inst.plan.stages {
             self.fleet.release(s.slice).expect("allocated slice");
@@ -735,7 +813,7 @@ impl FluidFaaSSystem {
         let f = inst.func;
         if !self.instances.values().any(|i| i.func == f) {
             // Last exclusive instance gone: lineage drops to time sharing ③.
-            self.ka[f] = self.ka[f].next(Transition::UtilizationLow);
+            self.ka[f] = self.ka[f].next_traced(Transition::UtilizationLow, f as u32);
         }
     }
 
@@ -766,6 +844,7 @@ impl FluidFaaSSystem {
                 self.plan_cache.invalidate();
                 self.hub.slice_released(now, slice.id);
                 self.sched_log.pool_shrinks += 1;
+                ffs_obs::record(|| ffs_obs::ObsEvent::PoolShrink { slice: sref(slice.id) });
             } else {
                 idx += 1;
             }
@@ -778,8 +857,22 @@ impl FluidFaaSSystem {
             if idle >= self.cfg.keep_alive
                 && matches!(self.ka[f], KeepAliveState::TimeSharing | KeepAliveState::Warm)
             {
-                // ⑤: terminate to cold; unbind from the shared pool.
-                self.ka[f] = self.ka[f].next(Transition::IdleTimeout);
+                // ⑤: terminate to cold; unbind from the shared pool. If the
+                // model was still resident on its shared slice, this expiry
+                // is also an eviction (data dropped from GPU memory).
+                if ffs_obs::enabled() && self.ka[f] == KeepAliveState::TimeSharing {
+                    if let Some(slot_idx) = self.pool.slot_of(f) {
+                        if self.pool.slot(slot_idx).resident == Some(f) {
+                            let sid = self.pool.slot(slot_idx).slice.id;
+                            ffs_obs::record(|| ffs_obs::ObsEvent::Eviction {
+                                func: f as u32,
+                                reason: ffs_obs::EvictionReason::KeepAliveExpired,
+                                slice: sref(sid),
+                            });
+                        }
+                    }
+                }
+                self.ka[f] = self.ka[f].next_traced(Transition::IdleTimeout, f as u32);
                 self.pool.unbind(f);
                 self.sched_log.cold_terminations += 1;
             }
@@ -810,6 +903,10 @@ impl FluidFaaSSystem {
             }
             if mono_possible && self.launch_instance(f, now, sched) {
                 self.sched_log.migrations += 1;
+                ffs_obs::record(|| ffs_obs::ObsEvent::MigrationStarted {
+                    func: f as u32,
+                    drained: id.0,
+                });
                 let inst = self.instances.get_mut(&id).expect("live");
                 inst.phase = Phase::Draining;
                 if inst.is_empty() {
@@ -820,6 +917,11 @@ impl FluidFaaSSystem {
             }
         }
     }
+}
+
+/// Trace-facing reference to a MIG slice.
+fn sref(id: ffs_mig::SliceId) -> ffs_obs::SliceRef {
+    ffs_obs::SliceRef::new(id.gpu.0, id.index)
 }
 
 /// All DAG node ids of a function (helper for load-time computation).
@@ -860,10 +962,11 @@ impl World for FluidFaaSSystem {
         match ev {
             Event::Arrival(id) => {
                 let f = self.requests[id as usize].func;
+                ffs_obs::record(|| ffs_obs::ObsEvent::RequestArrived { req: id, func: f as u32 });
                 self.arrivals_in_tick[f] += 1;
                 self.last_use[f] = now;
                 if self.ka[f] == KeepAliveState::Cold {
-                    self.ka[f] = self.ka[f].next(Transition::RequestArrived); // ①
+                    self.ka[f] = self.ka[f].next_traced(Transition::RequestArrived, f as u32); // ①
                 }
                 self.pending[f].push_back(id);
                 self.dispatch_func(f, now, sched);
@@ -911,6 +1014,7 @@ impl World for FluidFaaSSystem {
                 s.mark_idle(now);
                 let slice = s.slice.id;
                 self.hub.slice_idle(now, slice);
+                ffs_obs::record(|| ffs_obs::ObsEvent::SliceIdle { slice: sref(slice) });
                 let breakdown = self.requests[req as usize].finish(now);
                 let state = self.requests[req as usize].clone();
                 self.hub.complete(&state, breakdown);
@@ -943,6 +1047,7 @@ impl Platform for FluidFaaSSystem {
     }
 
     fn take_hub(&mut self) -> MetricsHub {
+        crate::plancache::note_run_stats(self.plan_cache.hits(), self.plan_cache.misses());
         std::mem::replace(&mut self.hub, MetricsHub::detached())
     }
 

@@ -40,4 +40,7 @@ pub use dominator::{linear_blocks, DominatorInfo};
 pub use export::{partition_to_dot, to_dot};
 pub use graph::{Component, DagError, FfsDag, NodeId};
 pub use module::{FfsFunctionBuilder, FfsModule, Mode};
-pub use partition::{enumerate_partitions, rank_partitions, PipelinePartition, RankedPartition};
+pub use partition::{
+    enumerate_partitions, rank_partitions, try_enumerate_partitions, try_rank_partitions,
+    PartitionError, PipelinePartition, RankedPartition,
+};

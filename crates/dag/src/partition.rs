@@ -91,12 +91,59 @@ impl PipelinePartition {
     }
 }
 
-/// Enumerates all `2^(blocks-1)` consecutive partitions of a block
-/// sequence, monolithic first. Stages never split a block.
-pub fn enumerate_partitions(blocks: &[Vec<NodeId>]) -> Vec<PipelinePartition> {
+/// Why a partition spec could not be enumerated or ranked.
+///
+/// These used to be asserts/unwraps on the planner path; a malformed spec
+/// (an empty DAG, a degenerate block, a NaN profile cost) now surfaces as a
+/// recoverable error instead of panicking the invoker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionError {
+    /// The block sequence is empty — nothing to partition.
+    NoBlocks,
+    /// Too many blocks: enumeration is `2^(b-1)` and would explode.
+    TooManyBlocks(usize),
+    /// Block `{0}` contains no nodes.
+    EmptyBlock(usize),
+    /// The cost function produced a non-finite stage cost for block `{0}`'s
+    /// node, so CV ranking would be meaningless.
+    NonFiniteCost(u32),
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::NoBlocks => write!(f, "cannot partition zero blocks"),
+            PartitionError::TooManyBlocks(b) => {
+                write!(f, "partition enumeration is exponential: {b} blocks > 24")
+            }
+            PartitionError::EmptyBlock(i) => write!(f, "block {i} is empty"),
+            PartitionError::NonFiniteCost(n) => {
+                write!(f, "non-finite execution cost for node {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// Maximum block count accepted by enumeration (`2^(b-1)` partitions).
+pub const MAX_BLOCKS: usize = 24;
+
+/// Fallible form of [`enumerate_partitions`]: returns an error instead of
+/// panicking on a malformed block sequence.
+pub fn try_enumerate_partitions(
+    blocks: &[Vec<NodeId>],
+) -> Result<Vec<PipelinePartition>, PartitionError> {
     let b = blocks.len();
-    assert!(b >= 1, "cannot partition zero blocks");
-    assert!(b <= 24, "partition enumeration is exponential in blocks");
+    if b == 0 {
+        return Err(PartitionError::NoBlocks);
+    }
+    if b > MAX_BLOCKS {
+        return Err(PartitionError::TooManyBlocks(b));
+    }
+    if let Some(i) = blocks.iter().position(|blk| blk.is_empty()) {
+        return Err(PartitionError::EmptyBlock(i));
+    }
     let mut out = Vec::with_capacity(1 << (b - 1));
     for mask in 0u32..(1 << (b - 1)) {
         let mut stages: Vec<Vec<NodeId>> = Vec::new();
@@ -110,7 +157,16 @@ pub fn enumerate_partitions(blocks: &[Vec<NodeId>]) -> Vec<PipelinePartition> {
         }
         out.push(PipelinePartition::new(stages));
     }
-    out
+    Ok(out)
+}
+
+/// Enumerates all `2^(blocks-1)` consecutive partitions of a block
+/// sequence, monolithic first. Stages never split a block.
+///
+/// Panics on a malformed block sequence; planner-path callers should use
+/// [`try_enumerate_partitions`] instead.
+pub fn enumerate_partitions(blocks: &[Vec<NodeId>]) -> Vec<PipelinePartition> {
+    try_enumerate_partitions(blocks).expect("valid block sequence")
 }
 
 /// A partition together with its balance score.
@@ -137,7 +193,28 @@ pub fn rank_partitions(
     cost: impl Fn(NodeId) -> f64,
     max_stages: usize,
 ) -> Vec<RankedPartition> {
-    let mut ranked: Vec<RankedPartition> = enumerate_partitions(blocks)
+    try_rank_partitions(blocks, cost, max_stages).expect("valid partition spec")
+}
+
+/// Fallible form of [`rank_partitions`]: a malformed block sequence or a
+/// cost function yielding non-finite values returns an error instead of
+/// panicking (previously an `unwrap` inside the sort comparator).
+pub fn try_rank_partitions(
+    blocks: &[Vec<NodeId>],
+    cost: impl Fn(NodeId) -> f64,
+    max_stages: usize,
+) -> Result<Vec<RankedPartition>, PartitionError> {
+    // Validate costs once over the nodes rather than per partition: every
+    // stage cost is a sum of node costs, so finite node costs imply finite
+    // stage costs.
+    for blk in blocks {
+        for &n in blk {
+            if !cost(n).is_finite() {
+                return Err(PartitionError::NonFiniteCost(n.0));
+            }
+        }
+    }
+    let mut ranked: Vec<RankedPartition> = try_enumerate_partitions(blocks)?
         .into_iter()
         .filter(|p| p.num_stages() <= max_stages)
         .map(|p| {
@@ -150,14 +227,15 @@ pub fn rank_partitions(
             }
         })
         .collect();
+    // total_cmp keeps the comparator panic-free even if a cost function is
+    // non-deterministic between the validation pass and here.
     ranked.sort_by(|a, b| {
         a.cv
-            .partial_cmp(&b.cv)
-            .expect("costs are finite")
+            .total_cmp(&b.cv)
             .then_with(|| a.partition.num_stages().cmp(&b.partition.num_stages()))
             .then_with(|| a.partition.stages().cmp(b.partition.stages()))
     });
-    ranked
+    Ok(ranked)
 }
 
 #[cfg(test)]
@@ -272,6 +350,50 @@ mod tests {
         assert_eq!(p.boundary_transfers_mb(&dag), vec![5.0]);
         let mono = PipelinePartition::new(vec![vec![NodeId(0), NodeId(1), NodeId(2)]]);
         assert!(mono.boundary_transfers_mb(&dag).is_empty());
+    }
+
+    #[test]
+    fn malformed_specs_error_instead_of_panicking() {
+        assert_eq!(
+            try_enumerate_partitions(&[]).unwrap_err(),
+            PartitionError::NoBlocks
+        );
+        let too_many = blocks_of(25);
+        assert_eq!(
+            try_enumerate_partitions(&too_many).unwrap_err(),
+            PartitionError::TooManyBlocks(25)
+        );
+        let holey = vec![vec![NodeId(0)], vec![], vec![NodeId(1)]];
+        assert_eq!(
+            try_enumerate_partitions(&holey).unwrap_err(),
+            PartitionError::EmptyBlock(1)
+        );
+        assert_eq!(
+            try_rank_partitions(&[], |_| 1.0, usize::MAX).unwrap_err(),
+            PartitionError::NoBlocks
+        );
+    }
+
+    #[test]
+    fn non_finite_costs_error_instead_of_panicking() {
+        let blocks = blocks_of(3);
+        let err = try_rank_partitions(
+            &blocks,
+            |n| if n.0 == 1 { f64::NAN } else { 1.0 },
+            usize::MAX,
+        )
+        .unwrap_err();
+        assert_eq!(err, PartitionError::NonFiniteCost(1));
+        assert!(err.to_string().contains("non-finite"));
+    }
+
+    #[test]
+    fn try_rank_matches_infallible_on_valid_input() {
+        let blocks = blocks_of(4);
+        let cost = |n: NodeId| n.0 as f64 + 1.0;
+        let a = rank_partitions(&blocks, cost, usize::MAX);
+        let b = try_rank_partitions(&blocks, cost, usize::MAX).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

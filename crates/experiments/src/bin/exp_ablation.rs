@@ -2,6 +2,7 @@
 //! transfer-cost sensitivity).
 use ffs_experiments::runner::{experiment_secs, experiment_seed};
 fn main() {
+    ffs_experiments::init_trace_cli();
     let rows = ffs_experiments::ablation::run(experiment_secs(), experiment_seed());
     println!("Ablations (heavy workload)\n");
     println!("{}", ffs_experiments::ablation::render(&rows));

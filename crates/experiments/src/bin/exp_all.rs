@@ -11,9 +11,13 @@ use ffs_experiments::parallel;
 use ffs_experiments::runner::{experiment_secs, experiment_seed};
 use ffs_trace::WorkloadClass;
 fn main() {
+    ffs_experiments::init_trace_cli();
     let secs = experiment_secs();
     let seed = experiment_seed();
     let started = Instant::now();
+    if let Some(dir) = ffs_experiments::trace_dir() {
+        println!("tracing: control-plane traces -> {}\n", dir.display());
+    }
     println!("FluidFaaS reproduction — full experiment sweep ({secs}s traces, seed {seed}, {} threads)\n", parallel::threads());
     println!("== Table 2 ==\n{}", ffs_experiments::table2::render());
     println!("== Table 5 ==\n{}", ffs_experiments::table5::render());
@@ -35,6 +39,12 @@ fn main() {
     eprintln!(
         "harness: {} runs in {:.1}s wall ({:.2} runs/s, {:.1}s simulated busy, {} threads)",
         report.runs, report.total_secs, report.runs_per_sec, report.busy_secs, report.threads
+    );
+    eprintln!(
+        "harness: plan cache {} hits / {} misses ({:.1}% hit rate)",
+        report.plan_cache_hits,
+        report.plan_cache_misses,
+        report.plan_cache_hit_rate() * 100.0
     );
     match parallel::write_bench_json(Path::new("BENCH_harness.json"), &report) {
         Ok(()) => eprintln!("harness: wrote BENCH_harness.json"),

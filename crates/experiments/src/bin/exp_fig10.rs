@@ -1,6 +1,7 @@
 //! Regenerates Figure 10 (throughput per workload under saturation).
 use ffs_experiments::runner::{experiment_secs, experiment_seed};
 fn main() {
+    ffs_experiments::init_trace_cli();
     let rows = ffs_experiments::fig10::run(experiment_secs(), experiment_seed());
     println!("Figure 10: system throughput in different workloads (saturation)\n");
     println!("{}", ffs_experiments::fig10::render(&rows));

@@ -1,6 +1,7 @@
 //! Regenerates Figure 14 (latency breakdown, ESG vs FluidFaaS).
 use ffs_experiments::runner::{experiment_secs, experiment_seed};
 fn main() {
+    ffs_experiments::init_trace_cli();
     let rows = ffs_experiments::fig14::run(experiment_secs(), experiment_seed());
     println!("Figure 14: end-to-end latency breakdown (ESG left, FluidFaaS right)\n");
     println!("{}", ffs_experiments::fig14::render(&rows));

@@ -1,6 +1,7 @@
 //! Regenerates Figure 15 (throughput under partitions Hybrid/P1/P2).
 use ffs_experiments::runner::{experiment_secs, experiment_seed};
 fn main() {
+    ffs_experiments::init_trace_cli();
     let rows = ffs_experiments::fig15::run(experiment_secs(), experiment_seed());
     println!("Figure 15: throughput in different partitions (Table 7 schemes)\n");
     println!("{}", ffs_experiments::fig15::render(&rows));

@@ -1,6 +1,7 @@
 //! Regenerates Figure 16 (GPU utilization in different workloads).
 use ffs_experiments::runner::{experiment_secs, experiment_seed};
 fn main() {
+    ffs_experiments::init_trace_cli();
     let curves = ffs_experiments::fig16::run(experiment_secs(), experiment_seed());
     println!("Figure 16: GPU utilization in different workloads\n");
     println!("{}", ffs_experiments::fig16::render(&curves));

@@ -1,6 +1,7 @@
 //! Regenerates Figure 3 (ESG utilization vs required resources).
 use ffs_experiments::runner::{experiment_secs, experiment_seed};
 fn main() {
+    ffs_experiments::init_trace_cli();
     let fig = ffs_experiments::fig3::run(experiment_secs(), experiment_seed());
     println!("Figure 3: GPU resources ESG holds vs the ideal requirement\n");
     println!("{}", ffs_experiments::fig3::render(&fig));

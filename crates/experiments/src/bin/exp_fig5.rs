@@ -1,6 +1,7 @@
 //! Regenerates Figure 5 (occupied vs actively-used MIG percentages).
 use ffs_experiments::runner::{experiment_secs, experiment_seed};
 fn main() {
+    ffs_experiments::init_trace_cli();
     let fig = ffs_experiments::fig5::run(experiment_secs(), experiment_seed());
     println!("Figure 5: occupied and actively used GPU percentage (exclusive keep-alive)\n");
     println!("{}", ffs_experiments::fig5::render(&fig));

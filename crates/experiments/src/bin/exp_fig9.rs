@@ -1,6 +1,7 @@
 //! Regenerates Figure 9 (SLO hit rates per workload, app, system).
 use ffs_experiments::runner::{experiment_secs, experiment_seed};
 fn main() {
+    ffs_experiments::init_trace_cli();
     let rows = ffs_experiments::fig9::run(experiment_secs(), experiment_seed());
     println!("Figure 9: SLO hit rate in different workloads for each application\n");
     println!("{}", ffs_experiments::fig9::render(&rows));

@@ -2,6 +2,7 @@
 use ffs_experiments::runner::{experiment_secs, experiment_seed};
 use ffs_trace::WorkloadClass;
 fn main() {
+    ffs_experiments::init_trace_cli();
     for (figure, workload) in [
         ("Figure 11 (heavy)", WorkloadClass::Heavy),
         ("Figure 12 (medium)", WorkloadClass::Medium),

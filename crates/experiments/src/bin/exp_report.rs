@@ -1,6 +1,7 @@
 //! Paper-vs-measured claim report (the machine-checkable EXPERIMENTS.md core).
 use ffs_experiments::runner::{experiment_secs, experiment_seed};
 fn main() {
+    ffs_experiments::init_trace_cli();
     let claims = ffs_experiments::report::run(experiment_secs(), experiment_seed());
     println!("# FluidFaaS reproduction — claim report\n");
     println!("{}", ffs_experiments::report::render(&claims));

@@ -1,6 +1,7 @@
 //! SLO-scale and seed sensitivity studies.
 use ffs_experiments::runner::{experiment_secs, experiment_seed};
 fn main() {
+    ffs_experiments::init_trace_cli();
     let secs = experiment_secs();
     println!("SLO-scale sweep (medium workload)\n");
     let rows = ffs_experiments::sensitivity::slo_scale_sweep(secs, experiment_seed());

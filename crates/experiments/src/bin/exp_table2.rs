@@ -1,5 +1,6 @@
 //! Regenerates Table 2 (MIG profiles on an A100).
 fn main() {
+    ffs_experiments::init_trace_cli();
     println!("Table 2: complete list of MIG profiles on an A100 GPU\n");
     println!("{}", ffs_experiments::table2::render());
 }

@@ -1,5 +1,6 @@
 //! Regenerates Table 5 (application variants and minimum MIG slices).
 fn main() {
+    ffs_experiments::init_trace_cli();
     println!("Table 5: application variants and MIG slices to run\n");
     println!("{}", ffs_experiments::table5::render());
 }

@@ -1,6 +1,7 @@
 //! Regenerates Table 6 (normalized GPU time and MIG time).
 use ffs_experiments::runner::{experiment_secs, experiment_seed};
 fn main() {
+    ffs_experiments::init_trace_cli();
     let cells = ffs_experiments::table6::run(experiment_secs(), experiment_seed());
     println!("Table 6: resource cost comparison (normalized to FluidFaaS = 1)\n");
     println!("{}", ffs_experiments::table6::render(&cells));

@@ -36,6 +36,8 @@ pub mod sensitivity;
 pub mod table2;
 pub mod table5;
 pub mod table6;
+pub mod trace_out;
 
 pub use parallel::{run_matrix, run_matrix_with_threads};
 pub use runner::{run_workload, saturating_trace, SystemKind};
+pub use trace_out::{init_trace_cli, trace_dir};

@@ -113,25 +113,51 @@ pub struct BenchReport {
     pub busy_secs: f64,
     /// Worker count the harness used.
     pub threads: usize,
+    /// FluidFaaS launch-plan cache hits accumulated across all runs.
+    pub plan_cache_hits: u64,
+    /// FluidFaaS launch-plan cache misses accumulated across all runs.
+    pub plan_cache_misses: u64,
+}
+
+impl BenchReport {
+    /// Plan-cache hit rate in [0, 1]; 0 when no lookups happened.
+    pub fn plan_cache_hit_rate(&self) -> f64 {
+        let total = self.plan_cache_hits + self.plan_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// Builds a report for a section that took `total_secs` of wall clock.
 pub fn bench_report(total_secs: f64) -> BenchReport {
     let runs = harness_runs();
+    let (plan_cache_hits, plan_cache_misses) = fluidfaas::plancache::process_stats();
     BenchReport {
         total_secs,
         runs,
         runs_per_sec: if total_secs > 0.0 { runs as f64 / total_secs } else { 0.0 },
         busy_secs: harness_busy_secs(),
         threads: threads(),
+        plan_cache_hits,
+        plan_cache_misses,
     }
 }
 
 /// Writes the report as JSON.
 pub fn write_bench_json(path: &Path, report: &BenchReport) -> std::io::Result<()> {
     let json = format!(
-        "{{\n  \"total_secs\": {:.3},\n  \"runs\": {},\n  \"runs_per_sec\": {:.3},\n  \"busy_secs\": {:.3},\n  \"threads\": {}\n}}\n",
-        report.total_secs, report.runs, report.runs_per_sec, report.busy_secs, report.threads
+        "{{\n  \"total_secs\": {:.3},\n  \"runs\": {},\n  \"runs_per_sec\": {:.3},\n  \"busy_secs\": {:.3},\n  \"threads\": {},\n  \"plan_cache_hits\": {},\n  \"plan_cache_misses\": {},\n  \"plan_cache_hit_rate\": {:.4}\n}}\n",
+        report.total_secs,
+        report.runs,
+        report.runs_per_sec,
+        report.busy_secs,
+        report.threads,
+        report.plan_cache_hits,
+        report.plan_cache_misses,
+        report.plan_cache_hit_rate(),
     );
     std::fs::write(path, json)
 }

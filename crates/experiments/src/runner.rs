@@ -75,8 +75,11 @@ impl SystemKind {
     }
 }
 
-/// Runs `kind` over `trace` with the given config.
+/// Runs `kind` over `trace` with the given config. When tracing is active
+/// (`FFS_TRACE` / `--trace`), the run records into a fresh thread-local
+/// recorder and exports its JSONL + Chrome trace artifacts on completion.
 pub fn run_system(kind: SystemKind, cfg: FfsConfig, trace: &Trace) -> RunOutput {
+    let _trace = crate::trace_out::RunTrace::begin(kind.name());
     match kind {
         SystemKind::FluidFaaS => {
             let mut sys = FluidFaaSSystem::new(cfg, trace);

@@ -61,3 +61,48 @@ fn parallel_output_is_byte_identical_to_sequential() {
 fn repeated_same_seed_runs_agree() {
     assert_eq!(render_matrix(4), render_matrix(4));
 }
+
+/// Renders one sequential sweep, optionally with `ffs-obs` tracing live on
+/// this thread (enabled flag + installed recorder). Float metrics go in as
+/// raw bit patterns, as above.
+fn render_traced(traced: bool) -> String {
+    let rec = std::sync::Arc::new(ffs_obs::Recorder::new());
+    if traced {
+        ffs_obs::set_enabled(true);
+        ffs_obs::install(std::sync::Arc::clone(&rec));
+    }
+    let mut s = String::new();
+    for (workload, system) in specs() {
+        let out = run_workload(system, workload, SECS, SEED);
+        s.push_str(&format!(
+            "{} {} n={} hit={:016x} thr={:016x} gpu={:016x}\n",
+            workload.name(),
+            system.name(),
+            out.log.records().iter().filter(|r| r.completed.is_some()).count(),
+            out.log.slo_hit_rate().to_bits(),
+            out.throughput_rps().to_bits(),
+            out.cost.total_gpu_time_secs().to_bits(),
+        ));
+    }
+    if traced {
+        let _ = ffs_obs::uninstall();
+        ffs_obs::set_enabled(false);
+        let recording = rec.drain();
+        assert!(
+            !recording.events.is_empty(),
+            "a traced sweep must record control-plane events"
+        );
+        assert!(recording.counters.requests_completed > 0);
+    }
+    s
+}
+
+/// The observability tentpole's core guarantee: instrumentation observes
+/// the simulation without steering it, so a traced run is bit-identical to
+/// an untraced one.
+#[test]
+fn tracing_does_not_perturb_simulation_output() {
+    let off = render_traced(false);
+    let on = render_traced(true);
+    assert_eq!(off, on, "tracing on/off must be byte-identical");
+}

@@ -224,12 +224,24 @@ impl Fleet {
 
     /// Allocates a specific slice.
     pub fn allocate(&mut self, id: SliceId) -> Result<(), MigError> {
-        self.gpu_mut(id.gpu)?.allocate(id)
+        self.gpu_mut(id.gpu)?.allocate(id)?;
+        if ffs_obs::enabled() {
+            let gpcs = self.profile_of(id).map(|p| p.gpcs()).unwrap_or(0);
+            ffs_obs::record(|| ffs_obs::ObsEvent::SliceAllocated {
+                slice: ffs_obs::SliceRef::new(id.gpu.0, id.index),
+                gpcs,
+            });
+        }
+        Ok(())
     }
 
     /// Releases a specific slice.
     pub fn release(&mut self, id: SliceId) -> Result<(), MigError> {
-        self.gpu_mut(id.gpu)?.release(id)
+        self.gpu_mut(id.gpu)?.release(id)?;
+        ffs_obs::record(|| ffs_obs::ObsEvent::SliceReleased {
+            slice: ffs_obs::SliceRef::new(id.gpu.0, id.index),
+        });
+        Ok(())
     }
 
     /// The profile of a slice.

@@ -141,6 +141,7 @@ impl NvmlSim {
         let secs = self.device_mut(index)?.gpu.reconfigure(layout)?;
         self.reconfigure_seconds += secs;
         debug_assert_eq!(secs, RECONFIGURE_SECS);
+        ffs_obs::record(|| ffs_obs::ObsEvent::MigReconfig { gpu: index, secs });
         Ok(secs)
     }
 

@@ -1,0 +1,174 @@
+//! Monotonic counters and gauges derived from the event stream.
+//!
+//! Counters are applied automatically when an event is pushed into the
+//! recorder, so instrumentation sites never update them by hand — the
+//! counter state is always consistent with the events that produced it and
+//! can be snapshotted at any sim time.
+
+use crate::event::{EvictionReason, ObsEvent};
+
+/// Live counter state owned by a [`crate::Recorder`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Requests that arrived.
+    pub requests_arrived: u64,
+    /// Requests dispatched to a worker.
+    pub requests_dispatched: u64,
+    /// Requests completed.
+    pub requests_completed: u64,
+    /// Requests that never completed.
+    pub requests_abandoned: u64,
+    /// Completed requests that missed their SLO.
+    pub slo_violations: u64,
+    /// Evictions caused by shared-slice contention (LRU).
+    pub evictions_contention: u64,
+    /// Evictions caused by keep-alive expiry.
+    pub evictions_keepalive: u64,
+    /// Plan decisions taken by the invoker.
+    pub plan_decisions: u64,
+    /// Launch-plan cache hits.
+    pub plan_cache_hits: u64,
+    /// Launch-plan cache misses.
+    pub plan_cache_misses: u64,
+    /// Keep-alive state transitions.
+    pub keepalive_transitions: u64,
+    /// Exclusive instance launches.
+    pub instances_launched: u64,
+    /// Exclusive instance retirements.
+    pub instances_retired: u64,
+    /// Pipeline migrations started.
+    pub migrations: u64,
+    /// MIG repartition operations.
+    pub mig_reconfigs: u64,
+    /// Shared-pool growth events.
+    pub pool_grows: u64,
+    /// Shared-pool shrink events.
+    pub pool_shrinks: u64,
+    /// Last sampled scheduler queue depth (gauge).
+    pub queue_depth_last: u64,
+    /// Maximum sampled scheduler queue depth.
+    pub queue_depth_max: u64,
+}
+
+impl Counters {
+    /// Folds one event into the counter state.
+    pub fn apply(&mut self, ev: &ObsEvent) {
+        match ev {
+            ObsEvent::RequestArrived { .. } => self.requests_arrived += 1,
+            ObsEvent::RequestDispatched { .. } => self.requests_dispatched += 1,
+            ObsEvent::RequestCompleted { slo_met, .. } => {
+                self.requests_completed += 1;
+                if !slo_met {
+                    self.slo_violations += 1;
+                }
+            }
+            ObsEvent::RequestAbandoned { .. } => self.requests_abandoned += 1,
+            ObsEvent::PlanDecision { .. } => self.plan_decisions += 1,
+            ObsEvent::PlanCacheLookup { hit, .. } => {
+                if *hit {
+                    self.plan_cache_hits += 1;
+                } else {
+                    self.plan_cache_misses += 1;
+                }
+            }
+            ObsEvent::KeepAliveTransition { .. } => self.keepalive_transitions += 1,
+            ObsEvent::Eviction { reason, .. } => match reason {
+                EvictionReason::SliceContention => self.evictions_contention += 1,
+                EvictionReason::KeepAliveExpired => self.evictions_keepalive += 1,
+            },
+            ObsEvent::InstanceLaunched { .. } => self.instances_launched += 1,
+            ObsEvent::InstanceRetired { .. } => self.instances_retired += 1,
+            ObsEvent::MigrationStarted { .. } => self.migrations += 1,
+            ObsEvent::MigReconfig { .. } => self.mig_reconfigs += 1,
+            ObsEvent::PoolGrow { .. } => self.pool_grows += 1,
+            ObsEvent::PoolShrink { .. } => self.pool_shrinks += 1,
+            ObsEvent::QueueDepth { pending } => {
+                self.queue_depth_last = *pending;
+                self.queue_depth_max = self.queue_depth_max.max(*pending);
+            }
+            ObsEvent::RunStart { .. }
+            | ObsEvent::RunEnd { .. }
+            | ObsEvent::SliceAllocated { .. }
+            | ObsEvent::SliceReleased { .. }
+            | ObsEvent::SliceActive { .. }
+            | ObsEvent::SliceIdle { .. }
+            | ObsEvent::ExecutorSubmit { .. }
+            | ObsEvent::ExecutorComplete { .. } => {}
+        }
+    }
+
+    /// Renders the counter state as a complete JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"requests_arrived\":{},\"requests_dispatched\":{},",
+                "\"requests_completed\":{},\"requests_abandoned\":{},",
+                "\"slo_violations\":{},\"evictions_contention\":{},",
+                "\"evictions_keepalive\":{},\"plan_decisions\":{},",
+                "\"plan_cache_hits\":{},\"plan_cache_misses\":{},",
+                "\"keepalive_transitions\":{},\"instances_launched\":{},",
+                "\"instances_retired\":{},\"migrations\":{},",
+                "\"mig_reconfigs\":{},\"pool_grows\":{},\"pool_shrinks\":{},",
+                "\"queue_depth_last\":{},\"queue_depth_max\":{}}}"
+            ),
+            self.requests_arrived,
+            self.requests_dispatched,
+            self.requests_completed,
+            self.requests_abandoned,
+            self.slo_violations,
+            self.evictions_contention,
+            self.evictions_keepalive,
+            self.plan_decisions,
+            self.plan_cache_hits,
+            self.plan_cache_misses,
+            self.keepalive_transitions,
+            self.instances_launched,
+            self.instances_retired,
+            self.migrations,
+            self.mig_reconfigs,
+            self.pool_grows,
+            self.pool_shrinks,
+            self.queue_depth_last,
+            self.queue_depth_max,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SliceRef;
+
+    #[test]
+    fn counters_fold_events() {
+        let mut c = Counters::default();
+        c.apply(&ObsEvent::RequestArrived { req: 0, func: 0 });
+        c.apply(&ObsEvent::RequestCompleted {
+            req: 0,
+            app: 0,
+            latency_ms: 90.0,
+            slo_ms: 50.0,
+            slo_met: false,
+        });
+        c.apply(&ObsEvent::Eviction {
+            func: 1,
+            reason: EvictionReason::SliceContention,
+            slice: SliceRef::new(0, 3),
+        });
+        c.apply(&ObsEvent::QueueDepth { pending: 9 });
+        c.apply(&ObsEvent::QueueDepth { pending: 4 });
+        assert_eq!(c.requests_arrived, 1);
+        assert_eq!(c.slo_violations, 1);
+        assert_eq!(c.evictions_contention, 1);
+        assert_eq!(c.queue_depth_last, 4);
+        assert_eq!(c.queue_depth_max, 9);
+    }
+
+    #[test]
+    fn counter_json_is_parseable_shape() {
+        let c = Counters::default();
+        let j = c.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"slo_violations\":0"));
+    }
+}

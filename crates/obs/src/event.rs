@@ -1,0 +1,629 @@
+//! The typed event alphabet of the control-plane trace.
+//!
+//! Every scheduler decision the paper's mechanisms make (§5.2–§5.3) has a
+//! variant here: plan selection (including the rejected higher-ranked
+//! partitions and the free-slice signature the invoker saw), keep-alive
+//! transitions with their eviction reason, pipeline migration, MIG
+//! reconfiguration, plan-cache lookups and the request lifecycle. The enum
+//! is deliberately primitive-typed (no workspace types) so the leaf crates
+//! — `ffs-sim`, `ffs-mig` — can emit events without dependency cycles.
+
+/// Location of a MIG slice: GPU plus slice index within its layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SliceRef {
+    /// Global GPU index.
+    pub gpu: u16,
+    /// Slice index within the GPU's partition layout.
+    pub index: u8,
+}
+
+impl SliceRef {
+    /// Creates a slice reference.
+    pub const fn new(gpu: u16, index: u8) -> Self {
+        SliceRef { gpu, index }
+    }
+}
+
+/// Mirror of the keep-alive states of Figure 8 (`fluidfaas::KeepAliveState`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KaState {
+    /// No instance exists.
+    Cold,
+    /// Resident on a shared slice, evictable.
+    TimeSharing,
+    /// Pinned to exclusive slices, eviction-exempt.
+    ExclusiveHot,
+    /// Evicted to CPU memory.
+    Warm,
+}
+
+impl KaState {
+    /// Stable lowercase name for exports.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            KaState::Cold => "cold",
+            KaState::TimeSharing => "time_sharing",
+            KaState::ExclusiveHot => "exclusive_hot",
+            KaState::Warm => "warm",
+        }
+    }
+}
+
+/// What drove a keep-alive transition (mirror of `fluidfaas::Transition`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KaCause {
+    /// A request arrived (① from cold, or a warm reload).
+    RequestArrived,
+    /// Utilization crossed the promote threshold (②).
+    UtilizationHigh,
+    /// Utilization dropped below the demote threshold (③).
+    UtilizationLow,
+    /// The resident was evicted from its shared slice (④).
+    Evicted,
+    /// The keep-alive timer expired (⑤).
+    IdleTimeout,
+}
+
+impl KaCause {
+    /// Stable lowercase name for exports.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            KaCause::RequestArrived => "request_arrived",
+            KaCause::UtilizationHigh => "utilization_high",
+            KaCause::UtilizationLow => "utilization_low",
+            KaCause::Evicted => "evicted",
+            KaCause::IdleTimeout => "idle_timeout",
+        }
+    }
+}
+
+/// Why a resident's model was dropped from GPU memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvictionReason {
+    /// LRU-evicted so another function could use the shared slice (§5.3's
+    /// eviction-based time sharing).
+    SliceContention,
+    /// The keep-alive timer expired while the model was still on-slice and
+    /// the lineage terminated to cold (⑤).
+    KeepAliveExpired,
+}
+
+impl EvictionReason {
+    /// Stable lowercase name for exports.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            EvictionReason::SliceContention => "slice_contention",
+            EvictionReason::KeepAliveExpired => "keep_alive_expired",
+        }
+    }
+}
+
+/// How a dispatched request is served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServePathKind {
+    /// A single-stage exclusive instance.
+    Monolithic,
+    /// A multi-stage pipelined exclusive instance.
+    Pipelined,
+    /// The function's time-sharing instance on a shared slice.
+    TimeShared,
+}
+
+impl ServePathKind {
+    /// Stable lowercase name for exports.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            ServePathKind::Monolithic => "monolithic",
+            ServePathKind::Pipelined => "pipelined",
+            ServePathKind::TimeShared => "time_shared",
+        }
+    }
+}
+
+/// Why a higher-ranked partition was passed over at plan time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Some stage's memory footprint exceeds every free slice.
+    MemoryNoFit,
+    /// The monolithic compute floor (Table 5) was unmet by the fitting
+    /// slices.
+    ComputeFloor,
+    /// Enough slice *kinds* exist but not enough distinct free slices
+    /// (resource fragmentation).
+    Fragmentation,
+}
+
+impl RejectReason {
+    /// Stable lowercase name for exports.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::MemoryNoFit => "memory_no_fit",
+            RejectReason::ComputeFloor => "compute_floor",
+            RejectReason::Fragmentation => "fragmentation",
+        }
+    }
+}
+
+/// A CV-ranked partition the invoker considered and rejected before the
+/// one it deployed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RejectedCandidate {
+    /// Rank in the CV-ordered list (0 = best balanced, the monolith).
+    pub rank: u32,
+    /// Stage count of the rejected partition.
+    pub stages: u32,
+    /// Its CV balance score.
+    pub cv: f64,
+    /// Why it could not be hosted on the free slices.
+    pub reason: RejectReason,
+}
+
+/// One structured control-plane event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ObsEvent {
+    /// A run begins (emitted by the trace runner).
+    RunStart {
+        /// Invocations in the driving trace.
+        invocations: u64,
+        /// GPUs in the fleet.
+        gpus: u32,
+    },
+    /// A run finished draining.
+    RunEnd {
+        /// Simulated end time in seconds.
+        sim_secs: f64,
+    },
+    /// A request reached the controller.
+    RequestArrived {
+        /// Trace-wide request id.
+        req: u64,
+        /// Function index.
+        func: u32,
+    },
+    /// A request was routed to a worker.
+    RequestDispatched {
+        /// Trace-wide request id.
+        req: u64,
+        /// Function index.
+        func: u32,
+        /// The serving path.
+        path: ServePathKind,
+        /// Instance id (exclusive paths) or shared-slot index.
+        target: u64,
+    },
+    /// A request completed.
+    RequestCompleted {
+        /// Trace-wide request id.
+        req: u64,
+        /// Application index.
+        app: u32,
+        /// End-to-end latency.
+        latency_ms: f64,
+        /// The SLO budget.
+        slo_ms: f64,
+        /// Whether the SLO was met.
+        slo_met: bool,
+    },
+    /// A request never completed (dropped / unfinished at run end).
+    RequestAbandoned {
+        /// Trace-wide request id.
+        req: u64,
+        /// Application index.
+        app: u32,
+    },
+    /// The invoker chose a deployment plan (§5.2): the decision record the
+    /// paper's goodput claims hinge on.
+    PlanDecision {
+        /// Function index.
+        func: u32,
+        /// Node the plan deploys on.
+        node: u16,
+        /// Canonical free-slice multiset signature at decision time
+        /// (see `fluidfaas::plancache::slice_signature`).
+        free_signature: u64,
+        /// Rank of the chosen partition in the CV-ordered list.
+        chosen_rank: u32,
+        /// Stage count of the chosen plan.
+        stages: u32,
+        /// CV balance score of the chosen partition.
+        cv: f64,
+        /// Total GPCs the plan consumes.
+        gpcs: u32,
+        /// Higher-ranked partitions that were rejected first.
+        rejected: Vec<RejectedCandidate>,
+    },
+    /// A launch-plan cache lookup.
+    PlanCacheLookup {
+        /// Function index.
+        func: u32,
+        /// Node probed.
+        node: u16,
+        /// Whether the memoized plan was reused.
+        hit: bool,
+    },
+    /// A keep-alive lineage changed state (Figure 8).
+    KeepAliveTransition {
+        /// Function index.
+        func: u32,
+        /// State before.
+        from: KaState,
+        /// State after.
+        to: KaState,
+        /// The driving transition.
+        cause: KaCause,
+    },
+    /// A resident model was dropped from GPU memory.
+    Eviction {
+        /// The evicted function.
+        func: u32,
+        /// Why it was evicted.
+        reason: EvictionReason,
+        /// The shared slice it was evicted from.
+        slice: SliceRef,
+    },
+    /// An exclusive instance launched.
+    InstanceLaunched {
+        /// Instance id.
+        inst: u64,
+        /// Function index.
+        func: u32,
+        /// Hosting node.
+        node: u16,
+        /// Stage count (1 = monolithic).
+        stages: u32,
+        /// True for pipelined deployments.
+        pipelined: bool,
+        /// Cold-start latency charged.
+        cold_ms: f64,
+    },
+    /// An exclusive instance retired and released its slices.
+    InstanceRetired {
+        /// Instance id.
+        inst: u64,
+        /// Function index.
+        func: u32,
+    },
+    /// A pipelined instance started draining in favour of a monolithic
+    /// replacement (§5.3 pipeline migration).
+    MigrationStarted {
+        /// Function index.
+        func: u32,
+        /// The draining pipelined instance.
+        drained: u64,
+    },
+    /// A MIG slice was allocated (fleet-level, any scheduler).
+    SliceAllocated {
+        /// The slice.
+        slice: SliceRef,
+        /// Its GPC count.
+        gpcs: u32,
+    },
+    /// A MIG slice was released.
+    SliceReleased {
+        /// The slice.
+        slice: SliceRef,
+    },
+    /// A slice started executing (a stage of) a request.
+    SliceActive {
+        /// The slice.
+        slice: SliceRef,
+        /// Function index.
+        func: u32,
+        /// The request.
+        req: u64,
+    },
+    /// A slice went idle.
+    SliceIdle {
+        /// The slice.
+        slice: SliceRef,
+    },
+    /// The shared (time-sharing) pool grew by one slice.
+    PoolGrow {
+        /// The added slice.
+        slice: SliceRef,
+        /// The function whose demand triggered the growth.
+        func: u32,
+    },
+    /// The shared pool released an idle slice.
+    PoolShrink {
+        /// The removed slice.
+        slice: SliceRef,
+    },
+    /// A GPU was repartitioned through the NVML facade (several minutes of
+    /// downtime — the cost that motivates the paper's design).
+    MigReconfig {
+        /// The GPU.
+        gpu: u16,
+        /// Seconds the reconfiguration took.
+        secs: u64,
+    },
+    /// Sampled scheduler queue depth (emitted by the engine hook).
+    QueueDepth {
+        /// Pending events in the simulation queue.
+        pending: u64,
+    },
+    /// A request entered the live pipeline executor.
+    ExecutorSubmit {
+        /// Caller-assigned request id.
+        req: u64,
+    },
+    /// A request left the live pipeline executor.
+    ExecutorComplete {
+        /// Caller-assigned request id.
+        req: u64,
+        /// Wall-clock end-to-end latency.
+        total_ms: f64,
+    },
+}
+
+/// Writes a finite float as JSON (non-finite values become `null`).
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{}` prints the shortest round-trip representation; integers get
+        // a trailing ".0" appended so the field stays a JSON number with a
+        // stable type.
+        let s = format!("{v}");
+        out.push_str(&s);
+        if !s.contains('.') && !s.contains('e') && !s.contains("inf") {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Escapes a string for inclusion in a JSON document.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl ObsEvent {
+    /// Stable snake_case kind tag used by both exporters.
+    pub const fn kind(&self) -> &'static str {
+        match self {
+            ObsEvent::RunStart { .. } => "run_start",
+            ObsEvent::RunEnd { .. } => "run_end",
+            ObsEvent::RequestArrived { .. } => "request_arrived",
+            ObsEvent::RequestDispatched { .. } => "request_dispatched",
+            ObsEvent::RequestCompleted { .. } => "request_completed",
+            ObsEvent::RequestAbandoned { .. } => "request_abandoned",
+            ObsEvent::PlanDecision { .. } => "plan_decision",
+            ObsEvent::PlanCacheLookup { .. } => "plan_cache_lookup",
+            ObsEvent::KeepAliveTransition { .. } => "keepalive_transition",
+            ObsEvent::Eviction { .. } => "eviction",
+            ObsEvent::InstanceLaunched { .. } => "instance_launched",
+            ObsEvent::InstanceRetired { .. } => "instance_retired",
+            ObsEvent::MigrationStarted { .. } => "migration_started",
+            ObsEvent::SliceAllocated { .. } => "slice_allocated",
+            ObsEvent::SliceReleased { .. } => "slice_released",
+            ObsEvent::SliceActive { .. } => "slice_active",
+            ObsEvent::SliceIdle { .. } => "slice_idle",
+            ObsEvent::PoolGrow { .. } => "pool_grow",
+            ObsEvent::PoolShrink { .. } => "pool_shrink",
+            ObsEvent::MigReconfig { .. } => "mig_reconfig",
+            ObsEvent::QueueDepth { .. } => "queue_depth",
+            ObsEvent::ExecutorSubmit { .. } => "executor_submit",
+            ObsEvent::ExecutorComplete { .. } => "executor_complete",
+        }
+    }
+
+    /// Renders the event's payload as the *inner* fields of a JSON object
+    /// (comma-separated `"key":value` pairs, no surrounding braces), shared
+    /// by the JSONL exporter (flattened) and the Chrome exporter (`args`).
+    pub fn fields_json(&self) -> String {
+        let mut s = String::new();
+        match self {
+            ObsEvent::RunStart { invocations, gpus } => {
+                s.push_str(&format!("\"invocations\":{invocations},\"gpus\":{gpus}"));
+            }
+            ObsEvent::RunEnd { sim_secs } => {
+                s.push_str("\"sim_secs\":");
+                push_f64(&mut s, *sim_secs);
+            }
+            ObsEvent::RequestArrived { req, func } => {
+                s.push_str(&format!("\"req\":{req},\"func\":{func}"));
+            }
+            ObsEvent::RequestDispatched { req, func, path, target } => {
+                s.push_str(&format!(
+                    "\"req\":{req},\"func\":{func},\"path\":\"{}\",\"target\":{target}",
+                    path.as_str()
+                ));
+            }
+            ObsEvent::RequestCompleted { req, app, latency_ms, slo_ms, slo_met } => {
+                s.push_str(&format!("\"req\":{req},\"app\":{app},\"latency_ms\":"));
+                push_f64(&mut s, *latency_ms);
+                s.push_str(",\"slo_ms\":");
+                push_f64(&mut s, *slo_ms);
+                s.push_str(&format!(",\"slo_met\":{slo_met}"));
+            }
+            ObsEvent::RequestAbandoned { req, app } => {
+                s.push_str(&format!("\"req\":{req},\"app\":{app}"));
+            }
+            ObsEvent::PlanDecision {
+                func,
+                node,
+                free_signature,
+                chosen_rank,
+                stages,
+                cv,
+                gpcs,
+                rejected,
+            } => {
+                s.push_str(&format!(
+                    "\"func\":{func},\"node\":{node},\"free_signature\":{free_signature},\"chosen_rank\":{chosen_rank},\"stages\":{stages},\"cv\":"
+                ));
+                push_f64(&mut s, *cv);
+                s.push_str(&format!(",\"gpcs\":{gpcs},\"rejected\":["));
+                for (i, r) in rejected.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&format!(
+                        "{{\"rank\":{},\"stages\":{},\"cv\":",
+                        r.rank, r.stages
+                    ));
+                    push_f64(&mut s, r.cv);
+                    s.push_str(&format!(",\"reason\":\"{}\"}}", r.reason.as_str()));
+                }
+                s.push(']');
+            }
+            ObsEvent::PlanCacheLookup { func, node, hit } => {
+                s.push_str(&format!("\"func\":{func},\"node\":{node},\"hit\":{hit}"));
+            }
+            ObsEvent::KeepAliveTransition { func, from, to, cause } => {
+                s.push_str(&format!(
+                    "\"func\":{func},\"from\":\"{}\",\"to\":\"{}\",\"cause\":\"{}\"",
+                    from.as_str(),
+                    to.as_str(),
+                    cause.as_str()
+                ));
+            }
+            ObsEvent::Eviction { func, reason, slice } => {
+                s.push_str(&format!(
+                    "\"func\":{func},\"reason\":\"{}\",\"gpu\":{},\"slice\":{}",
+                    reason.as_str(),
+                    slice.gpu,
+                    slice.index
+                ));
+            }
+            ObsEvent::InstanceLaunched { inst, func, node, stages, pipelined, cold_ms } => {
+                s.push_str(&format!(
+                    "\"inst\":{inst},\"func\":{func},\"node\":{node},\"stages\":{stages},\"pipelined\":{pipelined},\"cold_ms\":"
+                ));
+                push_f64(&mut s, *cold_ms);
+            }
+            ObsEvent::InstanceRetired { inst, func } => {
+                s.push_str(&format!("\"inst\":{inst},\"func\":{func}"));
+            }
+            ObsEvent::MigrationStarted { func, drained } => {
+                s.push_str(&format!("\"func\":{func},\"drained\":{drained}"));
+            }
+            ObsEvent::SliceAllocated { slice, gpcs } => {
+                s.push_str(&format!(
+                    "\"gpu\":{},\"slice\":{},\"gpcs\":{gpcs}",
+                    slice.gpu, slice.index
+                ));
+            }
+            ObsEvent::SliceReleased { slice } => {
+                s.push_str(&format!("\"gpu\":{},\"slice\":{}", slice.gpu, slice.index));
+            }
+            ObsEvent::SliceActive { slice, func, req } => {
+                s.push_str(&format!(
+                    "\"gpu\":{},\"slice\":{},\"func\":{func},\"req\":{req}",
+                    slice.gpu, slice.index
+                ));
+            }
+            ObsEvent::SliceIdle { slice } => {
+                s.push_str(&format!("\"gpu\":{},\"slice\":{}", slice.gpu, slice.index));
+            }
+            ObsEvent::PoolGrow { slice, func } => {
+                s.push_str(&format!(
+                    "\"gpu\":{},\"slice\":{},\"func\":{func}",
+                    slice.gpu, slice.index
+                ));
+            }
+            ObsEvent::PoolShrink { slice } => {
+                s.push_str(&format!("\"gpu\":{},\"slice\":{}", slice.gpu, slice.index));
+            }
+            ObsEvent::MigReconfig { gpu, secs } => {
+                s.push_str(&format!("\"gpu\":{gpu},\"secs\":{secs}"));
+            }
+            ObsEvent::QueueDepth { pending } => {
+                s.push_str(&format!("\"pending\":{pending}"));
+            }
+            ObsEvent::ExecutorSubmit { req } => {
+                s.push_str(&format!("\"req\":{req}"));
+            }
+            ObsEvent::ExecutorComplete { req, total_ms } => {
+                s.push_str(&format!("\"req\":{req},\"total_ms\":"));
+                push_f64(&mut s, *total_ms);
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable_snake_case() {
+        let ev = ObsEvent::PlanDecision {
+            func: 1,
+            node: 0,
+            free_signature: 7,
+            chosen_rank: 2,
+            stages: 3,
+            cv: 0.25,
+            gpcs: 3,
+            rejected: vec![],
+        };
+        assert_eq!(ev.kind(), "plan_decision");
+        assert_eq!(ObsEvent::QueueDepth { pending: 1 }.kind(), "queue_depth");
+    }
+
+    #[test]
+    fn fields_render_as_json_fragments() {
+        let ev = ObsEvent::KeepAliveTransition {
+            func: 4,
+            from: KaState::TimeSharing,
+            to: KaState::Warm,
+            cause: KaCause::Evicted,
+        };
+        assert_eq!(
+            ev.fields_json(),
+            "\"func\":4,\"from\":\"time_sharing\",\"to\":\"warm\",\"cause\":\"evicted\""
+        );
+    }
+
+    #[test]
+    fn rejected_candidates_render_inline() {
+        let ev = ObsEvent::PlanDecision {
+            func: 0,
+            node: 1,
+            free_signature: 0x1002,
+            chosen_rank: 1,
+            stages: 2,
+            cv: 0.5,
+            gpcs: 2,
+            rejected: vec![RejectedCandidate {
+                rank: 0,
+                stages: 1,
+                cv: 0.0,
+                reason: RejectReason::MemoryNoFit,
+            }],
+        };
+        let f = ev.fields_json();
+        assert!(f.contains("\"chosen_rank\":1"), "{f}");
+        assert!(f.contains("\"reason\":\"memory_no_fit\""), "{f}");
+        assert!(f.contains("\"free_signature\":4098"), "{f}");
+    }
+
+    #[test]
+    fn floats_round_trip_and_nonfinite_is_null() {
+        let mut s = String::new();
+        push_f64(&mut s, 2.0);
+        assert_eq!(s, "2.0");
+        let mut s = String::new();
+        push_f64(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn escape_json_handles_specials() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

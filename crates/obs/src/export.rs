@@ -1,0 +1,293 @@
+//! Exporters: JSON-lines and Chrome trace-event format.
+//!
+//! The JSONL export is one flat object per line — easy to grep and to load
+//! into pandas/duckdb. The Chrome export follows the trace-event format's
+//! JSON-array flavour, loadable in Perfetto / `chrome://tracing`: each GPU
+//! becomes a process and each slice index a thread, so busy intervals show
+//! as one track per GPU slice; control-plane decisions appear as instants
+//! on a dedicated "control plane" process and the sampled scheduler queue
+//! depth as a counter track.
+
+use std::collections::{BTreeSet, HashMap};
+use std::io::{self, Write};
+
+use crate::counters::Counters;
+use crate::event::{ObsEvent, SliceRef};
+use crate::recorder::{Recording, Stamped};
+
+/// Writes a recording as JSON lines: one event object per line, followed by
+/// a final `counters` summary line.
+pub fn write_jsonl<W: Write>(w: &mut W, rec: &Recording) -> io::Result<()> {
+    for s in &rec.events {
+        write_jsonl_event(w, s)?;
+    }
+    writeln!(
+        w,
+        "{{\"kind\":\"counters\",\"dropped\":{},\"counters\":{}}}",
+        rec.dropped,
+        rec.counters.to_json()
+    )
+}
+
+fn write_jsonl_event<W: Write>(w: &mut W, s: &Stamped) -> io::Result<()> {
+    let fields = s.event.fields_json();
+    if fields.is_empty() {
+        writeln!(w, "{{\"kind\":\"{}\",\"t_us\":{},\"seq\":{}}}", s.event.kind(), s.t_us, s.seq)
+    } else {
+        writeln!(
+            w,
+            "{{\"kind\":\"{}\",\"t_us\":{},\"seq\":{},{}}}",
+            s.event.kind(),
+            s.t_us,
+            s.seq,
+            fields
+        )
+    }
+}
+
+/// Process id used for control-plane (non-slice) tracks in the Chrome
+/// export. GPU `g` maps to pid `g + 1`.
+const CONTROL_PID: u32 = 0;
+
+fn slice_of(ev: &ObsEvent) -> Option<SliceRef> {
+    match ev {
+        ObsEvent::SliceActive { slice, .. }
+        | ObsEvent::SliceIdle { slice }
+        | ObsEvent::SliceAllocated { slice, .. }
+        | ObsEvent::SliceReleased { slice }
+        | ObsEvent::PoolGrow { slice, .. }
+        | ObsEvent::PoolShrink { slice }
+        | ObsEvent::Eviction { slice, .. } => Some(*slice),
+        _ => None,
+    }
+}
+
+/// Writes a recording in Chrome trace-event JSON-array format.
+///
+/// Mapping:
+/// - metadata (`M`) events name each GPU process and slice thread;
+/// - `SliceActive` → `SliceIdle` pairs become complete (`X`) duration
+///   events named after the function, one track per GPU slice;
+/// - `QueueDepth` samples become a counter (`C`) track;
+/// - every other event becomes an instant (`i`) on its slice's track, or on
+///   the control-plane process when it has no slice.
+pub fn write_chrome_trace<W: Write>(w: &mut W, rec: &Recording) -> io::Result<()> {
+    write!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+    let mut first = true;
+    let mut emit = |w: &mut W, s: &str| -> io::Result<()> {
+        if first {
+            first = false;
+        } else {
+            write!(w, ",")?;
+        }
+        write!(w, "{s}")
+    };
+
+    // Name the control-plane process and every slice track that appears.
+    emit(
+        w,
+        &format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{CONTROL_PID},\"tid\":0,\"args\":{{\"name\":\"control plane\"}}}}"
+        ),
+    )?;
+    let mut slices: BTreeSet<(u16, u8)> = BTreeSet::new();
+    for s in &rec.events {
+        if let Some(sl) = slice_of(&s.event) {
+            slices.insert((sl.gpu, sl.index));
+        }
+    }
+    let mut named_gpus: BTreeSet<u16> = BTreeSet::new();
+    for &(gpu, index) in &slices {
+        let pid = gpu as u32 + 1;
+        if named_gpus.insert(gpu) {
+            emit(
+                w,
+                &format!(
+                    "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"GPU {gpu}\"}}}}"
+                ),
+            )?;
+        }
+        emit(
+            w,
+            &format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{index},\"args\":{{\"name\":\"slice {index}\"}}}}"
+            ),
+        )?;
+    }
+
+    // Open SliceActive intervals awaiting their SliceIdle.
+    let mut open: HashMap<(u16, u8), (u64, u32, u64)> = HashMap::new();
+    let mut last_t = 0u64;
+    for s in &rec.events {
+        last_t = last_t.max(s.t_us);
+        match &s.event {
+            ObsEvent::SliceActive { slice, func, req } => {
+                open.insert((slice.gpu, slice.index), (s.t_us, *func, *req));
+            }
+            ObsEvent::SliceIdle { slice } => {
+                if let Some((t0, func, req)) = open.remove(&(slice.gpu, slice.index)) {
+                    let dur = s.t_us.saturating_sub(t0);
+                    emit(
+                        w,
+                        &format!(
+                            "{{\"name\":\"f{func}\",\"cat\":\"exec\",\"ph\":\"X\",\"ts\":{t0},\"dur\":{dur},\"pid\":{},\"tid\":{},\"args\":{{\"func\":{func},\"req\":{req}}}}}",
+                            slice.gpu as u32 + 1,
+                            slice.index
+                        ),
+                    )?;
+                }
+            }
+            ObsEvent::QueueDepth { pending } => {
+                emit(
+                    w,
+                    &format!(
+                        "{{\"name\":\"sched queue\",\"cat\":\"sched\",\"ph\":\"C\",\"ts\":{},\"pid\":{CONTROL_PID},\"tid\":0,\"args\":{{\"pending\":{pending}}}}}",
+                        s.t_us
+                    ),
+                )?;
+            }
+            ev => {
+                let (pid, tid) = match slice_of(ev) {
+                    Some(sl) => (sl.gpu as u32 + 1, sl.index as u32),
+                    None => (CONTROL_PID, 0),
+                };
+                let fields = ev.fields_json();
+                let args = if fields.is_empty() {
+                    String::from("{}")
+                } else {
+                    format!("{{{fields}}}")
+                };
+                emit(
+                    w,
+                    &format!(
+                        "{{\"name\":\"{}\",\"cat\":\"ctrl\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{pid},\"tid\":{tid},\"args\":{args}}}",
+                        ev.kind(),
+                        s.t_us
+                    ),
+                )?;
+            }
+        }
+    }
+
+    // Close any interval still open at end of trace.
+    let mut leftovers: Vec<_> = open.into_iter().collect();
+    leftovers.sort_unstable_by_key(|&(k, _)| k);
+    for ((gpu, index), (t0, func, req)) in leftovers {
+        let dur = last_t.saturating_sub(t0);
+        emit(
+            w,
+            &format!(
+                "{{\"name\":\"f{func}\",\"cat\":\"exec\",\"ph\":\"X\",\"ts\":{t0},\"dur\":{dur},\"pid\":{},\"tid\":{index},\"args\":{{\"func\":{func},\"req\":{req},\"truncated\":true}}}}",
+                gpu as u32 + 1
+            ),
+        )?;
+    }
+
+    write!(w, "],\"otherData\":{{\"dropped\":{},\"counters\":{}}}}}", rec.dropped, rec.counters.to_json())
+}
+
+/// Renders a counter snapshot as a human-oriented multi-line summary.
+pub fn format_counter_summary(c: &Counters) -> String {
+    format!(
+        concat!(
+            "requests: {} arrived, {} dispatched, {} completed, {} abandoned ({} SLO violations)\n",
+            "plans: {} decisions, plan-cache {} hits / {} misses\n",
+            "keep-alive: {} transitions, evictions {} contention / {} expiry\n",
+            "fleet: {} launches, {} retirements, {} migrations, {} MIG reconfigs, pool +{}/-{}\n",
+            "sched queue depth: last {}, max {}"
+        ),
+        c.requests_arrived,
+        c.requests_dispatched,
+        c.requests_completed,
+        c.requests_abandoned,
+        c.slo_violations,
+        c.plan_decisions,
+        c.plan_cache_hits,
+        c.plan_cache_misses,
+        c.keepalive_transitions,
+        c.evictions_contention,
+        c.evictions_keepalive,
+        c.instances_launched,
+        c.instances_retired,
+        c.migrations,
+        c.mig_reconfigs,
+        c.pool_grows,
+        c.pool_shrinks,
+        c.queue_depth_last,
+        c.queue_depth_max,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn sample_recording() -> Recording {
+        let r = Recorder::with_capacity(64);
+        r.push(0, ObsEvent::RunStart { invocations: 2, gpus: 1 });
+        r.push(5, ObsEvent::RequestArrived { req: 0, func: 3 });
+        r.push(
+            10,
+            ObsEvent::SliceActive { slice: SliceRef::new(0, 2), func: 3, req: 0 },
+        );
+        r.push(30, ObsEvent::SliceIdle { slice: SliceRef::new(0, 2) });
+        r.push(31, ObsEvent::QueueDepth { pending: 4 });
+        r.push(40, ObsEvent::RunEnd { sim_secs: 0.00004 });
+        r.drain()
+    }
+
+    #[test]
+    fn jsonl_has_one_object_per_line_plus_counters() {
+        let rec = sample_recording();
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &rec).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), rec.events.len() + 1);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(lines[0].contains("\"kind\":\"run_start\""));
+        assert!(lines.last().unwrap().contains("\"kind\":\"counters\""));
+    }
+
+    #[test]
+    fn chrome_trace_pairs_active_idle_into_complete_events() {
+        let rec = sample_recording();
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &rec).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with('{') && text.ends_with('}'));
+        // The 20 µs busy interval on GPU 0 slice 2 becomes one X event.
+        assert!(
+            text.contains("\"ph\":\"X\",\"ts\":10,\"dur\":20,\"pid\":1,\"tid\":2"),
+            "{text}"
+        );
+        assert!(text.contains("\"ph\":\"C\""), "{text}");
+        assert!(text.contains("\"name\":\"GPU 0\""), "{text}");
+        assert!(text.contains("\"name\":\"slice 2\""), "{text}");
+    }
+
+    #[test]
+    fn chrome_trace_closes_truncated_intervals() {
+        let r = Recorder::with_capacity(8);
+        r.push(
+            10,
+            ObsEvent::SliceActive { slice: SliceRef::new(1, 0), func: 7, req: 9 },
+        );
+        r.push(50, ObsEvent::QueueDepth { pending: 1 });
+        let rec = r.drain();
+        let mut buf = Vec::new();
+        write_chrome_trace(&mut buf, &rec).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("\"truncated\":true"), "{text}");
+    }
+
+    #[test]
+    fn counter_summary_mentions_cache() {
+        let rec = sample_recording();
+        let s = format_counter_summary(&rec.counters);
+        assert!(s.contains("plan-cache 0 hits / 0 misses"), "{s}");
+    }
+}

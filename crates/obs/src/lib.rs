@@ -1,0 +1,189 @@
+//! `ffs-obs` — structured decision tracing and live runtime counters for
+//! the FluidFaaS control plane.
+//!
+//! Design goals, in priority order:
+//!
+//! 1. **Determinism.** Instrumentation observes the simulation, never
+//!    steers it: no wall clocks, no randomness, no allocation on the hot
+//!    path when disabled. Simulation outputs are byte-identical with
+//!    tracing on or off.
+//! 2. **Near-zero disabled cost.** Every instrumentation site is gated on
+//!    [`enabled`], a single relaxed atomic load; the event-construction
+//!    closure passed to [`record`] only runs when tracing is on.
+//! 3. **Parallel-run safety.** The experiment harness runs many
+//!    simulations concurrently on a thread pool, one run per worker
+//!    thread. The active recorder is therefore *thread-local* (installed
+//!    with [`install`] around each run), so concurrent runs trace into
+//!    disjoint buffers with no cross-talk.
+//! 4. **No dependencies.** Hand-rolled on `std` only, so leaf crates
+//!    (`ffs-sim`, `ffs-mig`) can emit events without cycles and the
+//!    workspace keeps building offline.
+//!
+//! Timestamps are simulation time in microseconds. The simulation engine
+//! publishes the current sim time through [`set_now_us`] before
+//! dispatching each event, so crates with no notion of time (e.g. the MIG
+//! fleet) can still stamp their events via the ambient clock.
+
+mod counters;
+mod event;
+mod export;
+mod recorder;
+
+pub use counters::Counters;
+pub use event::{
+    escape_json, EvictionReason, KaCause, KaState, ObsEvent, RejectReason, RejectedCandidate,
+    ServePathKind, SliceRef,
+};
+pub use export::{format_counter_summary, write_chrome_trace, write_jsonl};
+pub use recorder::{Recorder, Recording, Stamped, DEFAULT_CAPACITY};
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Process-wide master switch. Relaxed is sufficient: the flag is set once
+/// at startup before any simulation work begins, and a stale read merely
+/// skips (or takes) the trace branch on a thread that has no recorder
+/// installed anyway.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<Recorder>>> = const { RefCell::new(None) };
+    static NOW_US: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Turns tracing on or off process-wide. Instrumentation sites still need
+/// a thread-local recorder ([`install`]) to actually retain events.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// The single-branch gate every instrumentation site checks first.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs `rec` as this thread's active recorder, returning the previous
+/// one (if any) so callers can nest.
+pub fn install(rec: Arc<Recorder>) -> Option<Arc<Recorder>> {
+    CURRENT.with(|c| c.borrow_mut().replace(rec))
+}
+
+/// Removes and returns this thread's active recorder.
+pub fn uninstall() -> Option<Arc<Recorder>> {
+    CURRENT.with(|c| c.borrow_mut().take())
+}
+
+/// Clones a handle to this thread's active recorder, if one is installed.
+pub fn current() -> Option<Arc<Recorder>> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Publishes the current simulation time (µs); called by the engine before
+/// dispatching each event so ambient-time recording works everywhere.
+#[inline]
+pub fn set_now_us(t_us: u64) {
+    NOW_US.with(|n| n.set(t_us));
+}
+
+/// The last published simulation time (µs) on this thread.
+#[inline]
+pub fn now_us() -> u64 {
+    NOW_US.with(|n| n.get())
+}
+
+/// Records an event stamped with the ambient sim time. The closure only
+/// runs when tracing is enabled *and* a recorder is installed, so callers
+/// may do arbitrary work inside it without perturbing untraced runs.
+#[inline]
+pub fn record<F: FnOnce() -> ObsEvent>(f: F) {
+    if !enabled() {
+        return;
+    }
+    record_at(now_us(), f);
+}
+
+/// Records an event with an explicit timestamp (µs).
+#[inline]
+pub fn record_at<F: FnOnce() -> ObsEvent>(t_us: u64, f: F) {
+    if !enabled() {
+        return;
+    }
+    CURRENT.with(|c| {
+        if let Some(rec) = c.borrow().as_ref() {
+            rec.push(t_us, f());
+        }
+    });
+}
+
+/// Offers a scheduler queue-depth sample to the active recorder (the
+/// recorder's deterministic stride decides whether it materializes).
+#[inline]
+pub fn sample_queue_depth(t_us: u64, pending: u64) {
+    if !enabled() {
+        return;
+    }
+    CURRENT.with(|c| {
+        if let Some(rec) = c.borrow().as_ref() {
+            rec.offer_queue_depth(t_us, pending);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The enabled flag and the thread-local recorder are process/thread
+    // shared state; serialize the tests that touch them.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn record_is_noop_without_enable_or_recorder() {
+        let _g = LOCK.lock().unwrap();
+        set_enabled(false);
+        let mut ran = false;
+        record(|| {
+            ran = true;
+            ObsEvent::QueueDepth { pending: 0 }
+        });
+        assert!(!ran, "closure must not run when disabled");
+
+        set_enabled(true);
+        let _ = uninstall();
+        record(|| ObsEvent::QueueDepth { pending: 0 });
+        set_enabled(false);
+    }
+
+    #[test]
+    fn record_routes_to_installed_recorder_with_ambient_time() {
+        let _g = LOCK.lock().unwrap();
+        set_enabled(true);
+        let rec = Arc::new(Recorder::with_capacity(16));
+        let prev = install(Arc::clone(&rec));
+        assert!(prev.is_none());
+        set_now_us(1234);
+        record(|| ObsEvent::RequestArrived { req: 1, func: 2 });
+        record_at(99, || ObsEvent::RequestArrived { req: 2, func: 2 });
+        let got = uninstall().expect("recorder installed");
+        set_enabled(false);
+        let recording = got.drain();
+        assert_eq!(recording.events.len(), 2);
+        assert_eq!(recording.events[0].t_us, 1234);
+        assert_eq!(recording.events[1].t_us, 99);
+        drop(rec);
+    }
+
+    #[test]
+    fn install_nests() {
+        let _g = LOCK.lock().unwrap();
+        let a = Arc::new(Recorder::with_capacity(4));
+        let b = Arc::new(Recorder::with_capacity(4));
+        assert!(install(Arc::clone(&a)).is_none());
+        let prev = install(Arc::clone(&b)).expect("a was installed");
+        assert!(Arc::ptr_eq(&prev, &a));
+        let cur = uninstall().expect("b was installed");
+        assert!(Arc::ptr_eq(&cur, &b));
+    }
+}

@@ -1,0 +1,255 @@
+//! The preallocated ring-buffer recorder.
+//!
+//! A [`Recorder`] owns a fixed-capacity ring of timestamped events plus the
+//! [`Counters`] folded from every event ever pushed (counters survive ring
+//! overflow). Pushing takes one short mutex hold; the mutex is uncontended
+//! in practice because each simulation run executes on a single worker
+//! thread and installs its own recorder thread-locally.
+
+use std::sync::Mutex;
+
+use crate::counters::Counters;
+use crate::event::ObsEvent;
+
+/// Default ring capacity: enough for a multi-minute paper-scale run while
+/// bounding memory to a few hundred MB worst-case.
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+/// One recorded event with its simulation timestamp.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stamped {
+    /// Simulation time in microseconds.
+    pub t_us: u64,
+    /// Monotonic sequence number (gap-free even across ring overflow).
+    pub seq: u64,
+    /// The event payload.
+    pub event: ObsEvent,
+}
+
+struct Inner {
+    ring: Vec<Stamped>,
+    /// Next slot to write; wraps at `capacity`.
+    head: usize,
+    /// Events currently held (≤ capacity).
+    len: usize,
+    /// Events discarded because the ring was full.
+    dropped: u64,
+    /// Next sequence number.
+    seq: u64,
+    counters: Counters,
+    /// Emit one `QueueDepth` event per this many samples offered.
+    queue_sample_every: u64,
+    queue_samples_seen: u64,
+}
+
+/// A fixed-capacity, counter-folding event recorder.
+pub struct Recorder {
+    inner: Mutex<Inner>,
+}
+
+/// The drained contents of a recorder: an ordered event log plus final
+/// counter state, ready for export.
+#[derive(Clone, Debug)]
+pub struct Recording {
+    /// Events in push order (oldest first). If `dropped > 0` the oldest
+    /// events were overwritten and this holds only the tail.
+    pub events: Vec<Stamped>,
+    /// Final counter state folded over *all* events, including dropped ones.
+    pub counters: Counters,
+    /// Events lost to ring overflow.
+    pub dropped: u64,
+}
+
+impl Recorder {
+    /// Creates a recorder with the default ring capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Creates a recorder holding at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "recorder capacity must be positive");
+        Recorder {
+            inner: Mutex::new(Inner {
+                ring: Vec::with_capacity(capacity),
+                head: 0,
+                len: 0,
+                dropped: 0,
+                seq: 0,
+                counters: Counters::default(),
+                queue_sample_every: 64,
+                queue_samples_seen: 0,
+            }),
+        }
+    }
+
+    /// Sets the queue-depth sampling stride (every `n`-th offered sample is
+    /// recorded; `n = 0` disables queue-depth events entirely).
+    pub fn set_queue_sample_every(&self, n: u64) {
+        self.inner.lock().unwrap().queue_sample_every = n;
+    }
+
+    /// Pushes an event stamped with simulation time `t_us`.
+    pub fn push(&self, t_us: u64, event: ObsEvent) {
+        let mut g = self.inner.lock().unwrap();
+        g.counters.apply(&event);
+        let seq = g.seq;
+        g.seq += 1;
+        let cap = g.ring.capacity();
+        let stamped = Stamped { t_us, seq, event };
+        if g.len < cap {
+            g.ring.push(stamped);
+            g.len += 1;
+            g.head = g.len % cap;
+        } else {
+            let head = g.head;
+            g.ring[head] = stamped;
+            g.head = (head + 1) % cap;
+            g.dropped += 1;
+        }
+    }
+
+    /// Offers a scheduler queue-depth sample; only every configured n-th
+    /// call materializes an event (deterministic, count-based stride).
+    pub fn offer_queue_depth(&self, t_us: u64, pending: u64) {
+        let should = {
+            let mut g = self.inner.lock().unwrap();
+            if g.queue_sample_every == 0 {
+                return;
+            }
+            let take = g.queue_samples_seen.is_multiple_of(g.queue_sample_every);
+            g.queue_samples_seen += 1;
+            take
+        };
+        if should {
+            self.push(t_us, ObsEvent::QueueDepth { pending });
+        }
+    }
+
+    /// Snapshot of the counter state at this moment.
+    pub fn counters(&self) -> Counters {
+        self.inner.lock().unwrap().counters.clone()
+    }
+
+    /// Number of events currently retained in the ring.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len
+    }
+
+    /// Whether no events have been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events lost to ring overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// Drains the recorder into an ordered [`Recording`], resetting the
+    /// ring (counters are returned and reset too).
+    pub fn drain(&self) -> Recording {
+        let mut g = self.inner.lock().unwrap();
+        let cap = g.ring.capacity();
+        let mut events = Vec::with_capacity(g.len);
+        if g.len < cap {
+            events.append(&mut g.ring);
+        } else {
+            // Ring is full: oldest entry sits at `head`.
+            let head = g.head;
+            let ring = std::mem::take(&mut g.ring);
+            let (tail, front) = ring.split_at(head);
+            events.extend_from_slice(front);
+            events.extend_from_slice(tail);
+            g.ring = Vec::with_capacity(cap);
+        }
+        g.head = 0;
+        g.len = 0;
+        let dropped = std::mem::take(&mut g.dropped);
+        g.seq = 0;
+        g.queue_samples_seen = 0;
+        let counters = std::mem::take(&mut g.counters);
+        Recording { events, counters, dropped }
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arrival(req: u64) -> ObsEvent {
+        ObsEvent::RequestArrived { req, func: 0 }
+    }
+
+    #[test]
+    fn push_and_drain_preserve_order() {
+        let r = Recorder::with_capacity(8);
+        for i in 0..5u64 {
+            r.push(i * 10, arrival(i));
+        }
+        let rec = r.drain();
+        assert_eq!(rec.events.len(), 5);
+        assert_eq!(rec.dropped, 0);
+        assert_eq!(rec.counters.requests_arrived, 5);
+        let times: Vec<u64> = rec.events.iter().map(|s| s.t_us).collect();
+        assert_eq!(times, vec![0, 10, 20, 30, 40]);
+        let seqs: Vec<u64> = rec.events.iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn overflow_keeps_tail_and_counts_drops() {
+        let r = Recorder::with_capacity(4);
+        for i in 0..10u64 {
+            r.push(i, arrival(i));
+        }
+        assert_eq!(r.dropped(), 6);
+        let rec = r.drain();
+        assert_eq!(rec.events.len(), 4);
+        assert_eq!(rec.dropped, 6);
+        // Counters fold all ten events even though six were overwritten.
+        assert_eq!(rec.counters.requests_arrived, 10);
+        let times: Vec<u64> = rec.events.iter().map(|s| s.t_us).collect();
+        assert_eq!(times, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn drain_resets_state() {
+        let r = Recorder::with_capacity(4);
+        r.push(1, arrival(0));
+        let _ = r.drain();
+        assert!(r.is_empty());
+        assert_eq!(r.counters(), Counters::default());
+        r.push(2, arrival(1));
+        let rec = r.drain();
+        assert_eq!(rec.events.len(), 1);
+        assert_eq!(rec.events[0].seq, 0);
+    }
+
+    #[test]
+    fn queue_depth_sampling_is_strided() {
+        let r = Recorder::with_capacity(64);
+        r.set_queue_sample_every(4);
+        for i in 0..9u64 {
+            r.offer_queue_depth(i, i);
+        }
+        let rec = r.drain();
+        // Samples 0, 4 and 8 materialize.
+        assert_eq!(rec.events.len(), 3);
+        assert_eq!(rec.counters.queue_depth_max, 8);
+    }
+
+    #[test]
+    fn queue_depth_sampling_can_be_disabled() {
+        let r = Recorder::with_capacity(8);
+        r.set_queue_sample_every(0);
+        r.offer_queue_depth(0, 5);
+        assert!(r.is_empty());
+    }
+}

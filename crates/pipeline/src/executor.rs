@@ -147,6 +147,9 @@ pub struct PipelineExecutor {
     workers: Vec<JoinHandle<()>>,
     timings: Arc<Mutex<Vec<RequestTiming>>>,
     time_scale: f64,
+    /// When the executor was spawned; trace timestamps for this live
+    /// (wall-clock) runtime are microseconds since this instant.
+    spawned: Instant,
 }
 
 impl PipelineExecutor {
@@ -233,6 +236,7 @@ impl PipelineExecutor {
             workers,
             timings,
             time_scale,
+            spawned: Instant::now(),
         }
     }
 
@@ -255,6 +259,9 @@ impl PipelineExecutor {
     /// [`PipelineExecutor::recv`] will block until a consumer drains
     /// completions — the same backpressure a real invoker applies.
     pub fn submit(&self, request_id: u64, tensor: Vec<f32>) -> Result<(), ExecutorError> {
+        ffs_obs::record_at(self.spawned.elapsed().as_micros() as u64, || {
+            ffs_obs::ObsEvent::ExecutorSubmit { req: request_id }
+        });
         let env = Envelope {
             request_id,
             tensor,
@@ -277,6 +284,12 @@ impl PipelineExecutor {
             total: env.submitted.elapsed(),
             stage_service: env.stage_service,
         };
+        ffs_obs::record_at(self.spawned.elapsed().as_micros() as u64, || {
+            ffs_obs::ObsEvent::ExecutorComplete {
+                req: timing.request_id,
+                total_ms: timing.total.as_secs_f64() * 1e3,
+            }
+        });
         self.timings.lock().push(timing);
         Ok((env.request_id, env.tensor))
     }

@@ -37,5 +37,8 @@ pub mod replay;
 
 pub use estimate::{estimate, InstanceEstimate};
 pub use executor::{ExecutorError, ExecutorStats, KernelMode, PipelineExecutor, RequestTiming, StageSpec};
-pub use plan::{plan_deployment, plan_deployment_unranked, DeploymentPlan, StagePlan};
+pub use plan::{
+    explain_plan, plan_deployment, plan_deployment_unranked, DeploymentPlan, PlanExplanation,
+    StagePlan,
+};
 pub use replay::{spawn_from_plan, ReplayOptions};

@@ -116,7 +116,9 @@ pub fn plan_deployment_unranked(
     profile: &FunctionProfile,
     free: &[FreeSlice],
 ) -> Option<DeploymentPlan> {
-    let list: Vec<ffs_dag::RankedPartition> = ffs_dag::enumerate_partitions(&profile.blocks)
+    // A malformed block spec yields "nothing deployable", never a panic.
+    let list: Vec<ffs_dag::RankedPartition> = ffs_dag::try_enumerate_partitions(&profile.blocks)
+        .ok()?
         .into_iter()
         .map(|p| {
             let stage_costs = p.stage_costs(|n| {
@@ -131,6 +133,82 @@ pub fn plan_deployment_unranked(
         })
         .collect();
     plan_from_list(profile, free, &list)
+}
+
+/// The trace-facing account of a planning decision: which rank won and why
+/// every higher-ranked partition was passed over.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanExplanation {
+    /// Rank of the deployed partition within the candidate list.
+    pub chosen_rank: u32,
+    /// Candidates ranked above the winner, with their rejection reasons.
+    pub rejected: Vec<ffs_obs::RejectedCandidate>,
+}
+
+/// Reconstructs why [`plan_from_list`]-style planning settled on `plan`:
+/// walks `list` up to the deployed partition and classifies each rejection.
+///
+/// Pure and side-effect-free — intended to run only when tracing is
+/// enabled, after a plan has been produced, so the planning hot path stays
+/// untouched.
+pub fn explain_plan(
+    profile: &FunctionProfile,
+    free: &[FreeSlice],
+    plan: &DeploymentPlan,
+    list: &[ffs_dag::RankedPartition],
+) -> PlanExplanation {
+    let mut rejected = Vec::new();
+    for (rank, ranked) in list.iter().enumerate() {
+        if ranked.partition == plan.partition {
+            return PlanExplanation {
+                chosen_rank: rank as u32,
+                rejected,
+            };
+        }
+        rejected.push(ffs_obs::RejectedCandidate {
+            rank: rank as u32,
+            stages: ranked.partition.num_stages() as u32,
+            cv: ranked.cv,
+            reason: classify_rejection(profile, ranked, free),
+        });
+    }
+    // The deployed partition was not in the list (shouldn't happen for
+    // plans produced from it); report it as rank = list length.
+    PlanExplanation {
+        chosen_rank: list.len() as u32,
+        rejected,
+    }
+}
+
+/// Why a single candidate partition could not be hosted on `free`.
+fn classify_rejection(
+    profile: &FunctionProfile,
+    ranked: &ffs_dag::RankedPartition,
+    free: &[FreeSlice],
+) -> ffs_obs::RejectReason {
+    let partition = &ranked.partition;
+    let stage_mems = partition.stage_mem_gb(&profile.dag);
+    let min_gpcs = if partition.is_monolithic() {
+        profile.min_gpcs_mono
+    } else {
+        1
+    };
+    for &mem in &stage_mems {
+        if !free.iter().any(|s| s.profile.fits_memory(mem)) {
+            return ffs_obs::RejectReason::MemoryNoFit;
+        }
+        if !free
+            .iter()
+            .any(|s| s.profile.fits_memory(mem) && s.profile.gpcs() >= min_gpcs)
+        {
+            // Memory-fitting slices exist but none meets the monolithic
+            // compute floor (Table 5).
+            return ffs_obs::RejectReason::ComputeFloor;
+        }
+    }
+    // Every stage fits *some* free slice individually; the distinct
+    // assignment failed, i.e. the paper's resource fragmentation.
+    ffs_obs::RejectReason::Fragmentation
 }
 
 fn plan_from_list(
@@ -308,6 +386,41 @@ mod tests {
         slices.sort();
         slices.dedup();
         assert_eq!(slices.len(), plan.num_stages(), "no slice reuse");
+    }
+
+    #[test]
+    fn explain_plan_reports_rank_and_rejections() {
+        // Only 1g.10gb slices free: the monolith (rank 0) cannot fit, so
+        // the chosen pipeline sits at a later rank and every earlier rank
+        // carries a rejection reason.
+        let fleet = Fleet::new(1, 1, &PartitionScheme::Uniform(
+            ffs_mig::PartitionLayout::preset_seven_small(),
+        ))
+        .unwrap();
+        let p = profile(App::ImageClassification, Variant::Medium);
+        let free = free_of(&fleet);
+        let plan = plan_deployment(&p, &free).unwrap();
+        assert!(!plan.is_monolithic());
+        let ex = explain_plan(&p, &free, &plan, p.ranked_partitions());
+        assert!(ex.chosen_rank >= 1);
+        assert_eq!(ex.rejected.len(), ex.chosen_rank as usize);
+        // Rank 0 is the monolith; a ~14 GB model on 10 GB slices is a
+        // memory rejection.
+        assert_eq!(ex.rejected[0].rank, 0);
+        assert_eq!(ex.rejected[0].stages, 1);
+        assert_eq!(ex.rejected[0].reason, ffs_obs::RejectReason::MemoryNoFit);
+    }
+
+    #[test]
+    fn explain_plan_monolithic_choice_has_no_rejections() {
+        let fleet = Fleet::new(1, 1, &PartitionScheme::p1()).unwrap();
+        let p = profile(App::ImageClassification, Variant::Medium);
+        let free = free_of(&fleet);
+        let plan = plan_deployment(&p, &free).unwrap();
+        assert!(plan.is_monolithic());
+        let ex = explain_plan(&p, &free, &plan, p.ranked_partitions());
+        assert_eq!(ex.chosen_rank, 0);
+        assert!(ex.rejected.is_empty());
     }
 
     #[test]

@@ -8,7 +8,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use ffs_dag::{linear_blocks, rank_partitions, FfsDag, NodeId, PipelinePartition, RankedPartition};
+use ffs_dag::{
+    linear_blocks, try_rank_partitions, FfsDag, NodeId, PartitionError, PipelinePartition,
+    RankedPartition,
+};
 use ffs_mig::SliceProfile;
 
 use crate::apps::{App, Variant};
@@ -43,7 +46,18 @@ pub struct FunctionProfile {
 
 impl FunctionProfile {
     /// Profiles an application variant (the `BUILDDAG` entry point).
+    ///
+    /// Panics if the generated DAG yields a malformed partition spec —
+    /// impossible for the built-in paper apps; use
+    /// [`FunctionProfile::try_build`] when profiling untrusted specs.
     pub fn build(app: App, variant: Variant, perf: &PerfModel) -> Self {
+        Self::try_build(app, variant, perf).expect("paper app DAGs are well-formed")
+    }
+
+    /// Fallible profiling: a malformed partition spec (empty DAG, degenerate
+    /// blocks, non-finite modelled costs) is returned as an error instead of
+    /// panicking the planner.
+    pub fn try_build(app: App, variant: Variant, perf: &PerfModel) -> Result<Self, PartitionError> {
         let dag = app.build_dag(variant);
         let blocks = linear_blocks(&dag);
         let exec_ms = dag
@@ -68,12 +82,12 @@ impl FunctionProfile {
             perf: perf.clone(),
             ranked: Vec::new(),
         };
-        profile.ranked = rank_partitions(
+        profile.ranked = try_rank_partitions(
             &profile.blocks,
             |n| profile.node_exec_ms(n, SliceProfile::G1_10),
             usize::MAX,
-        );
-        profile
+        )?;
+        Ok(profile)
     }
 
     /// All 12 paper app-variants profiled with the default model.

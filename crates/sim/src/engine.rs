@@ -156,6 +156,14 @@ pub fn run_until<W: World>(
         let (at, ev) = sched.pop().expect("peeked non-empty");
         sched.now = at;
         sched.executed += 1;
+        // Observability hook: publish the sim clock to the thread-local
+        // ambient time (so time-unaware crates can stamp events) and offer a
+        // queue-depth sample. Pure observation — world state is untouched, so
+        // execution is byte-identical with tracing on or off.
+        if ffs_obs::enabled() {
+            ffs_obs::set_now_us(at.as_micros());
+            ffs_obs::sample_queue_depth(at.as_micros(), sched.heap.len() as u64);
+        }
         world.handle(at, ev, sched);
     }
 }
