@@ -132,6 +132,7 @@ pub fn placement_preference(profile: &FunctionProfile, slo_ms: f64) -> Vec<Slice
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ffs_profile::{App, PerfModel, Variant};
@@ -203,8 +204,7 @@ mod tests {
         // Sub-linear Amdahl scaling makes small slices more GPC-efficient.
         assert_eq!(order[0], SliceProfile::G1_10);
         for w in order.windows(2) {
-            let eff =
-                |s: SliceProfile| p.mono_exec_ms(s) * s.gpcs() as f64;
+            let eff = |s: SliceProfile| p.mono_exec_ms(s) * s.gpcs() as f64;
             assert!(eff(w[0]) <= eff(w[1]));
         }
     }

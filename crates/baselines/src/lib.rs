@@ -12,12 +12,17 @@
 //!   it grabs the largest free slice — and FIFO routing.
 //!
 //! Both share [`mono::MonolithicSystem`], parameterised by
-//! [`mono::BaselineKind`]. Neither can split a function, so neither can
-//! use fragmented slices smaller than the function's monolithic footprint —
-//! the root cause of the under-utilization the paper analyses (§4).
+//! [`mono::BaselineKind`]: a [`mono::baseline_policies`] bundle (router,
+//! placer, autoscaler) over the shared `fluidfaas` engine — the baselines
+//! keep no event loop of their own. Neither can split a function, so
+//! neither can use fragmented slices smaller than the function's
+//! monolithic footprint — the root cause of the under-utilization the
+//! paper analyses (§4).
+
+#![warn(clippy::unwrap_used)]
 
 pub mod esg_search;
 pub mod mono;
 
 pub use esg_search::{placement_preference, search, ConfigPlan, SearchResult};
-pub use mono::{BaselineKind, MonolithicSystem};
+pub use mono::{baseline_policies, BaselineKind, MonolithicSystem};

@@ -1,4 +1,5 @@
-//! The monolithic baseline platform shared by ESG and INFless+MIG.
+//! The monolithic baseline platforms shared by ESG and INFless+MIG,
+//! expressed as policy bundles over the shared `fluidfaas` engine.
 //!
 //! Both baselines view a serverless function as a single unit: every
 //! component runs on one MIG slice that must hold the whole function
@@ -12,21 +13,23 @@
 //!
 //! Both keep idle instances alive exclusively on their slices until a long
 //! keep-alive expires — the "exclusive keep-alive" policy whose waste §4
-//! quantifies (Figure 5).
+//! quantifies (Figure 5). Neither time-shares slices nor migrates, so they
+//! run with the engine's no-op shared pool and migrator.
 
-use std::collections::{BTreeMap, VecDeque};
-
-use ffs_mig::{Fleet, SliceProfile};
-use ffs_pipeline::{DeploymentPlan, InstanceEstimate};
+use ffs_mig::{NodeId, SliceProfile};
+use ffs_pipeline::DeploymentPlan;
 use ffs_sim::{Scheduler, SimDuration, SimTime, World};
 use ffs_trace::Trace;
 
 use fluidfaas::config::FfsConfig;
-use fluidfaas::instance::{Instance, Phase};
 use fluidfaas::platform::catalog::{FuncId, FunctionCatalog};
+use fluidfaas::platform::engine::{Engine, EngineCore, EngineError, MAX_LAUNCHES_PER_TICK};
 use fluidfaas::platform::events::{Event, InstanceId};
 use fluidfaas::platform::hub::MetricsHub;
-use fluidfaas::platform::request::RequestState;
+use fluidfaas::platform::policy::{
+    lowest_latency_instance, route_to_instance, Autoscaler, NoMigrator, NoSharedPool, Placer,
+    PolicyBundle, Router, SharedPoolPolicy,
+};
 use fluidfaas::platform::runner::Platform;
 
 /// Which baseline policy the system runs.
@@ -48,177 +51,55 @@ impl BaselineKind {
     }
 }
 
-/// A monolithic-view baseline platform.
-pub struct MonolithicSystem {
-    kind: BaselineKind,
-    cfg: FfsConfig,
-    catalog: FunctionCatalog,
-    fleet: Fleet,
-    hub: MetricsHub,
-    requests: Vec<RequestState>,
-    instances: BTreeMap<InstanceId, Instance>,
-    next_instance: u64,
-    pending: Vec<VecDeque<u64>>,
-    arrivals_in_tick: Vec<u32>,
-    demand_rps: Vec<f64>,
-    last_tick: SimTime,
-    horizon: SimTime,
+/// Baseline routing: ESG deadline-aware, INFless FIFO. No overflow path —
+/// whatever the exclusive fleet cannot admit stays in the backlog.
+pub struct BaselineRouter {
+    /// The baseline's policy kind.
+    pub kind: BaselineKind,
 }
 
-/// Maximum launches per function per tick (same ramp limit as FluidFaaS).
-const MAX_LAUNCHES_PER_TICK: usize = 4;
-
-impl MonolithicSystem {
-    /// Builds a baseline platform for the trace.
-    pub fn new(kind: BaselineKind, cfg: FfsConfig, trace: &Trace) -> Self {
-        let catalog = FunctionCatalog::for_workload(cfg.workload, cfg.slo_scale, &cfg.perf);
-        let fleet = Fleet::new(cfg.nodes, cfg.gpus_per_node, &cfg.scheme)
-            .expect("valid partition scheme");
-        let hub = MetricsHub::new(&catalog, fleet.gpu_count(), SimDuration::from_secs(1));
-        let requests = trace
-            .invocations
-            .iter()
-            .map(|inv| {
-                let f = catalog.func_of(inv.app).expect("trace app in catalog");
-                RequestState::new(inv.id, f, inv.arrival, catalog.slo_ms(f))
-            })
-            .collect();
-        let n = catalog.len();
-        let horizon = SimTime::ZERO + trace.duration + cfg.drain;
-        MonolithicSystem {
-            kind,
-            cfg,
-            fleet,
-            hub,
-            requests,
-            instances: BTreeMap::new(),
-            next_instance: 1,
-            pending: vec![VecDeque::new(); n],
-            arrivals_in_tick: vec![0; n],
-            demand_rps: vec![0.0; n],
-            last_tick: SimTime::ZERO,
-            catalog,
-            horizon,
-        }
-    }
-
-    /// The baseline's policy kind.
-    pub fn kind(&self) -> BaselineKind {
-        self.kind
-    }
-
-    /// Live instance count (introspection for tests).
-    pub fn instance_count(&self) -> usize {
-        self.instances.len()
-    }
-
-    /// The function catalog.
-    pub fn catalog(&self) -> &FunctionCatalog {
-        &self.catalog
-    }
-
-    /// The slice profiles currently allocated (for the Figure 3(b)-style
-    /// "which slices does the baseline actually use" analysis).
-    pub fn allocated_profiles(&self) -> Vec<SliceProfile> {
-        self.instances
-            .values()
-            .map(|i| i.plan.stages[0].profile)
-            .collect()
-    }
-
-    fn dispatch_func(&mut self, f: FuncId, now: SimTime, sched: &mut Scheduler<Event>) {
-        while let Some(&req) = self.pending[f].front() {
-            if self.route(f, req, now, sched) {
-                self.pending[f].pop_front();
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn route(&mut self, f: FuncId, _req: u64, now: SimTime, sched: &mut Scheduler<Event>) -> bool {
-        let slo = self.catalog.slo_ms(f);
-        let chosen: Option<InstanceId> = match self.kind {
-            BaselineKind::Esg => {
+impl Router for BaselineRouter {
+    fn dispatch(
+        &self,
+        core: &mut EngineCore,
+        _shared: &dyn SharedPoolPolicy,
+        f: FuncId,
+        now: SimTime,
+        sched: &mut Scheduler<Event>,
+    ) {
+        while let Some(&req) = core.pending[f].front() {
+            let slo = core.catalog.slo_ms(f);
+            let chosen: Option<InstanceId> = match self.kind {
                 // Deadline-aware: lowest-latency instance with capacity.
-                let mut best: Option<(InstanceId, f64)> = None;
-                for inst in self.instances.values() {
-                    if inst.func == f && inst.has_capacity(slo) {
-                        let better = best.is_none_or(|(_, lat)| inst.est.latency_ms < lat);
-                        if better {
-                            best = Some((inst.id, inst.est.latency_ms));
-                        }
-                    }
-                }
-                best.map(|(id, _)| id)
-            }
-            BaselineKind::Infless => {
+                BaselineKind::Esg => lowest_latency_instance(core, f, slo),
                 // FIFO: first instance (by id) with capacity.
-                self.instances
+                BaselineKind::Infless => core
+                    .instances
                     .values()
                     .find(|i| i.func == f && i.has_capacity(slo))
-                    .map(|i| i.id)
-            }
-        };
-        let Some(id) = chosen else { return false };
-        let req = self.pending[f][0];
-        let inst = self.instances.get_mut(&id).expect("live");
-        inst.stage_queues[0].push_back(req);
-        inst.last_used = now;
-        self.try_start(id, now, sched);
-        true
-    }
-
-    fn try_start(&mut self, id: InstanceId, now: SimTime, sched: &mut Scheduler<Event>) {
-        let Some(inst) = self.instances.get_mut(&id) else { return };
-        if !inst.is_ready() || inst.stage_busy[0].is_some() {
-            return;
+                    .map(|i| i.id),
+            };
+            let Some(id) = chosen else { break };
+            route_to_instance(core, id, req, now, sched);
+            core.pending[f].pop_front();
         }
-        let Some(req) = inst.stage_queues[0].pop_front() else { return };
-        inst.stage_busy[0] = Some(req);
-        inst.mark_busy(now);
-        self.requests[req as usize].served =
-            Some(fluidfaas::platform::request::ServePath::Monolithic);
-        let f = inst.func;
-        let slice_profile = inst.plan.stages[0].profile;
-        let slice = inst.plan.stages[0].slice;
-        let p = self.catalog.profile(f);
-        let exec_ms: f64 = p.dag.nodes().map(|n| p.node_exec_ms(n, slice_profile)).sum();
-        let handoff_ms =
-            (p.dag.len().saturating_sub(1)) as f64 * p.perf.inprocess_handoff_ms;
-        self.requests[req as usize].exec_ms += exec_ms;
-        self.requests[req as usize].transfer_ms += handoff_ms;
-        self.hub.slice_active(now, slice);
-        sched.after(
-            SimDuration::from_millis_f64(exec_ms + handoff_ms),
-            Event::StageDone { inst: id, stage: 0, req },
-        );
     }
+}
 
-    fn on_done(&mut self, id: InstanceId, req: u64, now: SimTime, sched: &mut Scheduler<Event>) {
-        let Some(inst) = self.instances.get_mut(&id) else { return };
-        debug_assert_eq!(inst.stage_busy[0], Some(req));
-        inst.stage_busy[0] = None;
-        inst.last_used = now;
-        let slice = inst.plan.stages[0].slice;
-        let f = inst.func;
-        if inst.is_empty() {
-            inst.mark_idle(now);
-        }
-        self.hub.slice_idle(now, slice);
-        let breakdown = self.requests[req as usize].finish(now);
-        let state = self.requests[req as usize].clone();
-        self.hub.complete(&state, breakdown);
-        self.try_start(id, now, sched);
-        self.dispatch_func(f, now, sched);
-    }
+/// Baseline placement: one slice holds the whole function, chosen per the
+/// baseline's preference order.
+pub struct BaselinePlacer {
+    /// The baseline's policy kind.
+    pub kind: BaselineKind,
+}
 
-    /// Placement: the slice a new instance gets, per the baseline policy.
-    fn pick_slice(&self, f: FuncId) -> Option<ffs_mig::fleet::FreeSlice> {
-        let p = self.catalog.profile(f);
+impl BaselinePlacer {
+    /// The free slice a new instance gets, per the baseline policy.
+    fn pick_slice(&self, core: &EngineCore, f: FuncId) -> Option<ffs_mig::fleet::FreeSlice> {
+        let p = core.catalog.profile(f);
         let min_mem = p.total_mem_gb();
         let min_gpcs = p.min_gpcs_mono;
-        let mut viable: Vec<ffs_mig::fleet::FreeSlice> = self
+        let mut viable: Vec<ffs_mig::fleet::FreeSlice> = core
             .fleet
             .free_slices(None)
             .into_iter()
@@ -229,7 +110,7 @@ impl MonolithicSystem {
                 // ESG's dual-blade search yields a GPC-efficiency preference
                 // order over slice types (most resource-efficient meeting
                 // the SLO first); place on the best-preferred free slice.
-                let pref = crate::esg_search::placement_preference(p, self.catalog.slo_ms(f));
+                let pref = crate::esg_search::placement_preference(p, core.catalog.slo_ms(f));
                 let rank = |s: &ffs_mig::fleet::FreeSlice| {
                     pref.iter()
                         .position(|&q| q == s.profile)
@@ -244,12 +125,12 @@ impl MonolithicSystem {
         }
         viable.into_iter().next()
     }
+}
 
-    fn launch(&mut self, f: FuncId, now: SimTime, sched: &mut Scheduler<Event>) -> bool {
-        let Some(pick) = self.pick_slice(f) else { return false };
-        self.fleet.allocate(pick.id).expect("was free");
-        self.hub.slice_allocated(now, pick.id, pick.profile.gpcs());
-        let profile = self.catalog.profile(f);
+impl Placer for BaselinePlacer {
+    fn place(&self, core: &mut EngineCore, f: FuncId) -> Option<(DeploymentPlan, NodeId)> {
+        let pick = self.pick_slice(core, f)?;
+        let profile = core.catalog.profile(f);
         let all: Vec<ffs_dag::NodeId> = profile.dag.nodes().collect();
         let partition = ffs_dag::PipelinePartition::new(vec![all.clone()]);
         let plan = DeploymentPlan {
@@ -262,78 +143,48 @@ impl MonolithicSystem {
             }],
             cv: 0.0,
         };
-        let t = profile.mono_exec_ms(pick.profile);
-        let est = InstanceEstimate {
-            latency_ms: t,
-            bottleneck_ms: t,
-            throughput_rps: 1_000.0 / t,
-        };
-        let id = InstanceId(self.next_instance);
-        self.next_instance += 1;
-        let ready_at = now + SimDuration::from_millis_f64(profile.cold_start_ms());
-        let node = self.fleet.node_id_of(pick.id.gpu).expect("valid gpu");
-        self.instances
-            .insert(id, Instance::new(id, f, plan, est, node, now, ready_at));
-        sched.at(ready_at, Event::InstanceReady(id));
-        true
+        let node = core.fleet.node_id_of(pick.id.gpu).expect("valid gpu");
+        Some((plan, node))
     }
+}
 
-    fn capacity_rps(&self, f: FuncId) -> f64 {
-        self.instances
-            .values()
-            .filter(|i| i.func == f)
-            .map(|i| i.est.throughput_rps)
-            .sum()
-    }
+/// Baseline scaling: reactive scale-up plus the exclusive keep-alive —
+/// idle instances hold their slice until `baseline_keep_alive` expires.
+pub struct BaselineAutoscaler;
 
-    fn on_tick(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
-        let window = now.saturating_since(self.last_tick);
-        self.last_tick = now;
-        let secs = window.as_secs_f64().max(1e-9);
-        for f in 0..self.catalog.len() {
-            let rate = self.arrivals_in_tick[f] as f64 / secs;
-            self.arrivals_in_tick[f] = 0;
-            self.demand_rps[f] = if now == SimTime::ZERO {
-                rate
-            } else {
-                0.3 * self.demand_rps[f] + 0.7 * rate
-            };
-        }
-        // Utilization + cost series.
-        let mut busy = 0u32;
-        for inst in self.instances.values() {
-            if inst.stage_busy[0].is_some() {
-                busy += inst.plan.stages[0].profile.gpcs();
-            }
-        }
-        self.hub.busy_gpcs.record(now, busy as f64);
-        self.hub
-            .allocated_gpcs
-            .record(now, self.fleet.allocated_gpcs() as f64);
-        let required: f64 = (0..self.catalog.len())
-            .map(|f| self.demand_rps[f] * self.catalog.profile(f).dag.total_work() / 1_000.0)
-            .sum();
-        self.hub.required_gpcs.record(now, required);
+impl Autoscaler for BaselineAutoscaler {
+    fn on_arrival(&self, _core: &mut EngineCore, _f: FuncId) {}
 
+    fn scale(
+        &self,
+        core: &mut EngineCore,
+        placer: &dyn Placer,
+        now: SimTime,
+        sched: &mut Scheduler<Event>,
+    ) {
         // Scale up.
-        for f in 0..self.catalog.len() {
+        for f in 0..core.catalog.len() {
             for _ in 0..MAX_LAUNCHES_PER_TICK {
-                let cap = self.capacity_rps(f);
+                let cap = core.capacity_rps(f);
                 // Epsilon floor: the demand EWMA never decays to exactly
                 // zero, so an idle function must not oscillate between
                 // releasing and re-acquiring its slice.
-                let pressured = self.demand_rps[f] > (cap * self.cfg.scaleup_headroom).max(1e-6)
-                    || self.pending[f].len() > 1;
-                if !pressured || !self.launch(f, now, sched) {
+                let pressured = core.demand_rps[f] > (cap * core.cfg.scaleup_headroom).max(1e-6)
+                    || core.pending[f].len() > 1;
+                if !pressured {
                     break;
                 }
+                let Some((plan, node)) = placer.place(core, f) else {
+                    break;
+                };
+                core.launch(f, plan, node, now, sched);
             }
         }
         // Exclusive keep-alive: release only after a long idle period.
-        let ids: Vec<InstanceId> = self.instances.keys().copied().collect();
+        let ids: Vec<InstanceId> = core.instances.keys().copied().collect();
         for id in ids {
             let (idle_for, empty, f, throughput) = {
-                let inst = self.instances.get(&id).expect("live");
+                let inst = core.instances.get(&id).expect("live");
                 (
                     now.saturating_since(inst.last_used),
                     inst.is_empty() && inst.is_ready(),
@@ -341,24 +192,84 @@ impl MonolithicSystem {
                     inst.est.throughput_rps,
                 )
             };
-            if empty && idle_for >= self.cfg.baseline_keep_alive {
-                let remaining = self.capacity_rps(f) - throughput;
-                let target = self.demand_rps[f] / self.cfg.scaleup_headroom;
-                if remaining >= target || self.demand_rps[f] < 1e-6 {
-                    let inst = self.instances.remove(&id).expect("live");
-                    let slice = inst.plan.stages[0].slice;
-                    self.fleet.release(slice).expect("allocated");
-                    self.hub.slice_released(now, slice);
+            if empty && idle_for >= core.cfg.baseline_keep_alive {
+                let remaining = core.capacity_rps(f) - throughput;
+                let target = core.demand_rps[f] / core.cfg.scaleup_headroom;
+                if remaining >= target || core.demand_rps[f] < 1e-6 {
+                    core.retire_instance(id, now);
                 }
             }
         }
-        for f in 0..self.catalog.len() {
-            self.dispatch_func(f, now, sched);
-        }
-        let next = now + self.cfg.scale_tick;
-        if next < self.horizon {
-            sched.at(next, Event::ScaleTick);
-        }
+    }
+
+    fn keep_alive(&self, _core: &mut EngineCore, _now: SimTime) {}
+}
+
+/// The policy bundle a baseline kind selects: its router and placer over
+/// the shared engine, reactive scaling with exclusive keep-alive, and no
+/// time sharing or migration.
+pub fn baseline_policies(kind: BaselineKind) -> PolicyBundle {
+    PolicyBundle {
+        router: Box::new(BaselineRouter { kind }),
+        shared: Box::new(NoSharedPool),
+        autoscaler: Box::new(BaselineAutoscaler),
+        migrator: Box::new(NoMigrator),
+        placer: Box::new(BaselinePlacer { kind }),
+    }
+}
+
+/// A monolithic-view baseline platform: the shared engine driven by
+/// [`baseline_policies`].
+pub struct MonolithicSystem {
+    kind: BaselineKind,
+    engine: Engine,
+}
+
+impl MonolithicSystem {
+    /// Builds a baseline platform for the trace.
+    ///
+    /// # Panics
+    /// Panics if the config's partition scheme is invalid or the trace
+    /// invokes an unknown app; use [`MonolithicSystem::try_new`] to handle
+    /// those as errors.
+    pub fn new(kind: BaselineKind, cfg: FfsConfig, trace: &Trace) -> Self {
+        Self::try_new(kind, cfg, trace)
+            .unwrap_or_else(|e| panic!("invalid {} setup: {e}", kind.name()))
+    }
+
+    /// Fallible constructor: builds the platform or reports why the
+    /// config/trace pair cannot be served.
+    pub fn try_new(kind: BaselineKind, cfg: FfsConfig, trace: &Trace) -> Result<Self, EngineError> {
+        Ok(MonolithicSystem {
+            kind,
+            engine: Engine::new(cfg, baseline_policies(kind), trace)?,
+        })
+    }
+
+    /// The baseline's policy kind.
+    pub fn kind(&self) -> BaselineKind {
+        self.kind
+    }
+
+    /// Live instance count (introspection for tests).
+    pub fn instance_count(&self) -> usize {
+        self.engine.core.instance_count()
+    }
+
+    /// The function catalog.
+    pub fn catalog(&self) -> &FunctionCatalog {
+        &self.engine.core.catalog
+    }
+
+    /// The slice profiles currently allocated (for the Figure 3(b)-style
+    /// "which slices does the baseline actually use" analysis).
+    pub fn allocated_profiles(&self) -> Vec<SliceProfile> {
+        self.engine
+            .core
+            .instances
+            .values()
+            .map(|i| i.plan.stages[0].profile)
+            .collect()
     }
 }
 
@@ -366,77 +277,45 @@ impl World for MonolithicSystem {
     type Event = Event;
 
     fn handle(&mut self, now: SimTime, ev: Event, sched: &mut Scheduler<Event>) {
-        match ev {
-            Event::Arrival(id) => {
-                let f = self.requests[id as usize].func;
-                self.arrivals_in_tick[f] += 1;
-                self.pending[f].push_back(id);
-                self.dispatch_func(f, now, sched);
-            }
-            Event::InstanceReady(id) => {
-                let f = match self.instances.get_mut(&id) {
-                    Some(inst) => {
-                        inst.phase = Phase::Ready;
-                        inst.func
-                    }
-                    None => return,
-                };
-                self.dispatch_func(f, now, sched);
-                self.try_start(id, now, sched);
-            }
-            Event::StageDone { inst, req, .. } => self.on_done(inst, req, now, sched),
-            Event::ScaleTick => self.on_tick(now, sched),
-            // Monolithic baselines never schedule transfers or shared-slice
-            // events.
-            Event::TransferDone { .. }
-            | Event::SharedLoadDone { .. }
-            | Event::SharedDone { .. }
-            | Event::KeepAlive(_) => {}
-        }
+        self.engine.handle(now, ev, sched)
     }
 }
 
 impl Platform for MonolithicSystem {
     fn drain(&self) -> SimDuration {
-        self.cfg.drain
+        self.engine.drain()
     }
 
-    fn finalize(&mut self, _end: SimTime) {
-        let unfinished: Vec<RequestState> = self
-            .requests
-            .iter()
-            .filter(|r| r.completed.is_none())
-            .cloned()
-            .collect();
-        for r in unfinished {
-            self.hub.abandon(&r);
-        }
+    fn finalize(&mut self, end: SimTime) {
+        self.engine.finalize(end)
     }
 
     fn take_hub(&mut self) -> MetricsHub {
-        std::mem::replace(&mut self.hub, MetricsHub::detached())
+        self.engine.take_hub()
     }
 
     fn num_gpus(&self) -> usize {
-        self.fleet.gpu_count()
+        self.engine.num_gpus()
     }
 
     fn slices_per_gpu(&self) -> usize {
-        self.fleet
-            .gpus()
-            .next()
-            .map(|(_, g)| g.slices().len())
-            .unwrap_or(0)
+        self.engine.slices_per_gpu()
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
-    use fluidfaas::platform::runner::run_platform;
     use ffs_trace::{AzureTraceConfig, WorkloadClass};
+    use fluidfaas::platform::runner::run_platform;
 
-    fn run(kind: BaselineKind, workload: WorkloadClass, secs: f64, seed: u64) -> fluidfaas::platform::runner::RunOutput {
+    fn run(
+        kind: BaselineKind,
+        workload: WorkloadClass,
+        secs: f64,
+        seed: u64,
+    ) -> fluidfaas::platform::runner::RunOutput {
         let cfg = FfsConfig::paper_default(workload);
         let trace = AzureTraceConfig::for_workload(workload, secs, seed).generate();
         let mut sys = MonolithicSystem::new(kind, cfg, &trace);

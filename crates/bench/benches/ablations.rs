@@ -18,7 +18,11 @@ use fluidfaas::FfsConfig;
 const BENCH_SECS: f64 = 30.0;
 
 fn bench_cv_vs_unranked_planning(c: &mut Criterion) {
-    let profile = FunctionProfile::build(App::ImageClassification, Variant::Medium, &PerfModel::default());
+    let profile = FunctionProfile::build(
+        App::ImageClassification,
+        Variant::Medium,
+        &PerfModel::default(),
+    );
     let fleet = Fleet::new(
         1,
         2,

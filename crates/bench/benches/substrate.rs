@@ -65,7 +65,11 @@ fn bench_cv_ranking(c: &mut Criterion) {
 }
 
 fn bench_planner(c: &mut Criterion) {
-    let profile = FunctionProfile::build(App::ImageClassification, Variant::Large, &PerfModel::default());
+    let profile = FunctionProfile::build(
+        App::ImageClassification,
+        Variant::Large,
+        &PerfModel::default(),
+    );
     let fleet = Fleet::paper_default();
     let free = fleet.free_slices(None);
     c.bench_function("pipeline_plan_deployment", |b| {

@@ -4,8 +4,15 @@ use fluidfaas::platform::runner::run_platform;
 use fluidfaas::{FfsConfig, FluidFaaSSystem};
 
 fn main() {
-    let secs: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300.0);
-    for wl in [WorkloadClass::Light, WorkloadClass::Medium, WorkloadClass::Heavy] {
+    let secs: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300.0);
+    for wl in [
+        WorkloadClass::Light,
+        WorkloadClass::Medium,
+        WorkloadClass::Heavy,
+    ] {
         let cfg = FfsConfig::paper_default(wl);
         let trace = AzureTraceConfig::for_workload(wl, secs, 1).generate();
         let mut sys = FluidFaaSSystem::new(cfg, &trace);

@@ -151,8 +151,9 @@ mod tests {
     use ffs_pipeline::plan::StagePlan;
 
     fn plan(stages: usize) -> DeploymentPlan {
-        let parts: Vec<Vec<ffs_dag::NodeId>> =
-            (0..stages).map(|i| vec![ffs_dag::NodeId(i as u32)]).collect();
+        let parts: Vec<Vec<ffs_dag::NodeId>> = (0..stages)
+            .map(|i| vec![ffs_dag::NodeId(i as u32)])
+            .collect();
         DeploymentPlan {
             partition: PipelinePartition::new(parts.clone()),
             stages: parts

@@ -65,13 +65,13 @@ impl KeepAliveState {
         use KeepAliveState::*;
         use Transition::*;
         match (self, t) {
-            (Cold, RequestArrived) => TimeSharing,    // ①
-            (Warm, RequestArrived) => TimeSharing,    // reload from CPU
+            (Cold, RequestArrived) => TimeSharing,          // ①
+            (Warm, RequestArrived) => TimeSharing,          // reload from CPU
             (TimeSharing, UtilizationHigh) => ExclusiveHot, // ②
             (ExclusiveHot, UtilizationLow) => TimeSharing,  // ③
-            (TimeSharing, Evicted) => Warm,           // ④
-            (Warm, IdleTimeout) => Cold,              // ⑤
-            (TimeSharing, IdleTimeout) => Cold,       // ⑤ (idle on-slice data)
+            (TimeSharing, Evicted) => Warm,                 // ④
+            (Warm, IdleTimeout) => Cold,                    // ⑤
+            (TimeSharing, IdleTimeout) => Cold,             // ⑤ (idle on-slice data)
             (s, _) => s,
         }
     }
@@ -104,7 +104,10 @@ impl KeepAliveState {
 
     /// True if the state holds GPU resources.
     pub fn on_gpu(self) -> bool {
-        matches!(self, KeepAliveState::TimeSharing | KeepAliveState::ExclusiveHot)
+        matches!(
+            self,
+            KeepAliveState::TimeSharing | KeepAliveState::ExclusiveHot
+        )
     }
 
     /// True if the state is exempt from eviction.
@@ -130,7 +133,11 @@ mod tests {
     #[test]
     fn exclusive_hot_is_eviction_exempt() {
         assert!(ExclusiveHot.eviction_exempt());
-        assert_eq!(ExclusiveHot.next(Evicted), ExclusiveHot, "cannot evict hot instances");
+        assert_eq!(
+            ExclusiveHot.next(Evicted),
+            ExclusiveHot,
+            "cannot evict hot instances"
+        );
         assert!(!TimeSharing.eviction_exempt());
     }
 

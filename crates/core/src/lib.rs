@@ -21,7 +21,12 @@
 //!
 //! The [`platform`] module holds the pieces shared with the ESG / INFless
 //! baselines (`ffs-baselines`): request bookkeeping, the function catalog,
-//! the metrics hub and the trace runner.
+//! the metrics hub, the trace runner, and the policy-driven event-loop
+//! engine ([`platform::engine`]) that every platform — FluidFaaS, the
+//! baselines, and the ablation arms — runs on. A platform is a
+//! [`platform::policy::PolicyBundle`] (router, shared-pool policy,
+//! autoscaler, migrator, placer) over that engine; see
+//! `docs/ARCHITECTURE.md` for the layering and how to add a policy.
 //!
 //! ```
 //! use fluidfaas::{FfsConfig, FluidFaaSSystem, platform::run_platform};
@@ -34,6 +39,8 @@
 //! assert!(out.log.slo_hit_rate() > 0.5);
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 pub mod config;
 pub mod instance;
 pub mod keepalive;
@@ -44,4 +51,9 @@ pub mod system;
 
 pub use config::{FfsConfig, ScalingPolicy};
 pub use keepalive::{KeepAliveState, Transition};
-pub use system::{FluidFaaSSystem, SchedulerLog};
+pub use platform::engine::{Engine, EngineCore, EngineError};
+pub use platform::policy::PolicyBundle;
+pub use system::{
+    paper_policies, FluidAutoscaler, FluidFaaSSystem, FluidMigrator, FluidPlacer, FluidRouter,
+    FluidSharedPool, SchedulerLog,
+};

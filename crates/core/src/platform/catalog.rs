@@ -25,7 +25,10 @@ impl FunctionCatalog {
             .into_iter()
             .map(|app| FunctionProfile::build(app, variant, perf))
             .collect();
-        let slo_ms = profiles.iter().map(|p| slo_scale * p.reference_latency_ms()).collect();
+        let slo_ms = profiles
+            .iter()
+            .map(|p| slo_scale * p.reference_latency_ms())
+            .collect();
         FunctionCatalog { profiles, slo_ms }
     }
 
@@ -71,9 +74,7 @@ mod tests {
         assert_eq!(cat.len(), 4);
         for f in cat.ids() {
             assert!(cat.slo_ms(f) > 0.0);
-            assert!(
-                (cat.slo_ms(f) - 1.5 * cat.profile(f).reference_latency_ms()).abs() < 1e-9
-            );
+            assert!((cat.slo_ms(f) - 1.5 * cat.profile(f).reference_latency_ms()).abs() < 1e-9);
         }
     }
 

@@ -1,0 +1,793 @@
+//! The shared event-loop engine every platform runs on.
+//!
+//! [`EngineCore`] owns the *mechanisms* — the scheduler-facing state
+//! (request table, instance map, MIG fleet, shared pool, metrics hub,
+//! keep-alive lineages, plan cache) and the mechanics that mutate it
+//! (stage execution, instance launch/retire, utilization accounting).
+//! [`Engine`] pairs that state with a [`PolicyBundle`](super::policy) and
+//! implements the [`World`] event loop plus the [`Platform`] run driver:
+//! every event is handled once here, and each *decision* (routing,
+//! overflow, scaling, eviction, migration) is delegated to the bundle.
+//!
+//! `FluidFaaSSystem` and the ESG / INFless baselines are thin wrappers
+//! that pick a bundle; they contain no event handling of their own.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use ffs_mig::{Fleet, MigError, NodeId};
+use ffs_pipeline::{estimate, DeploymentPlan};
+use ffs_sim::{Scheduler, SimDuration, SimTime, World};
+use ffs_trace::Trace;
+
+use crate::config::FfsConfig;
+use crate::instance::{Instance, Phase};
+use crate::keepalive::{KeepAliveState, Transition};
+use crate::plancache::PlanCache;
+use crate::shared::SharedPool;
+
+use super::catalog::{FuncId, FunctionCatalog};
+use super::events::{Event, InstanceId};
+use super::hub::MetricsHub;
+use super::policy::PolicyBundle;
+use super::request::RequestState;
+use super::runner::Platform;
+
+/// Maximum instance launches per function per scale tick (burst ramp
+/// limit shared by every autoscaler policy).
+pub const MAX_LAUNCHES_PER_TICK: usize = 4;
+
+/// Counters of the scheduler's decisions over a run — the observable trace
+/// of §5's mechanisms, used by tests, ablations and examples.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedulerLog {
+    /// Exclusive instances launched (monolithic or pipelined).
+    pub launches: u64,
+    /// Pipelined launches among them.
+    pub pipeline_launches: u64,
+    /// Exclusive instances retired (demotion, drain or scale-down).
+    pub retirements: u64,
+    /// Evictions of a time-sharing resident to CPU memory (→ Warm).
+    pub evictions: u64,
+    /// Warm reloads onto a shared slice.
+    pub reloads: u64,
+    /// Pipeline→monolithic migrations started.
+    pub migrations: u64,
+    /// Shared-pool slices added.
+    pub pool_grows: u64,
+    /// Shared-pool slices released.
+    pub pool_shrinks: u64,
+    /// Keep-alive expirations to cold (⑤).
+    pub cold_terminations: u64,
+}
+
+/// Construction-time failures of the engine: the fallible inputs are the
+/// fleet partition scheme and the trace/catalog pairing.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// The configured MIG partition scheme is invalid.
+    Fleet(MigError),
+    /// The trace invokes an application the catalog does not serve.
+    UnknownApp(ffs_profile::App),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Fleet(e) => write!(f, "invalid fleet partition scheme: {e}"),
+            EngineError::UnknownApp(app) => {
+                write!(f, "trace invokes {app:?}, which is not in the catalog")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Fleet(e) => Some(e),
+            EngineError::UnknownApp(_) => None,
+        }
+    }
+}
+
+impl From<MigError> for EngineError {
+    fn from(e: MigError) -> Self {
+        EngineError::Fleet(e)
+    }
+}
+
+/// The scheduler-facing state record. Fields are public on purpose: policy
+/// implementations (in this crate and in `ffs-baselines`) read and mutate
+/// the engine state directly, exactly as the former monolithic systems
+/// did with their own fields.
+pub struct EngineCore {
+    /// Run configuration.
+    pub cfg: FfsConfig,
+    /// The function catalog the trace is served from.
+    pub catalog: FunctionCatalog,
+    /// The MIG fleet.
+    pub fleet: Fleet,
+    /// Metrics collection.
+    pub hub: MetricsHub,
+    /// One state record per trace invocation, indexed by request id.
+    pub requests: Vec<RequestState>,
+    /// Live exclusive instances.
+    pub instances: BTreeMap<InstanceId, Instance>,
+    /// Next instance id to assign.
+    pub next_instance: u64,
+    /// The time-sharing slice pool.
+    pub pool: SharedPool,
+    /// Keep-alive state of each function's time-sharing lineage (Fig. 8).
+    pub ka: Vec<KeepAliveState>,
+    /// Per-function backlog of requests not yet admitted anywhere
+    /// (deadline order == arrival order within a function).
+    pub pending: Vec<VecDeque<u64>>,
+    /// Arrivals per function since the last scale tick.
+    pub arrivals_in_tick: Vec<u32>,
+    /// EWMA demand estimate per function (req/s).
+    pub demand_rps: Vec<f64>,
+    /// When the last scale tick ran.
+    pub last_tick: SimTime,
+    /// Last time each function saw an arrival or completion.
+    pub last_use: Vec<SimTime>,
+    /// End of the simulation (trace end + drain).
+    pub horizon: SimTime,
+    /// Largest number of concurrent exclusive instances seen.
+    pub peak_instances: usize,
+    /// Largest number of concurrent pipelined instances seen.
+    pub peak_pipelines: usize,
+    /// Decision counters for this run.
+    pub sched_log: SchedulerLog,
+    /// Memoized launch plans, invalidated on any slice alloc/free.
+    pub plan_cache: PlanCache,
+}
+
+impl EngineCore {
+    /// Builds the engine state for a config and the trace it will serve.
+    pub fn try_new(cfg: FfsConfig, trace: &Trace) -> Result<Self, EngineError> {
+        let catalog = FunctionCatalog::for_workload(cfg.workload, cfg.slo_scale, &cfg.perf);
+        let fleet = Fleet::new(cfg.nodes, cfg.gpus_per_node, &cfg.scheme)?;
+        let hub = MetricsHub::new(&catalog, fleet.gpu_count(), SimDuration::from_secs(1));
+        let requests = build_requests(&catalog, trace)?;
+        let n = catalog.len();
+        let horizon = SimTime::ZERO + trace.duration + cfg.drain;
+        Ok(EngineCore {
+            cfg,
+            fleet,
+            hub,
+            requests,
+            instances: BTreeMap::new(),
+            next_instance: 1,
+            pool: SharedPool::new(),
+            ka: vec![KeepAliveState::Cold; n],
+            pending: vec![VecDeque::new(); n],
+            arrivals_in_tick: vec![0; n],
+            demand_rps: vec![0.0; n],
+            last_tick: SimTime::ZERO,
+            last_use: vec![SimTime::ZERO; n],
+            catalog,
+            horizon,
+            peak_instances: 0,
+            peak_pipelines: 0,
+            sched_log: SchedulerLog::default(),
+            plan_cache: PlanCache::new(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Number of live exclusive instances.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Number of live pipelined instances.
+    pub fn pipeline_instance_count(&self) -> usize {
+        self.instances
+            .values()
+            .filter(|i| !i.plan.is_monolithic())
+            .count()
+    }
+
+    /// How completed requests were served:
+    /// `(monolithic, pipelined, time_shared)` counts.
+    pub fn serve_mix(&self) -> (usize, usize, usize) {
+        use super::request::ServePath::*;
+        let mut mix = (0, 0, 0);
+        for r in &self.requests {
+            if r.completed.is_none() {
+                continue;
+            }
+            match r.served {
+                Some(Monolithic) => mix.0 += 1,
+                Some(Pipelined) => mix.1 += 1,
+                Some(TimeShared) => mix.2 += 1,
+                None => {}
+            }
+        }
+        mix
+    }
+
+    // ------------------------------------------------------------------
+    // Exclusive instance execution
+    // ------------------------------------------------------------------
+
+    /// Starts the next queued request on `stage` of instance `id` if the
+    /// stage is idle and the instance is serving.
+    pub fn try_start_stage(
+        &mut self,
+        id: InstanceId,
+        stage: usize,
+        now: SimTime,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let Some(inst) = self.instances.get_mut(&id) else {
+            return;
+        };
+        if !inst.is_ready() && !matches!(inst.phase, Phase::Draining) {
+            return;
+        }
+        if inst.stage_busy[stage].is_some() {
+            return;
+        }
+        let Some(req) = inst.stage_queues[stage].pop_front() else {
+            return;
+        };
+        inst.stage_busy[stage] = Some(req);
+        inst.mark_busy(now);
+        if stage == 0 {
+            let path = if inst.plan.is_monolithic() {
+                super::request::ServePath::Monolithic
+            } else {
+                super::request::ServePath::Pipelined
+            };
+            self.requests[req as usize].served = Some(path);
+        }
+        let f = inst.func;
+        let nodes = inst.plan.stages[stage].nodes.clone();
+        let slice_profile = inst.plan.stages[stage].profile;
+        let slice = inst.plan.stages[stage].slice;
+        let mono = inst.plan.is_monolithic();
+        let profile = self.catalog.profile(f);
+        let exec_ms: f64 = profile.stage_exec_ms(&nodes, slice_profile);
+        // Within a stage (monolithic or pipelined alike), components hand
+        // off in-process.
+        let handoff_ms = (nodes.len().saturating_sub(1)) as f64 * profile.perf.inprocess_handoff_ms;
+        self.requests[req as usize].exec_ms += exec_ms;
+        self.requests[req as usize].transfer_ms += handoff_ms;
+        self.hub.slice_active(now, slice);
+        if ffs_obs::enabled() {
+            if stage == 0 {
+                let path = if mono {
+                    ffs_obs::ServePathKind::Monolithic
+                } else {
+                    ffs_obs::ServePathKind::Pipelined
+                };
+                ffs_obs::record(|| ffs_obs::ObsEvent::RequestDispatched {
+                    req,
+                    func: f as u32,
+                    path,
+                    target: id.0,
+                });
+            }
+            ffs_obs::record(|| ffs_obs::ObsEvent::SliceActive {
+                slice: sref(slice),
+                func: f as u32,
+                req,
+            });
+        }
+        sched.after(
+            SimDuration::from_millis_f64(exec_ms + handoff_ms),
+            Event::StageDone {
+                inst: id,
+                stage,
+                req,
+            },
+        );
+    }
+
+    /// Completes one stage execution: frees the slice, finishes or forwards
+    /// the request, refeeds the stage, and retires a drained instance.
+    /// Returns the function to re-dispatch (the caller routes its backlog),
+    /// or `None` if the instance no longer exists.
+    pub fn on_stage_done(
+        &mut self,
+        id: InstanceId,
+        stage: usize,
+        req: u64,
+        now: SimTime,
+        sched: &mut Scheduler<Event>,
+    ) -> Option<FuncId> {
+        let inst = self.instances.get_mut(&id)?;
+        debug_assert_eq!(inst.stage_busy[stage], Some(req));
+        inst.stage_busy[stage] = None;
+        inst.last_used = now;
+        let slice = inst.plan.stages[stage].slice;
+        let last = stage + 1 == inst.plan.num_stages();
+        let f = inst.func;
+        self.hub.slice_idle(now, slice);
+        ffs_obs::record(|| ffs_obs::ObsEvent::SliceIdle { slice: sref(slice) });
+        if last {
+            let breakdown = self.requests[req as usize].finish(now);
+            let state = self.requests[req as usize].clone();
+            self.hub.complete(&state, breakdown);
+        } else {
+            // Boundary transfer through host shared memory.
+            let profile = self.catalog.profile(f);
+            let crossings = {
+                let inst = self.instances.get(&id).expect("live");
+                inst.plan.partition.boundary_transfers_mb(&profile.dag)
+            };
+            let mb = crossings.get(stage).copied().unwrap_or(0.0);
+            let transfer_ms = profile.perf.boundary_ms(mb);
+            self.requests[req as usize].transfer_ms += transfer_ms;
+            if let Some(inst) = self.instances.get_mut(&id) {
+                inst.in_transfer += 1;
+            }
+            sched.after(
+                SimDuration::from_millis_f64(transfer_ms),
+                Event::TransferDone {
+                    inst: id,
+                    stage: stage + 1,
+                    req,
+                },
+            );
+        }
+        // Keep the stage fed, then refill from the function backlog.
+        self.try_start_stage(id, stage, now, sched);
+        if let Some(inst) = self.instances.get_mut(&id) {
+            if inst.is_empty() {
+                inst.mark_idle(now);
+            }
+            if inst.phase == Phase::Draining && inst.is_empty() {
+                self.retire_instance(id, now);
+            }
+        }
+        Some(f)
+    }
+
+    // ------------------------------------------------------------------
+    // Time-sharing execution
+    // ------------------------------------------------------------------
+
+    /// Runs `req` on shared slot `slot_idx` (the resident model must be the
+    /// request's function).
+    pub fn start_shared_exec(
+        &mut self,
+        slot_idx: usize,
+        req: u64,
+        now: SimTime,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let f = self.requests[req as usize].func;
+        let slot = self.pool.slot_mut(slot_idx);
+        debug_assert_eq!(slot.resident, Some(f));
+        slot.touch_resident(f);
+        slot.busy_with = Some(req);
+        slot.mark_busy(now);
+        self.requests[req as usize].served = Some(super::request::ServePath::TimeShared);
+        let slice = slot.slice.id;
+        let profile = slot.slice.profile;
+        let (exec_ms, handoff_ms) = mono_split(&self.catalog, f, profile);
+        self.requests[req as usize].exec_ms += exec_ms;
+        self.requests[req as usize].transfer_ms += handoff_ms;
+        self.hub.slice_active(now, slice);
+        if ffs_obs::enabled() {
+            ffs_obs::record(|| ffs_obs::ObsEvent::RequestDispatched {
+                req,
+                func: f as u32,
+                path: ffs_obs::ServePathKind::TimeShared,
+                target: slot_idx as u64,
+            });
+            ffs_obs::record(|| ffs_obs::ObsEvent::SliceActive {
+                slice: sref(slice),
+                func: f as u32,
+                req,
+            });
+        }
+        sched.after(
+            SimDuration::from_millis_f64(exec_ms + handoff_ms),
+            Event::SharedDone {
+                slot: slot_idx,
+                req,
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Instance lifecycle
+    // ------------------------------------------------------------------
+
+    /// Launches one exclusive instance of `f` with a placement-decided
+    /// `plan` on `node`: allocates the planned slices, books the metrics,
+    /// and schedules readiness after the cold start.
+    pub fn launch(
+        &mut self,
+        f: FuncId,
+        plan: DeploymentPlan,
+        node: NodeId,
+        now: SimTime,
+        sched: &mut Scheduler<Event>,
+    ) -> InstanceId {
+        for s in &plan.stages {
+            self.fleet.allocate(s.slice).expect("planned slice is free");
+            self.hub.slice_allocated(now, s.slice, s.profile.gpcs());
+        }
+        self.plan_cache.invalidate();
+        let profile = self.catalog.profile(f);
+        let est = estimate(profile, &plan);
+        self.peak_instances = self.peak_instances.max(self.instances.len() + 1);
+        if !plan.is_monolithic() {
+            let pipes = self
+                .instances
+                .values()
+                .filter(|i| !i.plan.is_monolithic())
+                .count()
+                + 1;
+            self.peak_pipelines = self.peak_pipelines.max(pipes);
+        }
+        let id = InstanceId(self.next_instance);
+        self.next_instance += 1;
+        let cold_ms = profile.cold_start_ms();
+        let ready_at = now + SimDuration::from_millis_f64(cold_ms);
+        self.sched_log.launches += 1;
+        if !plan.is_monolithic() {
+            self.sched_log.pipeline_launches += 1;
+        }
+        let stages = plan.num_stages() as u32;
+        let pipelined = !plan.is_monolithic();
+        ffs_obs::record(|| ffs_obs::ObsEvent::InstanceLaunched {
+            inst: id.0,
+            func: f as u32,
+            node: node.0,
+            stages,
+            pipelined,
+            cold_ms,
+        });
+        self.instances
+            .insert(id, Instance::new(id, f, plan, est, node, now, ready_at));
+        sched.at(ready_at, Event::InstanceReady(id));
+        id
+    }
+
+    /// Removes an (empty) instance and releases its slices. If it was the
+    /// function's last exclusive instance the keep-alive lineage drops to
+    /// time sharing (③) — a no-op for lineages that never left Cold.
+    pub fn retire_instance(&mut self, id: InstanceId, now: SimTime) {
+        let Some(inst) = self.instances.remove(&id) else {
+            return;
+        };
+        self.sched_log.retirements += 1;
+        ffs_obs::record(|| ffs_obs::ObsEvent::InstanceRetired {
+            inst: id.0,
+            func: inst.func as u32,
+        });
+        debug_assert!(inst.is_empty(), "retiring a non-empty instance");
+        for s in &inst.plan.stages {
+            self.fleet.release(s.slice).expect("allocated slice");
+            self.hub.slice_released(now, s.slice);
+        }
+        self.plan_cache.invalidate();
+        let f = inst.func;
+        if !self.instances.values().any(|i| i.func == f) {
+            self.ka[f] = self.ka[f].next_traced(Transition::UtilizationLow, f as u32);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scale-tick bookkeeping
+    // ------------------------------------------------------------------
+
+    /// Tick prologue: fold the arrival window into the demand EWMA and
+    /// record the utilization/cost series.
+    pub fn begin_tick(&mut self, now: SimTime) {
+        let window = now.saturating_since(self.last_tick);
+        self.last_tick = now;
+        let window_secs = window.as_secs_f64().max(1e-9);
+        for f in 0..self.catalog.len() {
+            let inst_rate = self.arrivals_in_tick[f] as f64 / window_secs;
+            self.arrivals_in_tick[f] = 0;
+            self.demand_rps[f] = if now == SimTime::ZERO {
+                inst_rate
+            } else {
+                0.3 * self.demand_rps[f] + 0.7 * inst_rate
+            };
+        }
+        self.record_utilization(now);
+    }
+
+    /// Tick epilogue: schedule the next tick while inside the horizon.
+    pub fn schedule_next_tick(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+        let next = now + self.cfg.scale_tick;
+        if next < self.horizon {
+            sched.at(next, Event::ScaleTick);
+        }
+    }
+
+    fn record_utilization(&mut self, now: SimTime) {
+        let mut busy_gpcs = 0u32;
+        for inst in self.instances.values() {
+            for (i, b) in inst.stage_busy.iter().enumerate() {
+                if b.is_some() {
+                    busy_gpcs += inst.plan.stages[i].profile.gpcs();
+                }
+            }
+        }
+        for slot in self.pool.slots() {
+            if slot.busy_with.is_some() || slot.loading.is_some() {
+                busy_gpcs += slot.slice.profile.gpcs();
+            }
+        }
+        self.hub.busy_gpcs.record(now, busy_gpcs as f64);
+        self.hub
+            .allocated_gpcs
+            .record(now, self.fleet.allocated_gpcs() as f64);
+        let required: f64 = (0..self.catalog.len())
+            .map(|f| self.demand_rps[f] * self.catalog.profile(f).dag.total_work() / 1_000.0)
+            .sum();
+        self.hub.required_gpcs.record(now, required);
+    }
+
+    /// Aggregate serving capacity (req/s) of `f`'s non-draining instances.
+    pub fn capacity_rps(&self, f: FuncId) -> f64 {
+        self.instances
+            .values()
+            .filter(|i| i.func == f && i.phase != Phase::Draining)
+            .map(|i| i.est.throughput_rps)
+            .sum()
+    }
+
+    /// Functions with pending demand and no way to serve it: no exclusive
+    /// instance (live or launching), and no time-sharing binding.
+    pub fn starving_funcs(&self) -> Vec<FuncId> {
+        (0..self.catalog.len())
+            .filter(|&f| {
+                !self.pending[f].is_empty()
+                    && !self.instances.values().any(|i| i.func == f)
+                    && self.pool.slot_of(f).is_none()
+            })
+            .collect()
+    }
+
+    /// Erlang-C pressure test: true while the live fleet for `f` is
+    /// smaller than the M/M/c size keeping the mean queueing wait below
+    /// `target_wait_frac` of the SLO budget.
+    pub fn erlang_pressure(&self, f: FuncId, target_wait_frac: f64) -> bool {
+        let demand = self.demand_rps[f];
+        if demand < 1e-6 {
+            return !self.pending[f].is_empty();
+        }
+        // Per-server rate: the mean of live instances' throughput, or the
+        // profile's min-baseline estimate before anything is live.
+        let live: Vec<f64> = self
+            .instances
+            .values()
+            .filter(|i| i.func == f && i.phase != Phase::Draining)
+            .map(|i| i.est.throughput_rps)
+            .collect();
+        let mu = if live.is_empty() {
+            let p = self.catalog.profile(f);
+            match p.min_baseline_slice() {
+                Some(s) => 1_000.0 / p.mono_exec_ms(s),
+                None => return false,
+            }
+        } else {
+            live.iter().sum::<f64>() / live.len() as f64
+        };
+        let slo_secs = self.catalog.slo_ms(f) / 1_000.0;
+        let target_wait = (target_wait_frac * slo_secs).max(1e-3);
+        let needed = ffs_sim::queueing::servers_for_mean_wait(demand, mu, target_wait);
+        (live.len() as u32) < needed
+    }
+}
+
+/// Trace-facing reference to a MIG slice.
+pub(crate) fn sref(id: ffs_mig::SliceId) -> ffs_obs::SliceRef {
+    ffs_obs::SliceRef::new(id.gpu.0, id.index)
+}
+
+/// All DAG node ids of a function (helper for load-time computation).
+pub(crate) fn all_nodes(catalog: &FunctionCatalog, f: FuncId) -> Vec<ffs_dag::NodeId> {
+    catalog.profile(f).dag.nodes().collect()
+}
+
+/// Splits the monolithic execution time into (compute, in-process
+/// handoff) parts.
+pub(crate) fn mono_split(
+    catalog: &FunctionCatalog,
+    f: FuncId,
+    slice: ffs_mig::SliceProfile,
+) -> (f64, f64) {
+    let p = catalog.profile(f);
+    let exec: f64 = p.dag.nodes().map(|n| p.node_exec_ms(n, slice)).sum();
+    let handoff = (p.dag.len().saturating_sub(1)) as f64 * p.perf.inprocess_handoff_ms;
+    (exec, handoff)
+}
+
+/// Monolithic execution-time estimate on a shared slice.
+pub(crate) fn est_shared_exec_ms(
+    catalog: &FunctionCatalog,
+    f: FuncId,
+    slice: ffs_mig::SliceProfile,
+) -> f64 {
+    catalog.profile(f).mono_exec_ms(slice)
+}
+
+fn build_requests(
+    catalog: &FunctionCatalog,
+    trace: &Trace,
+) -> Result<Vec<RequestState>, EngineError> {
+    trace
+        .invocations
+        .iter()
+        .map(|inv| {
+            let f = catalog
+                .func_of(inv.app)
+                .ok_or(EngineError::UnknownApp(inv.app))?;
+            Ok(RequestState::new(inv.id, f, inv.arrival, catalog.slo_ms(f)))
+        })
+        .collect()
+}
+
+/// The event loop: engine state plus the policy bundle that steers it.
+pub struct Engine {
+    /// The shared scheduler state and mechanics.
+    pub core: EngineCore,
+    /// The decision policies of the platform being simulated.
+    pub policies: PolicyBundle,
+}
+
+impl Engine {
+    /// Builds an engine for a config, policy bundle, and trace.
+    pub fn new(cfg: FfsConfig, policies: PolicyBundle, trace: &Trace) -> Result<Self, EngineError> {
+        Ok(Engine {
+            core: EngineCore::try_new(cfg, trace)?,
+            policies,
+        })
+    }
+}
+
+impl World for Engine {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, ev: Event, sched: &mut Scheduler<Event>) {
+        let Engine { core, policies } = self;
+        match ev {
+            Event::Arrival(id) => {
+                let f = core.requests[id as usize].func;
+                ffs_obs::record(|| ffs_obs::ObsEvent::RequestArrived {
+                    req: id,
+                    func: f as u32,
+                });
+                core.arrivals_in_tick[f] += 1;
+                core.last_use[f] = now;
+                policies.autoscaler.on_arrival(core, f);
+                core.pending[f].push_back(id);
+                policies
+                    .router
+                    .dispatch(core, &*policies.shared, f, now, sched);
+            }
+            Event::InstanceReady(id) => {
+                let f = match core.instances.get_mut(&id) {
+                    Some(inst) => {
+                        inst.phase = Phase::Ready;
+                        inst.func
+                    }
+                    None => return,
+                };
+                policies
+                    .router
+                    .dispatch(core, &*policies.shared, f, now, sched);
+                // Kick any queued work (requests routed while launching).
+                core.try_start_stage(id, 0, now, sched);
+            }
+            Event::StageDone { inst, stage, req } => {
+                if let Some(f) = core.on_stage_done(inst, stage, req, now, sched) {
+                    policies
+                        .router
+                        .dispatch(core, &*policies.shared, f, now, sched);
+                }
+            }
+            Event::TransferDone { inst, stage, req } => {
+                if let Some(instance) = core.instances.get_mut(&inst) {
+                    debug_assert!(instance.in_transfer > 0);
+                    instance.in_transfer -= 1;
+                    instance.stage_queues[stage].push_back(req);
+                    core.try_start_stage(inst, stage, now, sched);
+                } else {
+                    debug_assert!(false, "transfer completed on a retired instance");
+                }
+            }
+            Event::SharedLoadDone { slot, req } => {
+                let (f, expected) = match core.pool.slot(slot).loading {
+                    Some((f, r)) => (f, r),
+                    None => return,
+                };
+                debug_assert_eq!(expected, req);
+                let s = core.pool.slot_mut(slot);
+                s.loading = None;
+                s.resident = Some(f);
+                core.start_shared_exec(slot, req, now, sched);
+            }
+            Event::SharedDone { slot, req } => {
+                let s = core.pool.slot_mut(slot);
+                debug_assert_eq!(s.busy_with, Some(req));
+                s.busy_with = None;
+                s.mark_idle(now);
+                let slice = s.slice.id;
+                core.hub.slice_idle(now, slice);
+                ffs_obs::record(|| ffs_obs::ObsEvent::SliceIdle { slice: sref(slice) });
+                let breakdown = core.requests[req as usize].finish(now);
+                let state = core.requests[req as usize].clone();
+                core.hub.complete(&state, breakdown);
+                let f = state.func;
+                core.last_use[f] = now;
+                policies
+                    .router
+                    .dispatch(core, &*policies.shared, f, now, sched);
+                let _ = policies.shared.dispatch_slot(core, slot, now, sched);
+            }
+            Event::ScaleTick => {
+                core.begin_tick(now);
+                policies
+                    .autoscaler
+                    .scale(core, &*policies.placer, now, sched);
+                policies.shared.maintain(core, now);
+                policies.autoscaler.keep_alive(core, now);
+                policies
+                    .migrator
+                    .migrate(core, &*policies.placer, now, sched);
+                // Retry anything stuck in the backlog.
+                for f in 0..core.catalog.len() {
+                    policies
+                        .router
+                        .dispatch(core, &*policies.shared, f, now, sched);
+                }
+                core.schedule_next_tick(now, sched);
+            }
+            Event::KeepAlive(_) => { /* handled by the tick sweep */ }
+        }
+    }
+}
+
+impl Platform for Engine {
+    fn drain(&self) -> SimDuration {
+        self.core.cfg.drain
+    }
+
+    fn finalize(&mut self, _end: SimTime) {
+        let unfinished: Vec<RequestState> = self
+            .core
+            .requests
+            .iter()
+            .filter(|r| r.completed.is_none())
+            .cloned()
+            .collect();
+        for r in unfinished {
+            self.core.hub.abandon(&r);
+        }
+    }
+
+    fn take_hub(&mut self) -> MetricsHub {
+        crate::plancache::note_run_stats(
+            self.core.plan_cache.hits(),
+            self.core.plan_cache.misses(),
+        );
+        std::mem::replace(&mut self.core.hub, MetricsHub::detached())
+    }
+
+    fn num_gpus(&self) -> usize {
+        self.core.fleet.gpu_count()
+    }
+
+    fn slices_per_gpu(&self) -> usize {
+        self.core
+            .fleet
+            .gpus()
+            .next()
+            .map(|(_, g)| g.slices().len())
+            .unwrap_or(0)
+    }
+}

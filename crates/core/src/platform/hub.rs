@@ -33,7 +33,10 @@ impl MetricsHub {
             busy_gpcs: BinnedSeries::new(bin),
             allocated_gpcs: BinnedSeries::new(bin),
             required_gpcs: BinnedSeries::new(bin),
-            app_of_func: catalog.ids().map(|f| catalog.profile(f).app.index()).collect(),
+            app_of_func: catalog
+                .ids()
+                .map(|f| catalog.profile(f).app.index())
+                .collect(),
             slo_of_func: catalog.ids().map(|f| catalog.slo_ms(f)).collect(),
         }
     }
@@ -97,7 +100,8 @@ impl MetricsHub {
 
     /// Slice allocation hook (forward to cost tracking).
     pub fn slice_allocated(&mut self, t: SimTime, slice: SliceId, gpcs: u32) {
-        self.cost.slice_allocated(t, (slice.gpu.0, slice.index), gpcs);
+        self.cost
+            .slice_allocated(t, (slice.gpu.0, slice.index), gpcs);
     }
 
     /// Slice release hook.
@@ -125,7 +129,8 @@ mod tests {
     use ffs_trace::WorkloadClass;
 
     fn hub() -> MetricsHub {
-        let catalog = FunctionCatalog::for_workload(WorkloadClass::Light, 1.5, &PerfModel::default());
+        let catalog =
+            FunctionCatalog::for_workload(WorkloadClass::Light, 1.5, &PerfModel::default());
         MetricsHub::new(&catalog, 2, SimDuration::from_secs(1))
     }
 

@@ -1,0 +1,270 @@
+//! Scheduling policy traits: the per-mechanism decision points the shared
+//! [`engine`](super::engine) delegates to.
+//!
+//! The engine owns the event loop, the request table, the MIG fleet, the
+//! metrics hub and the `ffs-obs` recorder hooks; everything *discretionary*
+//! — which instance serves a request, when a request overflows to time
+//! sharing, how the shared pool grows and evicts, when instances launch
+//! and retire, and when pipelines migrate — is a policy behind one of the
+//! traits below. A platform (FluidFaaS, ESG, INFless, or an ablation arm)
+//! is just a [`PolicyBundle`] over the engine.
+//!
+//! Adding a new scheduler means implementing the traits whose decisions
+//! differ and reusing the stock implementations for the rest; see
+//! `docs/ARCHITECTURE.md` for a walkthrough.
+
+use ffs_mig::NodeId;
+use ffs_pipeline::DeploymentPlan;
+use ffs_sim::{Scheduler, SimTime};
+
+use crate::instance::Phase;
+
+use super::catalog::FuncId;
+use super::engine::EngineCore;
+use super::events::{Event, InstanceId};
+
+/// Request routing (§5.3): drains a function's backlog onto instances and,
+/// per policy, overflows to the time-sharing pool.
+pub trait Router: Send {
+    /// Routes as many pending requests of `f` as can start now. Policies
+    /// that support time sharing hand overflow work to `shared`.
+    fn dispatch(
+        &self,
+        core: &mut EngineCore,
+        shared: &dyn SharedPoolPolicy,
+        f: FuncId,
+        now: SimTime,
+        sched: &mut Scheduler<Event>,
+    );
+}
+
+/// The eviction-based time-sharing pool (§5.3): slot binding, LRU
+/// eviction, and pool grow/shrink.
+pub trait SharedPoolPolicy: Send {
+    /// Admits a pending request of `f` into the shared pool, binding the
+    /// function (and growing the pool) as needed. Returns true if a
+    /// request was taken off the pending queue.
+    fn admit(
+        &self,
+        core: &mut EngineCore,
+        f: FuncId,
+        now: SimTime,
+        sched: &mut Scheduler<Event>,
+    ) -> bool;
+
+    /// Lets an idle slot pull its most urgent eligible request, evicting
+    /// the resident model when necessary. Returns true if work started.
+    fn dispatch_slot(
+        &self,
+        core: &mut EngineCore,
+        slot: usize,
+        now: SimTime,
+        sched: &mut Scheduler<Event>,
+    ) -> bool;
+
+    /// Per-tick maintenance: grow overloaded slots, shrink idle ones.
+    fn maintain(&self, core: &mut EngineCore, now: SimTime);
+}
+
+/// Exclusive-instance scaling (§5.3): launch pressure, demotion /
+/// retirement, and the Fig. 8 keep-alive transitions.
+pub trait Autoscaler: Send {
+    /// Arrival hook: keep-alive lineage transitions driven by demand.
+    fn on_arrival(&self, core: &mut EngineCore, f: FuncId);
+
+    /// Scale tick: launch instances under pressure (placement delegated to
+    /// `placer`) and retire instances the policy deems surplus.
+    fn scale(
+        &self,
+        core: &mut EngineCore,
+        placer: &dyn Placer,
+        now: SimTime,
+        sched: &mut Scheduler<Event>,
+    );
+
+    /// Keep-alive sweep: Fig. 8 ⑤ idle expiries to cold.
+    fn keep_alive(&self, core: &mut EngineCore, now: SimTime);
+}
+
+/// Pipeline→monolithic migration (§5.3).
+pub trait Migrator: Send {
+    /// Probes for migration opportunities and starts at most as many as
+    /// the policy allows per tick.
+    fn migrate(
+        &self,
+        core: &mut EngineCore,
+        placer: &dyn Placer,
+        now: SimTime,
+        sched: &mut Scheduler<Event>,
+    );
+}
+
+/// Instance placement: chooses the deployment plan (and host node) for one
+/// new exclusive instance.
+pub trait Placer: Send {
+    /// The plan for a new instance of `f` on the current fleet state, or
+    /// `None` if no node can host one.
+    fn place(&self, core: &mut EngineCore, f: FuncId) -> Option<(DeploymentPlan, NodeId)>;
+}
+
+/// The full policy complement a platform runs with.
+pub struct PolicyBundle {
+    /// Request routing.
+    pub router: Box<dyn Router>,
+    /// Time-sharing pool behaviour.
+    pub shared: Box<dyn SharedPoolPolicy>,
+    /// Exclusive-instance scaling.
+    pub autoscaler: Box<dyn Autoscaler>,
+    /// Pipeline migration.
+    pub migrator: Box<dyn Migrator>,
+    /// Instance placement.
+    pub placer: Box<dyn Placer>,
+}
+
+/// A disabled time-sharing pool: admits nothing and maintains nothing.
+/// Used by the monolithic baselines and the `no-time-sharing` ablation.
+pub struct NoSharedPool;
+
+impl SharedPoolPolicy for NoSharedPool {
+    fn admit(
+        &self,
+        _core: &mut EngineCore,
+        _f: FuncId,
+        _now: SimTime,
+        _sched: &mut Scheduler<Event>,
+    ) -> bool {
+        false
+    }
+
+    fn dispatch_slot(
+        &self,
+        _core: &mut EngineCore,
+        _slot: usize,
+        _now: SimTime,
+        _sched: &mut Scheduler<Event>,
+    ) -> bool {
+        false
+    }
+
+    fn maintain(&self, _core: &mut EngineCore, _now: SimTime) {}
+}
+
+/// A disabled migrator: never moves a pipeline. Used by the baselines and
+/// the `no-migration` ablation.
+pub struct NoMigrator;
+
+impl Migrator for NoMigrator {
+    fn migrate(
+        &self,
+        _core: &mut EngineCore,
+        _placer: &dyn Placer,
+        _now: SimTime,
+        _sched: &mut Scheduler<Event>,
+    ) {
+    }
+}
+
+/// Routes `req` onto instance `id`: enqueue at stage 0 and kick the stage.
+/// The caller removes `req` from the function's pending queue.
+pub fn route_to_instance(
+    core: &mut EngineCore,
+    id: InstanceId,
+    req: u64,
+    now: SimTime,
+    sched: &mut Scheduler<Event>,
+) {
+    let inst = core.instances.get_mut(&id).expect("live instance");
+    inst.stage_queues[0].push_back(req);
+    inst.last_used = now;
+    core.try_start_stage(id, 0, now, sched);
+}
+
+/// The lowest-latency instance of `f` with admission capacity (the
+/// deadline-aware chooser shared by FluidFaaS and ESG routing).
+pub fn lowest_latency_instance(core: &EngineCore, f: FuncId, slo_ms: f64) -> Option<InstanceId> {
+    let mut best: Option<(InstanceId, f64)> = None;
+    for inst in core.instances.values() {
+        if inst.func == f && inst.has_capacity(slo_ms) {
+            let better = match best {
+                None => true,
+                Some((_, lat)) => inst.est.latency_ms < lat,
+            };
+            if better {
+                best = Some((inst.id, inst.est.latency_ms));
+            }
+        }
+    }
+    best.map(|(id, _)| id)
+}
+
+/// Aggregate view of a function's non-draining exclusive fleet, the input
+/// of the overflow-to-shared decision (§5.3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExclusiveView {
+    /// Ready instances.
+    pub ready: usize,
+    /// Instances still cold-starting.
+    pub launching: usize,
+    /// In-flight plus queued requests across the ready instances.
+    pub occupancy: usize,
+    /// Best (lowest) bottleneck stage time among ready instances (ms);
+    /// infinity when none is ready.
+    pub best_bottleneck_ms: f64,
+    /// Best (lowest) end-to-end latency among ready instances (ms);
+    /// infinity when none is ready.
+    pub best_latency_ms: f64,
+}
+
+/// Summarizes `f`'s exclusive fleet for [`overflow_decision`].
+pub fn exclusive_view(core: &EngineCore, f: FuncId) -> ExclusiveView {
+    let mut v = ExclusiveView {
+        ready: 0,
+        launching: 0,
+        occupancy: 0,
+        best_bottleneck_ms: f64::INFINITY,
+        best_latency_ms: f64::INFINITY,
+    };
+    for inst in core.instances.values() {
+        if inst.func != f || inst.phase == Phase::Draining {
+            continue;
+        }
+        match inst.phase {
+            Phase::Ready => {
+                v.ready += 1;
+                v.occupancy += inst.occupancy();
+                v.best_bottleneck_ms = v.best_bottleneck_ms.min(inst.est.bottleneck_ms);
+                v.best_latency_ms = v.best_latency_ms.min(inst.est.latency_ms);
+            }
+            Phase::Launching { .. } => v.launching += 1,
+            Phase::Draining => {}
+        }
+    }
+    v
+}
+
+/// The pure overflow rule (§5.3): a request overflows to time sharing when
+/// no exclusive instance will exist soon, or when the estimated wait for
+/// exclusive capacity exceeds the request's remaining slack.
+/// `slack_budget_ms` is the time from now until the request's deadline.
+pub fn overflow_decision(view: &ExclusiveView, slack_budget_ms: f64) -> bool {
+    if view.ready == 0 {
+        // Nothing serving yet. If replacements are launching, a short
+        // wait beats an eviction-reload on the shared slice.
+        return view.launching == 0;
+    }
+    let wait_ms = view.occupancy as f64 * view.best_bottleneck_ms / view.ready as f64;
+    let slack_ms = slack_budget_ms - view.best_latency_ms;
+    wait_ms > slack_ms
+}
+
+/// [`overflow_decision`] applied to the live engine state for request
+/// `req` of function `f`.
+pub fn should_overflow_to_shared(core: &EngineCore, f: FuncId, req: u64, now: SimTime) -> bool {
+    let view = exclusive_view(core, f);
+    let budget_ms = core.requests[req as usize]
+        .deadline
+        .saturating_since(now)
+        .as_secs_f64()
+        * 1_000.0;
+    overflow_decision(&view, budget_ms)
+}

@@ -86,7 +86,10 @@ mod tests {
     #[test]
     fn deadline_derived_from_slo() {
         let r = RequestState::new(0, 1, SimTime::from_secs(10), 500.0);
-        assert_eq!(r.deadline, SimTime::from_secs(10) + SimDuration::from_millis(500));
+        assert_eq!(
+            r.deadline,
+            SimTime::from_secs(10) + SimDuration::from_millis(500)
+        );
     }
 
     #[test]
@@ -98,7 +101,10 @@ mod tests {
         let b = r.finish(SimTime::from_secs(1) + SimDuration::from_millis(500));
         assert!((b.queue_ms - 200.0).abs() < 1e-9);
         assert!((b.total_ms() - 500.0).abs() < 1e-9);
-        assert_eq!(r.completed, Some(SimTime::from_secs(1) + SimDuration::from_millis(500)));
+        assert_eq!(
+            r.completed,
+            Some(SimTime::from_secs(1) + SimDuration::from_millis(500))
+        );
     }
 
     #[test]

@@ -202,6 +202,7 @@ impl SharedPool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use ffs_mig::{GpuId, NodeId, SliceId, SliceProfile};

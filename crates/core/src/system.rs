@@ -1,330 +1,121 @@
-//! The FluidFaaS platform: event-driven implementation of the paper's
-//! design (§5) — on-the-fly pipeline construction, hotness-aware
-//! eviction-based time sharing, heterogeneity-aware routing, autoscaling
-//! and pipeline migration.
+//! The FluidFaaS platform: the paper's §5 mechanisms expressed as the
+//! FluidFaaS policy bundle over the shared [`engine`](crate::platform::engine) —
+//! on-the-fly pipeline construction ([`FluidPlacer`]), hotness-aware
+//! eviction-based time sharing ([`FluidSharedPool`]), heterogeneity-aware
+//! routing ([`FluidRouter`]), autoscaling with the Fig. 8 keep-alive
+//! lineage ([`FluidAutoscaler`]) and pipeline migration ([`FluidMigrator`]).
 
-use std::collections::{BTreeMap, VecDeque};
-
-use ffs_mig::Fleet;
-use ffs_pipeline::{estimate, DeploymentPlan};
+use ffs_mig::NodeId;
+use ffs_pipeline::DeploymentPlan;
 use ffs_sim::{Scheduler, SimDuration, SimTime, World};
 use ffs_trace::Trace;
 
-use crate::config::FfsConfig;
-use crate::instance::{Instance, Phase};
+use crate::config::{FfsConfig, ScalingPolicy};
 use crate::keepalive::{KeepAliveState, Transition};
-use crate::plancache::PlanCache;
 use crate::platform::catalog::{FuncId, FunctionCatalog};
+use crate::platform::engine::{
+    all_nodes, est_shared_exec_ms, sref, Engine, EngineCore, EngineError, MAX_LAUNCHES_PER_TICK,
+};
 use crate::platform::events::{Event, InstanceId};
 use crate::platform::hub::MetricsHub;
-use crate::platform::request::RequestState;
+use crate::platform::policy::{
+    lowest_latency_instance, route_to_instance, should_overflow_to_shared, Autoscaler, Migrator,
+    NoMigrator, NoSharedPool, Placer, PolicyBundle, Router, SharedPoolPolicy,
+};
 use crate::platform::runner::Platform;
-use crate::shared::SharedPool;
 
-/// Maximum instance launches per function per scale tick (burst ramp
-/// limit).
-const MAX_LAUNCHES_PER_TICK: usize = 4;
+pub use crate::platform::engine::SchedulerLog;
 
-/// Counters of the scheduler's decisions over a run — the observable trace
-/// of §5's mechanisms, used by tests, ablations and examples.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct SchedulerLog {
-    /// Exclusive instances launched (monolithic or pipelined).
-    pub launches: u64,
-    /// Pipelined launches among them.
-    pub pipeline_launches: u64,
-    /// Exclusive instances retired (demotion, drain or scale-down).
-    pub retirements: u64,
-    /// Evictions of a time-sharing resident to CPU memory (→ Warm).
-    pub evictions: u64,
-    /// Warm reloads onto a shared slice.
-    pub reloads: u64,
-    /// Pipeline→monolithic migrations started.
-    pub migrations: u64,
-    /// Shared-pool slices added.
-    pub pool_grows: u64,
-    /// Shared-pool slices released.
-    pub pool_shrinks: u64,
-    /// Keep-alive expirations to cold (⑤).
-    pub cold_terminations: u64,
-}
+// ----------------------------------------------------------------------
+// Routing (§5.3)
+// ----------------------------------------------------------------------
 
-/// The FluidFaaS serverless platform over a simulated MIG fleet.
-pub struct FluidFaaSSystem {
-    cfg: FfsConfig,
-    catalog: FunctionCatalog,
-    fleet: Fleet,
-    hub: MetricsHub,
-    requests: Vec<RequestState>,
-    instances: BTreeMap<InstanceId, Instance>,
-    next_instance: u64,
-    pool: SharedPool,
-    /// Keep-alive state of each function's time-sharing lineage (Fig. 8).
-    ka: Vec<KeepAliveState>,
-    /// Per-function backlog of requests not yet admitted anywhere
-    /// (deadline order == arrival order within a function).
-    pending: Vec<VecDeque<u64>>,
-    arrivals_in_tick: Vec<u32>,
-    demand_rps: Vec<f64>,
-    last_tick: SimTime,
-    last_use: Vec<SimTime>,
-    horizon: SimTime,
-    peak_instances: usize,
-    peak_pipelines: usize,
-    sched_log: SchedulerLog,
-    /// Memoized launch plans, invalidated on any slice alloc/free.
-    plan_cache: PlanCache,
-}
+/// FluidFaaS routing: lowest-latency exclusive-hot instance first, then
+/// overflow to the time-sharing instance only when waiting for exclusive
+/// capacity would blow the deadline.
+pub struct FluidRouter;
 
-impl FluidFaaSSystem {
-    /// Builds the platform for a config and the trace it will serve.
-    pub fn new(cfg: FfsConfig, trace: &Trace) -> Self {
-        let catalog = FunctionCatalog::for_workload(cfg.workload, cfg.slo_scale, &cfg.perf);
-        let fleet = Fleet::new(cfg.nodes, cfg.gpus_per_node, &cfg.scheme)
-            .expect("valid partition scheme");
-        let hub = MetricsHub::new(&catalog, fleet.gpu_count(), SimDuration::from_secs(1));
-        let requests = build_requests(&catalog, trace);
-        let n = catalog.len();
-        let horizon = SimTime::ZERO + trace.duration + cfg.drain;
-        FluidFaaSSystem {
-            cfg,
-            fleet,
-            hub,
-            requests,
-            instances: BTreeMap::new(),
-            next_instance: 1,
-            pool: SharedPool::new(),
-            ka: vec![KeepAliveState::Cold; n],
-            pending: vec![VecDeque::new(); n],
-            arrivals_in_tick: vec![0; n],
-            demand_rps: vec![0.0; n],
-            last_tick: SimTime::ZERO,
-            last_use: vec![SimTime::ZERO; n],
-            catalog,
-            horizon,
-            peak_instances: 0,
-            peak_pipelines: 0,
-            sched_log: SchedulerLog::default(),
-            plan_cache: PlanCache::new(),
-        }
-    }
-
-    /// The function catalog.
-    pub fn catalog(&self) -> &FunctionCatalog {
-        &self.catalog
-    }
-
-    /// Number of live exclusive instances (testing / introspection).
-    pub fn instance_count(&self) -> usize {
-        self.instances.len()
-    }
-
-    /// Number of live pipelined instances.
-    pub fn pipeline_instance_count(&self) -> usize {
-        self.instances.values().filter(|i| !i.plan.is_monolithic()).count()
-    }
-
-    /// The shared (time-sharing) pool size.
-    pub fn shared_slot_count(&self) -> usize {
-        self.pool.len()
-    }
-
-    /// Keep-alive state of a function's time-sharing lineage.
-    pub fn keepalive_of(&self, f: FuncId) -> KeepAliveState {
-        self.ka[f]
-    }
-
-    /// Largest number of concurrent exclusive instances seen.
-    pub fn peak_instances(&self) -> usize {
-        self.peak_instances
-    }
-
-    /// Largest number of concurrent pipelined instances seen.
-    pub fn peak_pipelines(&self) -> usize {
-        self.peak_pipelines
-    }
-
-    /// The scheduler's decision counters for this run.
-    pub fn scheduler_log(&self) -> SchedulerLog {
-        self.sched_log
-    }
-
-    /// Launch-plan cache counters `(hits, misses)` for this run.
-    pub fn plan_cache_stats(&self) -> (u64, u64) {
-        (self.plan_cache.hits(), self.plan_cache.misses())
-    }
-
-    /// Introspection: one row per live exclusive instance —
-    /// `(id, function, ready, stages, last_used)`.
-    pub fn instance_summaries(&self) -> Vec<(u64, FuncId, bool, usize, SimTime)> {
-        self.instances
-            .values()
-            .map(|i| (i.id.0, i.func, i.is_ready(), i.plan.num_stages(), i.last_used))
-            .collect()
-    }
-
-    /// Introspection: the current demand estimate (req/s) per function.
-    pub fn demand_estimates(&self) -> Vec<f64> {
-        self.demand_rps.clone()
-    }
-
-    /// Introspection: current backlog length per function.
-    pub fn pending_lens(&self) -> Vec<usize> {
-        self.pending.iter().map(|q| q.len()).collect()
-    }
-
-    /// How completed requests were served:
-    /// `(monolithic, pipelined, time_shared)` counts.
-    pub fn serve_mix(&self) -> (usize, usize, usize) {
-        use crate::platform::request::ServePath::*;
-        let mut mix = (0, 0, 0);
-        for r in &self.requests {
-            if r.completed.is_none() {
-                continue;
-            }
-            match r.served {
-                Some(Monolithic) => mix.0 += 1,
-                Some(Pipelined) => mix.1 += 1,
-                Some(TimeShared) => mix.2 += 1,
-                None => {}
-            }
-        }
-        mix
-    }
-
-    // ------------------------------------------------------------------
-    // Routing (§5.3)
-    // ------------------------------------------------------------------
-
-    fn dispatch_func(&mut self, f: FuncId, now: SimTime, sched: &mut Scheduler<Event>) {
-        while let Some(&req) = self.pending[f].front() {
-            if self.route_to_exclusive(f, req, now, sched) {
-                self.pending[f].pop_front();
+impl Router for FluidRouter {
+    fn dispatch(
+        &self,
+        core: &mut EngineCore,
+        shared: &dyn SharedPoolPolicy,
+        f: FuncId,
+        now: SimTime,
+        sched: &mut Scheduler<Event>,
+    ) {
+        while let Some(&req) = core.pending[f].front() {
+            if route_to_exclusive(core, f, req, now, sched) {
+                core.pending[f].pop_front();
                 continue;
             }
             // Overflow to the time-sharing instance only when waiting for
             // exclusive capacity would blow the deadline (§5.3: hot
             // instances first, "then the remaining requests are routed to
             // the time sharing state instance").
-            if self.cfg.enable_time_sharing
-                && self.should_overflow_to_shared(f, req, now)
-                && self.route_to_shared(f, now, sched)
-            {
+            if should_overflow_to_shared(core, f, req, now) && shared.admit(core, f, now, sched) {
                 continue;
             }
             break;
         }
     }
+}
 
-    /// Decides whether a pending request should overflow to time sharing:
-    /// yes if no exclusive instance will exist soon, or the estimated wait
-    /// for exclusive capacity exceeds the request's remaining slack.
-    fn should_overflow_to_shared(&self, f: FuncId, req: u64, now: SimTime) -> bool {
-        let mut ready = 0usize;
-        let mut launching = 0usize;
-        let mut occupancy = 0usize;
-        let mut best_bottleneck = f64::INFINITY;
-        let mut best_latency = f64::INFINITY;
-        for inst in self.instances.values() {
-            if inst.func != f || inst.phase == Phase::Draining {
-                continue;
-            }
-            match inst.phase {
-                Phase::Ready => {
-                    ready += 1;
-                    occupancy += inst.occupancy();
-                    best_bottleneck = best_bottleneck.min(inst.est.bottleneck_ms);
-                    best_latency = best_latency.min(inst.est.latency_ms);
-                }
-                Phase::Launching { .. } => launching += 1,
-                Phase::Draining => {}
-            }
-        }
-        if ready == 0 {
-            // Nothing serving yet. If replacements are launching, a short
-            // wait beats an eviction-reload on the shared slice.
-            return launching == 0;
-        }
-        let wait_ms = occupancy as f64 * best_bottleneck / ready as f64;
-        let slack_ms = self.requests[req as usize]
-            .deadline
-            .saturating_since(now)
-            .as_secs_f64()
-            * 1_000.0
-            - best_latency;
-        wait_ms > slack_ms
-    }
+/// Routes to the lowest-latency exclusive-hot instance with capacity.
+fn route_to_exclusive(
+    core: &mut EngineCore,
+    f: FuncId,
+    req: u64,
+    now: SimTime,
+    sched: &mut Scheduler<Event>,
+) -> bool {
+    let slo = core.catalog.slo_ms(f);
+    let Some(id) = lowest_latency_instance(core, f, slo) else {
+        return false;
+    };
+    route_to_instance(core, id, req, now, sched);
+    true
+}
 
-    /// Routes to the lowest-latency exclusive-hot instance with capacity.
-    fn route_to_exclusive(
-        &mut self,
+// ----------------------------------------------------------------------
+// Eviction-based time sharing (§5.3)
+// ----------------------------------------------------------------------
+
+/// The eviction-based time-sharing pool: one resident model per shared
+/// slice, LRU eviction to CPU memory, grow on scarcity and overload,
+/// shrink when idle.
+pub struct FluidSharedPool;
+
+impl SharedPoolPolicy for FluidSharedPool {
+    /// Ensures function `f` has a time-sharing binding (creating /
+    /// growing the pool as needed) and lets its slot pull pending work.
+    fn admit(
+        &self,
+        core: &mut EngineCore,
         f: FuncId,
-        req: u64,
         now: SimTime,
         sched: &mut Scheduler<Event>,
     ) -> bool {
-        let slo = self.catalog.slo_ms(f);
-        let mut best: Option<(InstanceId, f64)> = None;
-        for inst in self.instances.values() {
-            if inst.func == f && inst.has_capacity(slo) {
-                let better = match best {
-                    None => true,
-                    Some((_, lat)) => inst.est.latency_ms < lat,
-                };
-                if better {
-                    best = Some((inst.id, inst.est.latency_ms));
-                }
-            }
-        }
-        let Some((id, _)) = best else { return false };
-        let inst = self.instances.get_mut(&id).expect("live instance");
-        inst.stage_queues[0].push_back(req);
-        inst.last_used = now;
-        self.try_start_stage(id, 0, now, sched);
-        true
-    }
-
-    /// Ensures function `f` has a time-sharing binding (creating /
-    /// growing the pool as needed) and lets its slot pull pending work.
-    /// Returns true if a request was taken off the pending queue.
-    fn route_to_shared(&mut self, f: FuncId, now: SimTime, sched: &mut Scheduler<Event>) -> bool {
-        let mem = self.catalog.profile(f).total_mem_gb();
+        let mem = core.catalog.profile(f).total_mem_gb();
         // Prefer an empty slot, then growing the pool; share (and pay
         // evictions) only when the fleet has no spare slice — eviction-based
         // sharing exists to ride out scarcity, not to thrash under
         // abundance.
-        let slot_idx = match self.pool.slot_of(f) {
+        let slot_idx = match core.pool.slot_of(f) {
             Some(i) => i,
             None => {
-                if self.pool.empty_fitting(mem).is_none() {
+                if core.pool.empty_fitting(mem).is_none() {
                     // No dedicated slot available: try to grow the pool.
-                    let _ = self.grow_pool(f, mem, now);
+                    let _ = grow_pool(core, f, mem, now);
                 }
-                match self.pool.bind(f, mem) {
+                match core.pool.bind(f, mem) {
                     Some(i) => i,
                     None => return false,
                 }
             }
         };
-        self.ka[f] = self.ka[f].next_traced(Transition::RequestArrived, f as u32);
-        self.dispatch_shared(slot_idx, now, sched)
-    }
-
-    /// Adds a free slice that fits `mem` to the shared pool.
-    fn grow_pool(&mut self, f: FuncId, mem: f64, now: SimTime) -> Option<usize> {
-        let mut candidates = self.fleet.free_slices_at_least(None, mem);
-        // Smallest slice that fits, deterministic by id.
-        candidates.sort_by_key(|s| (s.profile, s.id));
-        let pick = *candidates.first()?;
-        self.fleet.allocate(pick.id).expect("slice was free");
-        self.plan_cache.invalidate();
-        self.hub.slice_allocated(now, pick.id, pick.profile.gpcs());
-        self.sched_log.pool_grows += 1;
-        ffs_obs::record(|| ffs_obs::ObsEvent::PoolGrow {
-            slice: sref(pick.id),
-            func: f as u32,
-        });
-        Some(self.pool.add_slot(pick, now))
+        core.ka[f] = core.ka[f].next_traced(Transition::RequestArrived, f as u32);
+        self.dispatch_slot(core, slot_idx, now, sched)
     }
 
     /// Starts the most urgent pending request among the slot's bound
@@ -332,336 +123,209 @@ impl FluidFaaSSystem {
     /// needed (§5.3). Requests stay in the shared per-function pending
     /// queue until a worker (exclusive or shared) actually takes them, so
     /// nothing gets stranded behind a slow slice.
-    fn dispatch_shared(&mut self, slot_idx: usize, now: SimTime, sched: &mut Scheduler<Event>) -> bool {
-        if !self.pool.slot(slot_idx).is_free() {
+    fn dispatch_slot(
+        &self,
+        core: &mut EngineCore,
+        slot_idx: usize,
+        now: SimTime,
+        sched: &mut Scheduler<Event>,
+    ) -> bool {
+        if !core.pool.slot(slot_idx).is_free() {
             return false;
         }
         // Most urgent pending head among bound functions (§5.3 ordering:
         // deadline minus estimated execution and load times, ascending).
-        let bound = self.pool.slot(slot_idx).bound.clone();
-        let slice_profile = self.pool.slot(slot_idx).slice.profile;
-        let slice_id = self.pool.slot(slot_idx).slice.id;
-        let resident = self.pool.slot(slot_idx).resident;
+        let bound = core.pool.slot(slot_idx).bound.clone();
+        let slice_profile = core.pool.slot(slot_idx).slice.profile;
+        let slice_id = core.pool.slot(slot_idx).slice.id;
+        let resident = core.pool.slot(slot_idx).resident;
         let mut best: Option<(i64, FuncId, u64)> = None;
         for f in bound {
-            let Some(&req) = self.pending[f].front() else { continue };
-            if !self.should_overflow_to_shared(f, req, now) {
+            let Some(&req) = core.pending[f].front() else {
+                continue;
+            };
+            if !should_overflow_to_shared(core, f, req, now) {
                 continue;
             }
-            let exec = est_shared_exec_ms(&self.catalog, f, slice_profile);
+            let exec = est_shared_exec_ms(&core.catalog, f, slice_profile);
             let load = if resident == Some(f) {
                 0.0
             } else {
-                self.catalog.profile(f).load_ms(&all_nodes(&self.catalog, f))
+                core.catalog
+                    .profile(f)
+                    .load_ms(&all_nodes(&core.catalog, f))
             };
-            let key = self.requests[req as usize].urgency_key(exec, load);
+            let key = core.requests[req as usize].urgency_key(exec, load);
             if best.is_none_or(|(k, _, _)| key < k) {
                 best = Some((key, f, req));
             }
         }
-        let Some((_, f, req)) = best else { return false };
-        self.pending[f].pop_front();
+        let Some((_, f, req)) = best else {
+            return false;
+        };
+        core.pending[f].pop_front();
         if resident == Some(f) {
-            self.start_shared_exec(slot_idx, req, now, sched);
+            core.start_shared_exec(slot_idx, req, now, sched);
         } else {
             // Evict the resident (→ Warm ④) and reload `f` from CPU.
-            let evicted = self.pool.slot_mut(slot_idx).resident.take();
-            let mut load_ms = self.catalog.profile(f).load_ms(&all_nodes(&self.catalog, f));
+            let evicted = core.pool.slot_mut(slot_idx).resident.take();
+            let mut load_ms = core
+                .catalog
+                .profile(f)
+                .load_ms(&all_nodes(&core.catalog, f));
             if let Some(g) = evicted {
-                load_ms += self.catalog.profile(g).load_ms(&all_nodes(&self.catalog, g));
-                self.ka[g] = self.ka[g].next_traced(Transition::Evicted, g as u32);
-                self.sched_log.evictions += 1;
+                load_ms += core
+                    .catalog
+                    .profile(g)
+                    .load_ms(&all_nodes(&core.catalog, g));
+                core.ka[g] = core.ka[g].next_traced(Transition::Evicted, g as u32);
+                core.sched_log.evictions += 1;
                 ffs_obs::record(|| ffs_obs::ObsEvent::Eviction {
                     func: g as u32,
                     reason: ffs_obs::EvictionReason::SliceContention,
                     slice: sref(slice_id),
                 });
             }
-            self.sched_log.reloads += 1;
-            let slot = self.pool.slot_mut(slot_idx);
+            core.sched_log.reloads += 1;
+            let slot = core.pool.slot_mut(slot_idx);
             slot.loading = Some((f, req));
-            self.requests[req as usize].load_ms += load_ms;
+            core.requests[req as usize].load_ms += load_ms;
             sched.after(
                 SimDuration::from_millis_f64(load_ms),
-                Event::SharedLoadDone { slot: slot_idx, req },
+                Event::SharedLoadDone {
+                    slot: slot_idx,
+                    req,
+                },
             );
         }
         true
     }
 
-    fn start_shared_exec(&mut self, slot_idx: usize, req: u64, now: SimTime, sched: &mut Scheduler<Event>) {
-        let f = self.requests[req as usize].func;
-        let slot = self.pool.slot_mut(slot_idx);
-        debug_assert_eq!(slot.resident, Some(f));
-        slot.touch_resident(f);
-        slot.busy_with = Some(req);
-        slot.mark_busy(now);
-        self.requests[req as usize].served =
-            Some(crate::platform::request::ServePath::TimeShared);
-        let slice = slot.slice.id;
-        let profile = slot.slice.profile;
-        let (exec_ms, handoff_ms) = mono_split(&self.catalog, f, profile);
-        self.requests[req as usize].exec_ms += exec_ms;
-        self.requests[req as usize].transfer_ms += handoff_ms;
-        self.hub.slice_active(now, slice);
-        if ffs_obs::enabled() {
-            ffs_obs::record(|| ffs_obs::ObsEvent::RequestDispatched {
-                req,
-                func: f as u32,
-                path: ffs_obs::ServePathKind::TimeShared,
-                target: slot_idx as u64,
-            });
-            ffs_obs::record(|| ffs_obs::ObsEvent::SliceActive {
-                slice: sref(slice),
-                func: f as u32,
-                req,
-            });
-        }
-        sched.after(
-            SimDuration::from_millis_f64(exec_ms + handoff_ms),
-            Event::SharedDone { slot: slot_idx, req },
-        );
-    }
-
-    // ------------------------------------------------------------------
-    // Exclusive instance execution
-    // ------------------------------------------------------------------
-
-    fn try_start_stage(&mut self, id: InstanceId, stage: usize, now: SimTime, sched: &mut Scheduler<Event>) {
-        let Some(inst) = self.instances.get_mut(&id) else { return };
-        if !inst.is_ready() && !matches!(inst.phase, Phase::Draining) {
-            return;
-        }
-        if inst.stage_busy[stage].is_some() {
-            return;
-        }
-        let Some(req) = inst.stage_queues[stage].pop_front() else {
-            return;
-        };
-        inst.stage_busy[stage] = Some(req);
-        inst.mark_busy(now);
-        if stage == 0 {
-            let path = if inst.plan.is_monolithic() {
-                crate::platform::request::ServePath::Monolithic
-            } else {
-                crate::platform::request::ServePath::Pipelined
-            };
-            self.requests[req as usize].served = Some(path);
-        }
-        let f = inst.func;
-        let nodes = inst.plan.stages[stage].nodes.clone();
-        let slice_profile = inst.plan.stages[stage].profile;
-        let slice = inst.plan.stages[stage].slice;
-        let mono = inst.plan.is_monolithic();
-        let profile = self.catalog.profile(f);
-        let exec_ms: f64 = profile.stage_exec_ms(&nodes, slice_profile);
-        let handoff_ms = if mono {
-            (nodes.len().saturating_sub(1)) as f64 * profile.perf.inprocess_handoff_ms
-        } else {
-            // Within a pipeline stage, components still hand off in-process.
-            (nodes.len().saturating_sub(1)) as f64 * profile.perf.inprocess_handoff_ms
-        };
-        self.requests[req as usize].exec_ms += exec_ms;
-        self.requests[req as usize].transfer_ms += handoff_ms;
-        self.hub.slice_active(now, slice);
-        if ffs_obs::enabled() {
-            if stage == 0 {
-                let path = if mono {
-                    ffs_obs::ServePathKind::Monolithic
-                } else {
-                    ffs_obs::ServePathKind::Pipelined
-                };
-                ffs_obs::record(|| ffs_obs::ObsEvent::RequestDispatched {
-                    req,
-                    func: f as u32,
-                    path,
-                    target: id.0,
-                });
-            }
-            ffs_obs::record(|| ffs_obs::ObsEvent::SliceActive {
-                slice: sref(slice),
-                func: f as u32,
-                req,
-            });
-        }
-        sched.after(
-            SimDuration::from_millis_f64(exec_ms + handoff_ms),
-            Event::StageDone { inst: id, stage, req },
-        );
-    }
-
-    fn on_stage_done(&mut self, id: InstanceId, stage: usize, req: u64, now: SimTime, sched: &mut Scheduler<Event>) {
-        let Some(inst) = self.instances.get_mut(&id) else { return };
-        debug_assert_eq!(inst.stage_busy[stage], Some(req));
-        inst.stage_busy[stage] = None;
-        inst.last_used = now;
-        let slice = inst.plan.stages[stage].slice;
-        let last = stage + 1 == inst.plan.num_stages();
-        let f = inst.func;
-        self.hub.slice_idle(now, slice);
-        ffs_obs::record(|| ffs_obs::ObsEvent::SliceIdle { slice: sref(slice) });
-        if last {
-            let breakdown = self.requests[req as usize].finish(now);
-            let state = self.requests[req as usize].clone();
-            self.hub.complete(&state, breakdown);
-        } else {
-            // Boundary transfer through host shared memory.
-            let profile = self.catalog.profile(f);
-            let crossings = {
-                let inst = self.instances.get(&id).expect("live");
-                inst.plan.partition.boundary_transfers_mb(&profile.dag)
-            };
-            let mb = crossings.get(stage).copied().unwrap_or(0.0);
-            let transfer_ms = profile.perf.boundary_ms(mb);
-            self.requests[req as usize].transfer_ms += transfer_ms;
-            if let Some(inst) = self.instances.get_mut(&id) {
-                inst.in_transfer += 1;
-            }
-            sched.after(
-                SimDuration::from_millis_f64(transfer_ms),
-                Event::TransferDone { inst: id, stage: stage + 1, req },
-            );
-        }
-        // Keep the stage fed, then refill from the function backlog.
-        self.try_start_stage(id, stage, now, sched);
-        if let Some(inst) = self.instances.get_mut(&id) {
-            if inst.is_empty() {
-                inst.mark_idle(now);
-            }
-            if inst.phase == Phase::Draining && inst.is_empty() {
-                self.retire_instance(id, now);
-            }
-        }
-        self.dispatch_func(f, now, sched);
-    }
-
-    // ------------------------------------------------------------------
-    // Scaling, state transitions, migration (§5.3)
-    // ------------------------------------------------------------------
-
-    fn on_scale_tick(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
-        let window = now.saturating_since(self.last_tick);
-        self.last_tick = now;
-        let window_secs = window.as_secs_f64().max(1e-9);
-
-        // Demand estimation (EWMA over tick windows).
-        for f in 0..self.catalog.len() {
-            let inst_rate = self.arrivals_in_tick[f] as f64 / window_secs;
-            self.arrivals_in_tick[f] = 0;
-            self.demand_rps[f] = if now == SimTime::ZERO {
-                inst_rate
-            } else {
-                0.3 * self.demand_rps[f] + 0.7 * inst_rate
-            };
-        }
-
-        self.record_utilization(now);
-        self.autoscale(now, sched);
-        self.shared_pool_maintenance(now);
-        self.keep_alive_sweep(now);
-        if self.cfg.enable_migration {
-            self.migrate_pipelines(now, sched);
-        }
-        // Retry anything stuck in the backlog.
-        for f in 0..self.catalog.len() {
-            self.dispatch_func(f, now, sched);
-        }
-        let next = now + self.cfg.scale_tick;
-        if next < self.horizon {
-            sched.at(next, Event::ScaleTick);
-        }
-    }
-
-    fn record_utilization(&mut self, now: SimTime) {
-        let mut busy_gpcs = 0u32;
-        for inst in self.instances.values() {
-            for (i, b) in inst.stage_busy.iter().enumerate() {
-                if b.is_some() {
-                    busy_gpcs += inst.plan.stages[i].profile.gpcs();
+    fn maintain(&self, core: &mut EngineCore, now: SimTime) {
+        // Grow: overloaded slots (deep queues) get help if a slice is free.
+        let mut grow_for: Vec<(FuncId, f64)> = Vec::new();
+        for idx in 0..core.pool.len() {
+            let window = core.cfg.scale_tick;
+            let slot = core.pool.slot_mut(idx);
+            let util = slot.take_utilization(now, window);
+            if util > core.cfg.promote_utilization && slot.queue.len() > 1 {
+                if let Some(&f) = slot.bound.first() {
+                    let mem = core.catalog.profile(f).total_mem_gb();
+                    grow_for.push((f, mem));
                 }
             }
         }
-        for slot in self.pool.slots() {
-            if slot.busy_with.is_some() || slot.loading.is_some() {
-                busy_gpcs += slot.slice.profile.gpcs();
+        for (f, mem) in grow_for {
+            let _ = grow_pool(core, f, mem, now);
+        }
+        // Shrink: empty unbound slots release their slices.
+        let mut idx = 0;
+        while idx < core.pool.len() {
+            let slot = core.pool.slot(idx);
+            if slot.bound.is_empty() && slot.is_free() && slot.queue.is_empty() {
+                let slice = core.pool.remove_slot(idx);
+                core.fleet
+                    .release(slice.id)
+                    .expect("allocated shared slice");
+                core.plan_cache.invalidate();
+                core.hub.slice_released(now, slice.id);
+                core.sched_log.pool_shrinks += 1;
+                ffs_obs::record(|| ffs_obs::ObsEvent::PoolShrink {
+                    slice: sref(slice.id),
+                });
+            } else {
+                idx += 1;
             }
         }
-        self.hub.busy_gpcs.record(now, busy_gpcs as f64);
-        self.hub
-            .allocated_gpcs
-            .record(now, self.fleet.allocated_gpcs() as f64);
-        let required: f64 = (0..self.catalog.len())
-            .map(|f| {
-                self.demand_rps[f] * self.catalog.profile(f).dag.total_work() / 1_000.0
-            })
-            .sum();
-        self.hub.required_gpcs.record(now, required);
+    }
+}
+
+/// Adds a free slice that fits `mem` to the shared pool.
+fn grow_pool(core: &mut EngineCore, f: FuncId, mem: f64, now: SimTime) -> Option<usize> {
+    let mut candidates = core.fleet.free_slices_at_least(None, mem);
+    // Smallest slice that fits, deterministic by id.
+    candidates.sort_by_key(|s| (s.profile, s.id));
+    let pick = *candidates.first()?;
+    core.fleet.allocate(pick.id).expect("slice was free");
+    core.plan_cache.invalidate();
+    core.hub.slice_allocated(now, pick.id, pick.profile.gpcs());
+    core.sched_log.pool_grows += 1;
+    ffs_obs::record(|| ffs_obs::ObsEvent::PoolGrow {
+        slice: sref(pick.id),
+        func: f as u32,
+    });
+    Some(core.pool.add_slot(pick, now))
+}
+
+// ----------------------------------------------------------------------
+// Scaling and keep-alive (§5.3, Fig. 8)
+// ----------------------------------------------------------------------
+
+/// FluidFaaS autoscaling: reactive or Erlang-C launch pressure, demotion
+/// of low-utilization instances (③), and the keep-alive sweep (⑤).
+pub struct FluidAutoscaler {
+    /// How launch pressure is computed.
+    pub policy: ScalingPolicy,
+}
+
+impl Autoscaler for FluidAutoscaler {
+    fn on_arrival(&self, core: &mut EngineCore, f: FuncId) {
+        if core.ka[f] == KeepAliveState::Cold {
+            core.ka[f] = core.ka[f].next_traced(Transition::RequestArrived, f as u32);
+            // ①
+        }
     }
 
-    fn capacity_rps(&self, f: FuncId) -> f64 {
-        self.instances
-            .values()
-            .filter(|i| i.func == f && i.phase != Phase::Draining)
-            .map(|i| i.est.throughput_rps)
-            .sum()
-    }
-
-    /// Functions with pending demand and no way to serve it: no exclusive
-    /// instance (live or launching), and no time-sharing binding.
-    fn starving_funcs(&self) -> Vec<FuncId> {
-        (0..self.catalog.len())
-            .filter(|&f| {
-                !self.pending[f].is_empty()
-                    && !self.instances.values().any(|i| i.func == f)
-                    && self.pool.slot_of(f).is_none()
-            })
-            .collect()
-    }
-
-    fn autoscale(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+    fn scale(
+        &self,
+        core: &mut EngineCore,
+        placer: &dyn Placer,
+        now: SimTime,
+        sched: &mut Scheduler<Event>,
+    ) {
         // Resource pressure from starving functions bypasses the demote
         // hysteresis: the paper's transition ③ (utilization below 30% →
         // time sharing) exists precisely so lightly-used exclusive slices
         // are reclaimable for others.
-        let starving = !self.starving_funcs().is_empty();
-        for f in 0..self.catalog.len() {
+        let starving = !core.starving_funcs().is_empty();
+        for f in 0..core.catalog.len() {
             // Scale up per the configured policy.
             for _ in 0..MAX_LAUNCHES_PER_TICK {
-                let pressured = match self.cfg.scaling_policy {
-                    crate::config::ScalingPolicy::Reactive => {
+                let pressured = match self.policy {
+                    ScalingPolicy::Reactive => {
                         // Reactive: demand exceeds capacity headroom or a
                         // backlog persists. The epsilon floor matters: the
                         // demand EWMA decays geometrically and never reaches
                         // exactly zero, so without it an idle function would
                         // oscillate between retiring its last instance and
                         // relaunching it.
-                        let cap = self.capacity_rps(f);
-                        self.demand_rps[f] > (cap * self.cfg.scaleup_headroom).max(1e-6)
-                            || self.pending[f].len() > 1
+                        let cap = core.capacity_rps(f);
+                        core.demand_rps[f] > (cap * core.cfg.scaleup_headroom).max(1e-6)
+                            || core.pending[f].len() > 1
                     }
-                    crate::config::ScalingPolicy::ErlangC { target_wait_frac } => {
-                        self.erlang_pressure(f, target_wait_frac)
+                    ScalingPolicy::ErlangC { target_wait_frac } => {
+                        core.erlang_pressure(f, target_wait_frac)
                     }
                 };
                 if !pressured {
                     break;
                 }
-                if !self.launch_instance(f, now, sched) {
+                if !launch_exclusive(core, placer, f, now, sched) {
                     break;
                 }
             }
             // Demote (③): low-utilization idle exclusive instances retire;
             // the function falls back to its time-sharing lineage.
-            let ids: Vec<InstanceId> = self
+            let ids: Vec<InstanceId> = core
                 .instances
                 .values()
                 .filter(|i| i.func == f && i.is_ready())
                 .map(|i| i.id)
                 .collect();
             for id in ids {
-                let window = self.cfg.scale_tick;
+                let window = core.cfg.scale_tick;
                 let (util, empty, throughput, idle_for) = {
-                    let inst = self.instances.get_mut(&id).expect("live");
+                    let inst = core.instances.get_mut(&id).expect("live");
                     let idle_for = now.saturating_since(inst.last_used);
                     (
                         inst.take_utilization(now, window),
@@ -670,68 +334,95 @@ impl FluidFaaSSystem {
                         idle_for,
                     )
                 };
-                if util < self.cfg.demote_utilization
+                if util < core.cfg.demote_utilization
                     && empty
-                    && (idle_for >= self.cfg.exclusive_idle_grace || starving)
+                    && (idle_for >= core.cfg.exclusive_idle_grace || starving)
                 {
-                    let remaining = self.capacity_rps(f) - throughput;
-                    let target = self.demand_rps[f] / self.cfg.scaleup_headroom;
-                    if remaining >= target || self.demand_rps[f] < 1e-6 {
-                        self.retire_instance(id, now);
+                    let remaining = core.capacity_rps(f) - throughput;
+                    let target = core.demand_rps[f] / core.cfg.scaleup_headroom;
+                    if remaining >= target || core.demand_rps[f] < 1e-6 {
+                        core.retire_instance(id, now);
                     }
                 }
             }
         }
     }
 
-    /// Erlang-C pressure test: true while the live fleet for `f` is
-    /// smaller than the M/M/c size keeping the mean queueing wait below
-    /// `target_wait_frac` of the SLO budget.
-    fn erlang_pressure(&self, f: FuncId, target_wait_frac: f64) -> bool {
-        let demand = self.demand_rps[f];
-        if demand < 1e-6 {
-            return !self.pending[f].is_empty();
-        }
-        // Per-server rate: the mean of live instances' throughput, or the
-        // profile's min-baseline estimate before anything is live.
-        let live: Vec<f64> = self
-            .instances
-            .values()
-            .filter(|i| i.func == f && i.phase != Phase::Draining)
-            .map(|i| i.est.throughput_rps)
-            .collect();
-        let mu = if live.is_empty() {
-            let p = self.catalog.profile(f);
-            match p.min_baseline_slice() {
-                Some(s) => 1_000.0 / p.mono_exec_ms(s),
-                None => return false,
+    fn keep_alive(&self, core: &mut EngineCore, now: SimTime) {
+        for f in 0..core.catalog.len() {
+            let idle = now.saturating_since(core.last_use[f]);
+            if idle >= core.cfg.keep_alive
+                && matches!(
+                    core.ka[f],
+                    KeepAliveState::TimeSharing | KeepAliveState::Warm
+                )
+            {
+                // ⑤: terminate to cold; unbind from the shared pool. If the
+                // model was still resident on its shared slice, this expiry
+                // is also an eviction (data dropped from GPU memory).
+                if ffs_obs::enabled() && core.ka[f] == KeepAliveState::TimeSharing {
+                    if let Some(slot_idx) = core.pool.slot_of(f) {
+                        if core.pool.slot(slot_idx).resident == Some(f) {
+                            let sid = core.pool.slot(slot_idx).slice.id;
+                            ffs_obs::record(|| ffs_obs::ObsEvent::Eviction {
+                                func: f as u32,
+                                reason: ffs_obs::EvictionReason::KeepAliveExpired,
+                                slice: sref(sid),
+                            });
+                        }
+                    }
+                }
+                core.ka[f] = core.ka[f].next_traced(Transition::IdleTimeout, f as u32);
+                core.pool.unbind(f);
+                core.sched_log.cold_terminations += 1;
             }
-        } else {
-            live.iter().sum::<f64>() / live.len() as f64
-        };
-        let slo_secs = self.catalog.slo_ms(f) / 1_000.0;
-        let target_wait = (target_wait_frac * slo_secs).max(1e-3);
-        let needed = ffs_sim::queueing::servers_for_mean_wait(demand, mu, target_wait);
-        (live.len() as u32) < needed
+        }
     }
+}
 
-    /// Launches one exclusive-hot instance for `f` on whichever node can
-    /// host the best-ranked feasible plan. Returns false if no node can.
-    fn launch_instance(&mut self, f: FuncId, now: SimTime, sched: &mut Scheduler<Event>) -> bool {
-        let profile = self.catalog.profile(f);
-        let ranked = self.cfg.enable_cv_ranking;
+/// Places and launches one exclusive-hot instance for `f`, marking the
+/// keep-alive lineage hot (②). Returns false if no node can host a plan.
+pub fn launch_exclusive(
+    core: &mut EngineCore,
+    placer: &dyn Placer,
+    f: FuncId,
+    now: SimTime,
+    sched: &mut Scheduler<Event>,
+) -> bool {
+    let Some((plan, node)) = placer.place(core, f) else {
+        return false;
+    };
+    core.launch(f, plan, node, now, sched);
+    core.ka[f] = core.ka[f].next_traced(Transition::UtilizationHigh, f as u32); // ② lineage is hot
+    true
+}
+
+// ----------------------------------------------------------------------
+// Placement (§5.2)
+// ----------------------------------------------------------------------
+
+/// On-the-fly pipeline construction: per node, the best (CV-ranked or
+/// first-feasible) partition that fits the free slices; across nodes,
+/// prefer fewer stages, then lower CV.
+pub struct FluidPlacer {
+    /// CV-ranked partition search (the paper's §5.2) vs
+    /// first-feasible-in-enumeration-order (ablation).
+    pub ranked: bool,
+}
+
+impl Placer for FluidPlacer {
+    fn place(&self, core: &mut EngineCore, f: FuncId) -> Option<(DeploymentPlan, NodeId)> {
+        let profile = core.catalog.profile(f);
         let mut chosen: Option<DeploymentPlan> = None;
         let mut chosen_node = None;
-        for node in self.fleet.nodes().iter().map(|n| n.id).collect::<Vec<_>>() {
-            let free = self.fleet.free_slices(Some(node));
-            let plan = self.plan_cache.plan(f, node, ranked, profile, &free);
+        for node in core.fleet.nodes().iter().map(|n| n.id).collect::<Vec<_>>() {
+            let free = core.fleet.free_slices(Some(node));
+            let plan = core.plan_cache.plan(f, node, self.ranked, profile, &free);
             if let Some(p) = plan {
                 let better = match &chosen {
                     None => true,
                     // Prefer fewer stages (cheaper), then lower CV.
-                    Some(c) => {
-                        (p.num_stages(), p.cv) < (c.num_stages(), c.cv)
-                    }
+                    Some(c) => (p.num_stages(), p.cv) < (c.num_stages(), c.cv),
                 };
                 if better {
                     chosen = Some(p);
@@ -740,13 +431,13 @@ impl FluidFaaSSystem {
             }
         }
         let (Some(plan), Some(node)) = (chosen, chosen_node) else {
-            return false;
+            return None;
         };
         // The invoker's decision record (§5.2): only assembled when tracing
         // is live — `explain_plan` re-walks the CV-ranked list, which must
         // not perturb the disabled hot path.
         if ffs_obs::enabled() {
-            let free = self.fleet.free_slices(Some(node));
+            let free = core.fleet.free_slices(Some(node));
             let sig = crate::plancache::slice_signature(&free);
             let explanation =
                 ffs_pipeline::explain_plan(profile, &free, &plan, profile.ranked_partitions());
@@ -761,156 +452,55 @@ impl FluidFaaSSystem {
                 rejected: explanation.rejected,
             });
         }
-        for s in &plan.stages {
-            self.fleet.allocate(s.slice).expect("planned slice is free");
-            self.hub.slice_allocated(now, s.slice, s.profile.gpcs());
-        }
-        self.plan_cache.invalidate();
-        let est = estimate(profile, &plan);
-        self.peak_instances = self.peak_instances.max(self.instances.len() + 1);
-        if !plan.is_monolithic() {
-            let pipes = self.instances.values().filter(|i| !i.plan.is_monolithic()).count() + 1;
-            self.peak_pipelines = self.peak_pipelines.max(pipes);
-        }
-        let id = InstanceId(self.next_instance);
-        self.next_instance += 1;
-        let cold_ms = profile.cold_start_ms();
-        let ready_at = now + SimDuration::from_millis_f64(cold_ms);
-        self.sched_log.launches += 1;
-        if !plan.is_monolithic() {
-            self.sched_log.pipeline_launches += 1;
-        }
-        let stages = plan.num_stages() as u32;
-        let pipelined = !plan.is_monolithic();
-        ffs_obs::record(|| ffs_obs::ObsEvent::InstanceLaunched {
-            inst: id.0,
-            func: f as u32,
-            node: node.0,
-            stages,
-            pipelined,
-            cold_ms,
-        });
-        self.instances
-            .insert(id, Instance::new(id, f, plan, est, node, now, ready_at));
-        self.ka[f] = self.ka[f].next_traced(Transition::UtilizationHigh, f as u32); // ② lineage is hot
-        sched.at(ready_at, Event::InstanceReady(id));
-        true
+        Some((plan, node))
     }
+}
 
-    fn retire_instance(&mut self, id: InstanceId, now: SimTime) {
-        let Some(inst) = self.instances.remove(&id) else { return };
-        self.sched_log.retirements += 1;
-        ffs_obs::record(|| ffs_obs::ObsEvent::InstanceRetired {
-            inst: id.0,
-            func: inst.func as u32,
-        });
-        debug_assert!(inst.is_empty(), "retiring a non-empty instance");
-        for s in &inst.plan.stages {
-            self.fleet.release(s.slice).expect("allocated slice");
-            self.hub.slice_released(now, s.slice);
-        }
-        self.plan_cache.invalidate();
-        let f = inst.func;
-        if !self.instances.values().any(|i| i.func == f) {
-            // Last exclusive instance gone: lineage drops to time sharing ③.
-            self.ka[f] = self.ka[f].next_traced(Transition::UtilizationLow, f as u32);
-        }
-    }
+// ----------------------------------------------------------------------
+// Pipeline migration (§5.3)
+// ----------------------------------------------------------------------
 
-    fn shared_pool_maintenance(&mut self, now: SimTime) {
-        // Grow: overloaded slots (deep queues) get help if a slice is free.
-        let mut grow_for: Vec<(FuncId, f64)> = Vec::new();
-        for idx in 0..self.pool.len() {
-            let window = self.cfg.scale_tick;
-            let slot = self.pool.slot_mut(idx);
-            let util = slot.take_utilization(now, window);
-            if util > self.cfg.promote_utilization && slot.queue.len() > 1 {
-                if let Some(&f) = slot.bound.first() {
-                    let mem = self.catalog.profile(f).total_mem_gb();
-                    grow_for.push((f, mem));
-                }
-            }
-        }
-        for (f, mem) in grow_for {
-            let _ = self.grow_pool(f, mem, now);
-        }
-        // Shrink: empty unbound slots release their slices.
-        let mut idx = 0;
-        while idx < self.pool.len() {
-            let slot = self.pool.slot(idx);
-            if slot.bound.is_empty() && slot.is_free() && slot.queue.is_empty() {
-                let slice = self.pool.remove_slot(idx);
-                self.fleet.release(slice.id).expect("allocated shared slice");
-                self.plan_cache.invalidate();
-                self.hub.slice_released(now, slice.id);
-                self.sched_log.pool_shrinks += 1;
-                ffs_obs::record(|| ffs_obs::ObsEvent::PoolShrink { slice: sref(slice.id) });
-            } else {
-                idx += 1;
-            }
-        }
-    }
+/// Pipeline migration: when a monolithic deployment becomes possible,
+/// launch it and drain the pipelined instance (at most one per tick).
+pub struct FluidMigrator;
 
-    fn keep_alive_sweep(&mut self, now: SimTime) {
-        for f in 0..self.catalog.len() {
-            let idle = now.saturating_since(self.last_use[f]);
-            if idle >= self.cfg.keep_alive
-                && matches!(self.ka[f], KeepAliveState::TimeSharing | KeepAliveState::Warm)
-            {
-                // ⑤: terminate to cold; unbind from the shared pool. If the
-                // model was still resident on its shared slice, this expiry
-                // is also an eviction (data dropped from GPU memory).
-                if ffs_obs::enabled() && self.ka[f] == KeepAliveState::TimeSharing {
-                    if let Some(slot_idx) = self.pool.slot_of(f) {
-                        if self.pool.slot(slot_idx).resident == Some(f) {
-                            let sid = self.pool.slot(slot_idx).slice.id;
-                            ffs_obs::record(|| ffs_obs::ObsEvent::Eviction {
-                                func: f as u32,
-                                reason: ffs_obs::EvictionReason::KeepAliveExpired,
-                                slice: sref(sid),
-                            });
-                        }
-                    }
-                }
-                self.ka[f] = self.ka[f].next_traced(Transition::IdleTimeout, f as u32);
-                self.pool.unbind(f);
-                self.sched_log.cold_terminations += 1;
-            }
-        }
-    }
-
-    /// Pipeline migration (§5.3): when a monolithic deployment becomes
-    /// possible, launch it and drain the pipelined instance.
-    fn migrate_pipelines(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
-        let candidates: Vec<InstanceId> = self
+impl Migrator for FluidMigrator {
+    fn migrate(
+        &self,
+        core: &mut EngineCore,
+        placer: &dyn Placer,
+        now: SimTime,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let candidates: Vec<InstanceId> = core
             .instances
             .values()
             .filter(|i| i.is_ready() && !i.plan.is_monolithic())
             .map(|i| i.id)
             .collect();
         for id in candidates {
-            let f = self.instances.get(&id).expect("live").func;
+            let f = core.instances.get(&id).expect("live").func;
             // A monolithic plan on currently free slices? (Always the
             // ranked planner: monolithic ranks first regardless.)
             let mut mono_possible = false;
-            for node in self.fleet.nodes().iter().map(|n| n.id).collect::<Vec<_>>() {
-                let free = self.fleet.free_slices(Some(node));
-                let profile = self.catalog.profile(f);
-                if self.plan_cache.monolithic_possible(f, node, profile, &free) {
+            for node in core.fleet.nodes().iter().map(|n| n.id).collect::<Vec<_>>() {
+                let free = core.fleet.free_slices(Some(node));
+                let profile = core.catalog.profile(f);
+                if core.plan_cache.monolithic_possible(f, node, profile, &free) {
                     mono_possible = true;
                     break;
                 }
             }
-            if mono_possible && self.launch_instance(f, now, sched) {
-                self.sched_log.migrations += 1;
+            if mono_possible && launch_exclusive(core, placer, f, now, sched) {
+                core.sched_log.migrations += 1;
                 ffs_obs::record(|| ffs_obs::ObsEvent::MigrationStarted {
                     func: f as u32,
                     drained: id.0,
                 });
-                let inst = self.instances.get_mut(&id).expect("live");
-                inst.phase = Phase::Draining;
+                let inst = core.instances.get_mut(&id).expect("live");
+                inst.phase = crate::instance::Phase::Draining;
                 if inst.is_empty() {
-                    self.retire_instance(id, now);
+                    core.retire_instance(id, now);
                 }
                 // One migration per tick keeps churn bounded.
                 break;
@@ -919,152 +509,188 @@ impl FluidFaaSSystem {
     }
 }
 
-/// Trace-facing reference to a MIG slice.
-fn sref(id: ffs_mig::SliceId) -> ffs_obs::SliceRef {
-    ffs_obs::SliceRef::new(id.gpu.0, id.index)
+// ----------------------------------------------------------------------
+// The platform
+// ----------------------------------------------------------------------
+
+/// The FluidFaaS policy bundle a config selects: the ablation booleans map
+/// to explicit policy substitutions (`enable_time_sharing` → shared pool
+/// on/off, `enable_migration` → migrator on/off, `enable_cv_ranking` →
+/// ranked vs first-feasible placement, `scaling_policy` → autoscaler).
+pub fn paper_policies(cfg: &FfsConfig) -> PolicyBundle {
+    PolicyBundle {
+        router: Box::new(FluidRouter),
+        shared: if cfg.enable_time_sharing {
+            Box::new(FluidSharedPool)
+        } else {
+            Box::new(NoSharedPool)
+        },
+        autoscaler: Box::new(FluidAutoscaler {
+            policy: cfg.scaling_policy,
+        }),
+        migrator: if cfg.enable_migration {
+            Box::new(FluidMigrator)
+        } else {
+            Box::new(NoMigrator)
+        },
+        placer: Box::new(FluidPlacer {
+            ranked: cfg.enable_cv_ranking,
+        }),
+    }
 }
 
-/// All DAG node ids of a function (helper for load-time computation).
-fn all_nodes(catalog: &FunctionCatalog, f: FuncId) -> Vec<ffs_dag::NodeId> {
-    catalog.profile(f).dag.nodes().collect()
+/// The FluidFaaS serverless platform over a simulated MIG fleet: the
+/// shared engine driven by [`paper_policies`].
+pub struct FluidFaaSSystem {
+    engine: Engine,
 }
 
-/// Splits the monolithic execution time into (compute, in-process
-/// handoff) parts.
-fn mono_split(catalog: &FunctionCatalog, f: FuncId, slice: ffs_mig::SliceProfile) -> (f64, f64) {
-    let p = catalog.profile(f);
-    let exec: f64 = p.dag.nodes().map(|n| p.node_exec_ms(n, slice)).sum();
-    let handoff = (p.dag.len().saturating_sub(1)) as f64 * p.perf.inprocess_handoff_ms;
-    (exec, handoff)
-}
+impl FluidFaaSSystem {
+    /// Builds the platform for a config and the trace it will serve.
+    ///
+    /// # Panics
+    /// Panics if the config's partition scheme is invalid or the trace
+    /// invokes an unknown app; use [`FluidFaaSSystem::try_new`] to handle
+    /// those as errors.
+    pub fn new(cfg: FfsConfig, trace: &Trace) -> Self {
+        Self::try_new(cfg, trace).unwrap_or_else(|e| panic!("invalid FluidFaaS setup: {e}"))
+    }
 
-fn est_shared_exec_ms(catalog: &FunctionCatalog, f: FuncId, slice: ffs_mig::SliceProfile) -> f64 {
-    catalog.profile(f).mono_exec_ms(slice)
-}
+    /// Fallible constructor: builds the platform or reports why the
+    /// config/trace pair cannot be served.
+    pub fn try_new(cfg: FfsConfig, trace: &Trace) -> Result<Self, EngineError> {
+        let policies = paper_policies(&cfg);
+        Self::with_policies(cfg, policies, trace)
+    }
 
-fn build_requests(catalog: &FunctionCatalog, trace: &Trace) -> Vec<RequestState> {
-    trace
-        .invocations
-        .iter()
-        .map(|inv| {
-            let f = catalog
-                .func_of(inv.app)
-                .expect("trace apps are in the catalog");
-            RequestState::new(inv.id, f, inv.arrival, catalog.slo_ms(f))
+    /// Builds the platform with an explicit policy bundle (ablations swap
+    /// individual policies here instead of toggling config booleans).
+    pub fn with_policies(
+        cfg: FfsConfig,
+        policies: PolicyBundle,
+        trace: &Trace,
+    ) -> Result<Self, EngineError> {
+        Ok(FluidFaaSSystem {
+            engine: Engine::new(cfg, policies, trace)?,
         })
-        .collect()
+    }
+
+    /// The function catalog.
+    pub fn catalog(&self) -> &FunctionCatalog {
+        &self.engine.core.catalog
+    }
+
+    /// Number of live exclusive instances (testing / introspection).
+    pub fn instance_count(&self) -> usize {
+        self.engine.core.instance_count()
+    }
+
+    /// Number of live pipelined instances.
+    pub fn pipeline_instance_count(&self) -> usize {
+        self.engine.core.pipeline_instance_count()
+    }
+
+    /// The shared (time-sharing) pool size.
+    pub fn shared_slot_count(&self) -> usize {
+        self.engine.core.pool.len()
+    }
+
+    /// Keep-alive state of a function's time-sharing lineage.
+    pub fn keepalive_of(&self, f: FuncId) -> KeepAliveState {
+        self.engine.core.ka[f]
+    }
+
+    /// Largest number of concurrent exclusive instances seen.
+    pub fn peak_instances(&self) -> usize {
+        self.engine.core.peak_instances
+    }
+
+    /// Largest number of concurrent pipelined instances seen.
+    pub fn peak_pipelines(&self) -> usize {
+        self.engine.core.peak_pipelines
+    }
+
+    /// The scheduler's decision counters for this run.
+    pub fn scheduler_log(&self) -> SchedulerLog {
+        self.engine.core.sched_log
+    }
+
+    /// Launch-plan cache counters `(hits, misses)` for this run.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        (
+            self.engine.core.plan_cache.hits(),
+            self.engine.core.plan_cache.misses(),
+        )
+    }
+
+    /// Introspection: one row per live exclusive instance —
+    /// `(id, function, ready, stages, last_used)`.
+    pub fn instance_summaries(&self) -> Vec<(u64, FuncId, bool, usize, SimTime)> {
+        self.engine
+            .core
+            .instances
+            .values()
+            .map(|i| {
+                (
+                    i.id.0,
+                    i.func,
+                    i.is_ready(),
+                    i.plan.num_stages(),
+                    i.last_used,
+                )
+            })
+            .collect()
+    }
+
+    /// Introspection: the current demand estimate (req/s) per function.
+    pub fn demand_estimates(&self) -> Vec<f64> {
+        self.engine.core.demand_rps.clone()
+    }
+
+    /// Introspection: current backlog length per function.
+    pub fn pending_lens(&self) -> Vec<usize> {
+        self.engine.core.pending.iter().map(|q| q.len()).collect()
+    }
+
+    /// How completed requests were served:
+    /// `(monolithic, pipelined, time_shared)` counts.
+    pub fn serve_mix(&self) -> (usize, usize, usize) {
+        self.engine.core.serve_mix()
+    }
 }
 
 impl World for FluidFaaSSystem {
     type Event = Event;
 
     fn handle(&mut self, now: SimTime, ev: Event, sched: &mut Scheduler<Event>) {
-        match ev {
-            Event::Arrival(id) => {
-                let f = self.requests[id as usize].func;
-                ffs_obs::record(|| ffs_obs::ObsEvent::RequestArrived { req: id, func: f as u32 });
-                self.arrivals_in_tick[f] += 1;
-                self.last_use[f] = now;
-                if self.ka[f] == KeepAliveState::Cold {
-                    self.ka[f] = self.ka[f].next_traced(Transition::RequestArrived, f as u32); // ①
-                }
-                self.pending[f].push_back(id);
-                self.dispatch_func(f, now, sched);
-            }
-            Event::InstanceReady(id) => {
-                let f = match self.instances.get_mut(&id) {
-                    Some(inst) => {
-                        inst.phase = Phase::Ready;
-                        inst.func
-                    }
-                    None => return,
-                };
-                self.dispatch_func(f, now, sched);
-                // Kick any queued work (requests routed while launching).
-                self.try_start_stage(id, 0, now, sched);
-            }
-            Event::StageDone { inst, stage, req } => {
-                self.on_stage_done(inst, stage, req, now, sched);
-            }
-            Event::TransferDone { inst, stage, req } => {
-                if let Some(instance) = self.instances.get_mut(&inst) {
-                    debug_assert!(instance.in_transfer > 0);
-                    instance.in_transfer -= 1;
-                    instance.stage_queues[stage].push_back(req);
-                    self.try_start_stage(inst, stage, now, sched);
-                } else {
-                    debug_assert!(false, "transfer completed on a retired instance");
-                }
-            }
-            Event::SharedLoadDone { slot, req } => {
-                let (f, expected) = match self.pool.slot(slot).loading {
-                    Some((f, r)) => (f, r),
-                    None => return,
-                };
-                debug_assert_eq!(expected, req);
-                let s = self.pool.slot_mut(slot);
-                s.loading = None;
-                s.resident = Some(f);
-                self.start_shared_exec(slot, req, now, sched);
-            }
-            Event::SharedDone { slot, req } => {
-                let s = self.pool.slot_mut(slot);
-                debug_assert_eq!(s.busy_with, Some(req));
-                s.busy_with = None;
-                s.mark_idle(now);
-                let slice = s.slice.id;
-                self.hub.slice_idle(now, slice);
-                ffs_obs::record(|| ffs_obs::ObsEvent::SliceIdle { slice: sref(slice) });
-                let breakdown = self.requests[req as usize].finish(now);
-                let state = self.requests[req as usize].clone();
-                self.hub.complete(&state, breakdown);
-                let f = state.func;
-                self.last_use[f] = now;
-                self.dispatch_func(f, now, sched);
-                let _ = self.dispatch_shared(slot, now, sched);
-            }
-            Event::ScaleTick => self.on_scale_tick(now, sched),
-            Event::KeepAlive(_) => { /* handled by the tick sweep */ }
-        }
+        self.engine.handle(now, ev, sched)
     }
 }
 
 impl Platform for FluidFaaSSystem {
     fn drain(&self) -> SimDuration {
-        self.cfg.drain
+        self.engine.drain()
     }
 
-    fn finalize(&mut self, _end: SimTime) {
-        let unfinished: Vec<RequestState> = self
-            .requests
-            .iter()
-            .filter(|r| r.completed.is_none())
-            .cloned()
-            .collect();
-        for r in unfinished {
-            self.hub.abandon(&r);
-        }
+    fn finalize(&mut self, end: SimTime) {
+        self.engine.finalize(end)
     }
 
     fn take_hub(&mut self) -> MetricsHub {
-        crate::plancache::note_run_stats(self.plan_cache.hits(), self.plan_cache.misses());
-        std::mem::replace(&mut self.hub, MetricsHub::detached())
+        self.engine.take_hub()
     }
 
     fn num_gpus(&self) -> usize {
-        self.fleet.gpu_count()
+        self.engine.num_gpus()
     }
 
     fn slices_per_gpu(&self) -> usize {
-        self.fleet
-            .gpus()
-            .next()
-            .map(|(_, g)| g.slices().len())
-            .unwrap_or(0)
+        self.engine.slices_per_gpu()
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::platform::runner::run_platform;
@@ -1119,17 +745,11 @@ mod tests {
         // Shorten the demote hysteresis so the 60 s drain window is enough
         // to observe the release path.
         cfg.exclusive_idle_grace = ffs_sim::SimDuration::from_secs(15);
-        let trace = AzureTraceConfig::steady(
-            WorkloadClass::Light.apps(),
-            30.0,
-            20.0,
-            5,
-        )
-        .generate();
+        let trace = AzureTraceConfig::steady(WorkloadClass::Light.apps(), 30.0, 20.0, 5).generate();
         let mut sys = FluidFaaSSystem::new(cfg, &trace);
         let out = run_platform(&mut sys, &trace);
         // After the drain window everything idle demotes and releases.
-        assert_eq!(sys.fleet.allocated_gpcs(), sys_pool_gpcs(&sys));
+        assert_eq!(sys.engine.core.fleet.allocated_gpcs(), sys_pool_gpcs(&sys));
         assert!(out.log.slo_hit_rate() > 0.8);
     }
 
@@ -1169,7 +789,9 @@ mod tests {
     }
 
     fn sys_pool_gpcs(sys: &FluidFaaSSystem) -> u32 {
-        sys.pool
+        sys.engine
+            .core
+            .pool
             .slots()
             .iter()
             .map(|s| s.slice.profile.gpcs())
@@ -1181,12 +803,12 @@ mod tests {
         let cfg = FfsConfig::paper_default(WorkloadClass::Light);
         let trace = AzureTraceConfig::for_workload(WorkloadClass::Light, 20.0, 9).generate();
         let mut sys = FluidFaaSSystem::new(cfg, &trace);
-        for f in sys.catalog.ids() {
+        for f in sys.catalog().ids() {
             assert_eq!(sys.keepalive_of(f), KeepAliveState::Cold);
         }
         let _ = run_platform(&mut sys, &trace);
         // After the run every lineage must be in a legal state.
-        for f in sys.catalog.ids() {
+        for f in sys.catalog().ids() {
             let s = sys.keepalive_of(f);
             assert!(
                 matches!(

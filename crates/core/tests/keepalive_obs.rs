@@ -11,7 +11,9 @@ use ffs_sim::SimDuration;
 use ffs_trace::{AzureTraceConfig, WorkloadClass};
 use fluidfaas::platform::runner::run_platform;
 use fluidfaas::KeepAliveState::{self, Cold, ExclusiveHot, TimeSharing, Warm};
-use fluidfaas::Transition::{self, Evicted, IdleTimeout, RequestArrived, UtilizationHigh, UtilizationLow};
+use fluidfaas::Transition::{
+    self, Evicted, IdleTimeout, RequestArrived, UtilizationHigh, UtilizationLow,
+};
 use fluidfaas::{FfsConfig, FluidFaaSSystem};
 
 /// The global enable flag is process-wide state; serialize the tests.
@@ -29,18 +31,23 @@ fn with_recorder<R>(f: impl FnOnce() -> R) -> (R, Recording) {
 
 /// Every edge Figure 8 draws: (from, input, to).
 const LEGAL_EDGES: &[(KeepAliveState, Transition, KeepAliveState)] = &[
-    (Cold, RequestArrived, TimeSharing),        // ①
-    (Warm, RequestArrived, TimeSharing),        // warm reload
+    (Cold, RequestArrived, TimeSharing),          // ①
+    (Warm, RequestArrived, TimeSharing),          // warm reload
     (TimeSharing, UtilizationHigh, ExclusiveHot), // ②
     (ExclusiveHot, UtilizationLow, TimeSharing),  // ③
-    (TimeSharing, Evicted, Warm),               // ④
-    (Warm, IdleTimeout, Cold),                  // ⑤
-    (TimeSharing, IdleTimeout, Cold),           // ⑤ (idle on-slice data)
+    (TimeSharing, Evicted, Warm),                 // ④
+    (Warm, IdleTimeout, Cold),                    // ⑤
+    (TimeSharing, IdleTimeout, Cold),             // ⑤ (idle on-slice data)
 ];
 
 const ALL_STATES: [KeepAliveState; 4] = [Cold, TimeSharing, ExclusiveHot, Warm];
-const ALL_TRANSITIONS: [Transition; 5] =
-    [RequestArrived, UtilizationHigh, UtilizationLow, Evicted, IdleTimeout];
+const ALL_TRANSITIONS: [Transition; 5] = [
+    RequestArrived,
+    UtilizationHigh,
+    UtilizationLow,
+    Evicted,
+    IdleTimeout,
+];
 
 #[test]
 fn every_legal_edge_emits_exactly_one_transition_event() {
@@ -54,7 +61,12 @@ fn every_legal_edge_emits_exactly_one_transition_event() {
             "{from:?} --{input:?}--> {to:?} must record one event"
         );
         match &recording.events[0].event {
-            ObsEvent::KeepAliveTransition { func, from: ef, to: et, cause } => {
+            ObsEvent::KeepAliveTransition {
+                func,
+                from: ef,
+                to: et,
+                cause,
+            } => {
                 assert_eq!(*func, 7);
                 assert_eq!(*ef, from.obs());
                 assert_eq!(*et, to.obs());
@@ -96,8 +108,7 @@ fn sim_evictions_carry_the_correct_reason() {
     let mut cfg = FfsConfig::test_small(WorkloadClass::Light);
     cfg.gpus_per_node = 1;
     cfg.keep_alive = SimDuration::from_secs(20);
-    let trace =
-        AzureTraceConfig::steady(WorkloadClass::Light.apps(), 60.0, 10.0, 5).generate();
+    let trace = AzureTraceConfig::steady(WorkloadClass::Light.apps(), 60.0, 10.0, 5).generate();
     let ((), recording) = with_recorder(|| {
         let mut sys = FluidFaaSSystem::new(cfg, &trace);
         let _ = run_platform(&mut sys, &trace);
@@ -107,11 +118,19 @@ fn sim_evictions_carry_the_correct_reason() {
     let mut expiry = 0u64;
     for stamped in &recording.events {
         match &stamped.event {
-            ObsEvent::Eviction { func, reason: EvictionReason::SliceContention, .. } => {
+            ObsEvent::Eviction {
+                func,
+                reason: EvictionReason::SliceContention,
+                ..
+            } => {
                 contention += 1;
                 let _ = func;
             }
-            ObsEvent::Eviction { func, reason: EvictionReason::KeepAliveExpired, .. } => {
+            ObsEvent::Eviction {
+                func,
+                reason: EvictionReason::KeepAliveExpired,
+                ..
+            } => {
                 expiry += 1;
                 // ⑤ fires at the same instant for the same function: the
                 // expiry eviction only exists because the lineage was
@@ -128,7 +147,11 @@ fn sim_evictions_carry_the_correct_reason() {
             }
             // ④: a lineage only transitions TimeSharing -> Warm because its
             // resident was contention-evicted at that very instant.
-            ObsEvent::KeepAliveTransition { func, cause: KaCause::Evicted, .. } => {
+            ObsEvent::KeepAliveTransition {
+                func,
+                cause: KaCause::Evicted,
+                ..
+            } => {
                 let matched = recording.events.iter().any(|s| {
                     s.t_us == stamped.t_us
                         && matches!(

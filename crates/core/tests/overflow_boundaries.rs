@@ -1,0 +1,123 @@
+//! Table-driven boundary tests for the §5.3 overflow-to-shared rule.
+//!
+//! The decision is pure — [`overflow_decision`] over an [`ExclusiveView`]
+//! summary — so the boundary cases are enumerable without running a
+//! simulation: zero remaining slack, a replacement instance already
+//! launching, and a function with no exclusive capacity at all.
+
+#![allow(clippy::unwrap_used)]
+
+use fluidfaas::platform::policy::{overflow_decision, ExclusiveView};
+
+/// One boundary case: a fleet view, a slack budget, and the expected
+/// routing decision.
+struct Case {
+    name: &'static str,
+    view: ExclusiveView,
+    slack_budget_ms: f64,
+    overflow: bool,
+}
+
+fn view(
+    ready: usize,
+    launching: usize,
+    occupancy: usize,
+    bottleneck_ms: f64,
+    latency_ms: f64,
+) -> ExclusiveView {
+    ExclusiveView {
+        ready,
+        launching,
+        occupancy,
+        best_bottleneck_ms: bottleneck_ms,
+        best_latency_ms: latency_ms,
+    }
+}
+
+#[test]
+fn overflow_boundary_table() {
+    let cases = [
+        Case {
+            // No exclusive instance exists and none is coming: the shared
+            // pool is the only way to serve at all.
+            name: "no-exclusive-capacity-ever",
+            view: view(0, 0, 0, f64::INFINITY, f64::INFINITY),
+            slack_budget_ms: 1_000.0,
+            overflow: true,
+        },
+        Case {
+            // Nothing ready yet, but a replacement is cold-starting: a
+            // short wait beats paying an eviction-reload on the shared
+            // slice.
+            name: "replacement-launching-soon",
+            view: view(0, 2, 0, f64::INFINITY, f64::INFINITY),
+            slack_budget_ms: 1_000.0,
+            overflow: false,
+        },
+        Case {
+            // Zero remaining slack: the budget exactly covers the best
+            // instance's latency, so any queueing wait at all overflows.
+            name: "zero-remaining-slack-with-queue",
+            view: view(1, 0, 3, 50.0, 200.0),
+            slack_budget_ms: 200.0,
+            overflow: true,
+        },
+        Case {
+            // Zero remaining slack but also zero wait: an idle instance
+            // still catches the request (wait 0 > slack 0 is false).
+            name: "zero-remaining-slack-idle-fleet",
+            view: view(1, 0, 0, 50.0, 200.0),
+            slack_budget_ms: 200.0,
+            overflow: false,
+        },
+        Case {
+            // Negative slack (deadline closer than the best latency):
+            // even an idle exclusive fleet can't make it, overflow and
+            // hope the shared slice is faster than queueing.
+            name: "negative-slack",
+            view: view(1, 0, 0, 50.0, 200.0),
+            slack_budget_ms: 100.0,
+            overflow: true,
+        },
+        Case {
+            // Exactly at the tipping point: wait == slack keeps the
+            // request exclusive (strict inequality).
+            name: "wait-equals-slack",
+            view: view(2, 0, 4, 50.0, 100.0),
+            // wait = 4 * 50 / 2 = 100; slack = 200 - 100 = 100.
+            slack_budget_ms: 200.0,
+            overflow: false,
+        },
+        Case {
+            // One more queued request pushes the wait over the slack.
+            name: "wait-just-over-slack",
+            view: view(2, 0, 5, 50.0, 100.0),
+            // wait = 5 * 50 / 2 = 125 > slack = 100.
+            slack_budget_ms: 200.0,
+            overflow: true,
+        },
+        Case {
+            // Plenty of slack, light queue: stay exclusive.
+            name: "comfortable-slack",
+            view: view(2, 1, 1, 50.0, 100.0),
+            slack_budget_ms: 10_000.0,
+            overflow: false,
+        },
+    ];
+    for c in &cases {
+        assert_eq!(
+            overflow_decision(&c.view, c.slack_budget_ms),
+            c.overflow,
+            "case {}",
+            c.name
+        );
+    }
+}
+
+/// The launching-soon guard only applies while nothing is ready: once an
+/// instance is up, launching counts are irrelevant to the wait estimate.
+#[test]
+fn launching_instances_do_not_mask_overload() {
+    let overloaded = view(1, 4, 100, 50.0, 100.0);
+    assert!(overflow_decision(&overloaded, 200.0));
+}

@@ -34,7 +34,10 @@ impl DominatorInfo {
     pub fn compute(dag: &FfsDag) -> Self {
         let n = dag.len();
         assert!(n > 0, "dominators of an empty DAG");
-        assert!(n <= MAX_NODES, "FFS DAGs larger than {MAX_NODES} components are unsupported");
+        assert!(
+            n <= MAX_NODES,
+            "FFS DAGs larger than {MAX_NODES} components are unsupported"
+        );
 
         // Registration order is topological, so one forward pass suffices.
         let mut dom = vec![0u64; n];
@@ -61,7 +64,10 @@ impl DominatorInfo {
             .iter()
             .map(|s| dom[s.index()])
             .fold(u64::MAX, |acc, x| acc & x);
-        let cuts: Vec<NodeId> = dag.nodes().filter(|v| common & (1 << v.index()) != 0).collect();
+        let cuts: Vec<NodeId> = dag
+            .nodes()
+            .filter(|v| common & (1 << v.index()) != 0)
+            .collect();
 
         DominatorInfo { dom, cuts }
     }

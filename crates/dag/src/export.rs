@@ -68,9 +68,15 @@ mod tests {
 
     fn dag() -> FfsDag {
         let mut d = FfsDag::new("demo");
-        let a = d.register(Component::new("sr", 2.0, 90.0, 48.0), &[]).unwrap();
-        let b = d.register(Component::new("seg", 2.4, 70.0, 16.0), &[a]).unwrap();
-        let _ = d.register(Component::new("cls", 1.6, 30.0, 0.01), &[b]).unwrap();
+        let a = d
+            .register(Component::new("sr", 2.0, 90.0, 48.0), &[])
+            .unwrap();
+        let b = d
+            .register(Component::new("seg", 2.4, 70.0, 16.0), &[a])
+            .unwrap();
+        let _ = d
+            .register(Component::new("cls", 1.6, 30.0, 0.01), &[b])
+            .unwrap();
         d
     }
 

@@ -119,7 +119,11 @@ impl FfsDag {
     /// Registers a component with its dataflow inputs, mirroring the
     /// paper's `model.reg(self, x1, x2)` API. Inputs must already be
     /// registered, which keeps the graph acyclic by construction.
-    pub fn register(&mut self, component: Component, inputs: &[NodeId]) -> Result<NodeId, DagError> {
+    pub fn register(
+        &mut self,
+        component: Component,
+        inputs: &[NodeId],
+    ) -> Result<NodeId, DagError> {
         let id = NodeId(self.components.len() as u32);
         for (i, &inp) in inputs.iter().enumerate() {
             if inp.index() >= self.components.len() {
@@ -130,13 +134,22 @@ impl FfsDag {
             }
         }
         if !component.mem_gb.is_finite() || component.mem_gb <= 0.0 {
-            return Err(DagError::InvalidComponent { node: id, field: "mem_gb" });
+            return Err(DagError::InvalidComponent {
+                node: id,
+                field: "mem_gb",
+            });
         }
         if !component.work.is_finite() || component.work <= 0.0 {
-            return Err(DagError::InvalidComponent { node: id, field: "work" });
+            return Err(DagError::InvalidComponent {
+                node: id,
+                field: "work",
+            });
         }
         if !component.output_mb.is_finite() || component.output_mb < 0.0 {
-            return Err(DagError::InvalidComponent { node: id, field: "output_mb" });
+            return Err(DagError::InvalidComponent {
+                node: id,
+                field: "output_mb",
+            });
         }
         self.components.push(component);
         self.inputs.push(inputs.to_vec());
@@ -179,12 +192,16 @@ impl FfsDag {
 
     /// Nodes with no inputs.
     pub fn sources(&self) -> Vec<NodeId> {
-        self.nodes().filter(|&n| self.inputs(n).is_empty()).collect()
+        self.nodes()
+            .filter(|&n| self.inputs(n).is_empty())
+            .collect()
     }
 
     /// Nodes with no consumers.
     pub fn sinks(&self) -> Vec<NodeId> {
-        self.nodes().filter(|&n| self.outputs(n).is_empty()).collect()
+        self.nodes()
+            .filter(|&n| self.outputs(n).is_empty())
+            .collect()
     }
 
     /// All edges as `(from, to)` pairs, in registration order.
@@ -255,9 +272,15 @@ mod tests {
 
     fn chain3() -> (FfsDag, Vec<NodeId>) {
         let mut dag = FfsDag::new("chain");
-        let a = dag.register(Component::new("a", 1.0, 10.0, 4.0), &[]).unwrap();
-        let b = dag.register(Component::new("b", 2.0, 20.0, 2.0), &[a]).unwrap();
-        let c = dag.register(Component::new("c", 3.0, 30.0, 1.0), &[b]).unwrap();
+        let a = dag
+            .register(Component::new("a", 1.0, 10.0, 4.0), &[])
+            .unwrap();
+        let b = dag
+            .register(Component::new("b", 2.0, 20.0, 2.0), &[a])
+            .unwrap();
+        let c = dag
+            .register(Component::new("c", 3.0, 30.0, 1.0), &[b])
+            .unwrap();
         (dag, vec![a, b, c])
     }
 
@@ -277,10 +300,18 @@ mod tests {
     fn diamond_structure() {
         // a -> (b, c) -> d : the App-3-style branch.
         let mut dag = FfsDag::new("diamond");
-        let a = dag.register(Component::new("a", 1.0, 10.0, 4.0), &[]).unwrap();
-        let b = dag.register(Component::new("b", 1.0, 10.0, 4.0), &[a]).unwrap();
-        let c = dag.register(Component::new("c", 1.0, 10.0, 4.0), &[a]).unwrap();
-        let d = dag.register(Component::new("d", 1.0, 10.0, 4.0), &[b, c]).unwrap();
+        let a = dag
+            .register(Component::new("a", 1.0, 10.0, 4.0), &[])
+            .unwrap();
+        let b = dag
+            .register(Component::new("b", 1.0, 10.0, 4.0), &[a])
+            .unwrap();
+        let c = dag
+            .register(Component::new("c", 1.0, 10.0, 4.0), &[a])
+            .unwrap();
+        let d = dag
+            .register(Component::new("d", 1.0, 10.0, 4.0), &[b, c])
+            .unwrap();
         dag.validate().unwrap();
         assert_eq!(dag.outputs(a), &[b, c]);
         assert_eq!(dag.inputs(d), &[b, c]);
@@ -299,7 +330,9 @@ mod tests {
     #[test]
     fn duplicate_input_rejected() {
         let mut dag = FfsDag::new("bad");
-        let a = dag.register(Component::new("a", 1.0, 1.0, 1.0), &[]).unwrap();
+        let a = dag
+            .register(Component::new("a", 1.0, 1.0, 1.0), &[])
+            .unwrap();
         let err = dag
             .register(Component::new("b", 1.0, 1.0, 1.0), &[a, a])
             .unwrap_err();
@@ -309,13 +342,19 @@ mod tests {
     #[test]
     fn invalid_component_fields_rejected() {
         let mut dag = FfsDag::new("bad");
-        assert!(dag.register(Component::new("a", 0.0, 1.0, 1.0), &[]).is_err());
-        assert!(dag.register(Component::new("a", 1.0, -1.0, 1.0), &[]).is_err());
+        assert!(dag
+            .register(Component::new("a", 0.0, 1.0, 1.0), &[])
+            .is_err());
+        assert!(dag
+            .register(Component::new("a", 1.0, -1.0, 1.0), &[])
+            .is_err());
         assert!(dag
             .register(Component::new("a", 1.0, 1.0, f64::NAN), &[])
             .is_err());
         // Zero-sized output is fine (e.g. a final classifier label).
-        assert!(dag.register(Component::new("a", 1.0, 1.0, 0.0), &[]).is_ok());
+        assert!(dag
+            .register(Component::new("a", 1.0, 1.0, 0.0), &[])
+            .is_ok());
     }
 
     #[test]
@@ -326,10 +365,18 @@ mod tests {
     #[test]
     fn crossing_mb_counts_producers_once() {
         let mut dag = FfsDag::new("fanout");
-        let a = dag.register(Component::new("a", 1.0, 1.0, 10.0), &[]).unwrap();
-        let b = dag.register(Component::new("b", 1.0, 1.0, 3.0), &[a]).unwrap();
-        let c = dag.register(Component::new("c", 1.0, 1.0, 4.0), &[a]).unwrap();
-        let _d = dag.register(Component::new("d", 1.0, 1.0, 1.0), &[b, c]).unwrap();
+        let a = dag
+            .register(Component::new("a", 1.0, 1.0, 10.0), &[])
+            .unwrap();
+        let b = dag
+            .register(Component::new("b", 1.0, 1.0, 3.0), &[a])
+            .unwrap();
+        let c = dag
+            .register(Component::new("c", 1.0, 1.0, 4.0), &[a])
+            .unwrap();
+        let _d = dag
+            .register(Component::new("d", 1.0, 1.0, 1.0), &[b, c])
+            .unwrap();
         // Boundary after {a}: a's tensor crosses once even with two readers.
         assert!((dag.crossing_mb(&[a]) - 10.0).abs() < 1e-12);
         // Boundary after {a, b}: both a (consumed by c) and b (by d) cross.

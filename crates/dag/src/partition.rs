@@ -230,8 +230,7 @@ pub fn try_rank_partitions(
     // total_cmp keeps the comparator panic-free even if a cost function is
     // non-deterministic between the validation pass and here.
     ranked.sort_by(|a, b| {
-        a.cv
-            .total_cmp(&b.cv)
+        a.cv.total_cmp(&b.cv)
             .then_with(|| a.partition.num_stages().cmp(&b.partition.num_stages()))
             .then_with(|| a.partition.stages().cmp(b.partition.stages()))
     });
@@ -310,7 +309,10 @@ mod tests {
             .iter()
             .filter(|r| r.partition.num_stages() == 2)
             .collect();
-        assert_eq!(two_stage[0].partition.stages()[0], vec![NodeId(0), NodeId(1)]);
+        assert_eq!(
+            two_stage[0].partition.stages()[0],
+            vec![NodeId(0), NodeId(1)]
+        );
         assert!(two_stage[0].cv < two_stage[1].cv);
     }
 
@@ -332,10 +334,7 @@ mod tests {
     #[test]
     fn stage_mem_and_max() {
         let dag = chain_dag(&[1.0, 1.0, 1.0]);
-        let mut p = PipelinePartition::new(vec![
-            vec![NodeId(0), NodeId(1)],
-            vec![NodeId(2)],
-        ]);
+        let mut p = PipelinePartition::new(vec![vec![NodeId(0), NodeId(1)], vec![NodeId(2)]]);
         // chain_dag gives each node 1.0 GB.
         assert_eq!(p.stage_mem_gb(&dag), vec![2.0, 1.0]);
         assert_eq!(p.max_stage_mem_gb(&dag), 2.0);

@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 
-use ffs_dag::{
-    enumerate_partitions, linear_blocks, rank_partitions, Component, FfsDag, NodeId,
-};
+use ffs_dag::{enumerate_partitions, linear_blocks, rank_partitions, Component, FfsDag, NodeId};
 
 /// Builds a random DAG: each node after the first takes 1..=2 random
 /// earlier nodes as inputs (always including the immediately preceding

@@ -21,19 +21,53 @@ fn main() {
     println!("FluidFaaS reproduction — full experiment sweep ({secs}s traces, seed {seed}, {} threads)\n", parallel::threads());
     println!("== Table 2 ==\n{}", ffs_experiments::table2::render());
     println!("== Table 5 ==\n{}", ffs_experiments::table5::render());
-    println!("== Figure 3 ==\n{}", ffs_experiments::fig3::render(&ffs_experiments::fig3::run(secs, seed)));
-    println!("== Figure 5 ==\n{}", ffs_experiments::fig5::render(&ffs_experiments::fig5::run(secs, seed)));
-    println!("== Figure 9 ==\n{}", ffs_experiments::fig9::render(&ffs_experiments::fig9::run(secs, seed)));
-    println!("== Figure 10 ==\n{}", ffs_experiments::fig10::render(&ffs_experiments::fig10::run(secs, seed)));
-    for (fig, wl) in [("11 (heavy)", WorkloadClass::Heavy), ("12 (medium)", WorkloadClass::Medium), ("13 (light)", WorkloadClass::Light)] {
+    println!(
+        "== Figure 3 ==\n{}",
+        ffs_experiments::fig3::render(&ffs_experiments::fig3::run(secs, seed))
+    );
+    println!(
+        "== Figure 5 ==\n{}",
+        ffs_experiments::fig5::render(&ffs_experiments::fig5::run(secs, seed))
+    );
+    println!(
+        "== Figure 9 ==\n{}",
+        ffs_experiments::fig9::render(&ffs_experiments::fig9::run(secs, seed))
+    );
+    println!(
+        "== Figure 10 ==\n{}",
+        ffs_experiments::fig10::render(&ffs_experiments::fig10::run(secs, seed))
+    );
+    for (fig, wl) in [
+        ("11 (heavy)", WorkloadClass::Heavy),
+        ("12 (medium)", WorkloadClass::Medium),
+        ("13 (light)", WorkloadClass::Light),
+    ] {
         let cells = ffs_experiments::latency::run(wl, secs, seed);
-        println!("== Figure {fig} ==\n{}", ffs_experiments::latency::render(&cells));
+        println!(
+            "== Figure {fig} ==\n{}",
+            ffs_experiments::latency::render(&cells)
+        );
     }
-    println!("== Figure 14 ==\n{}", ffs_experiments::fig14::render(&ffs_experiments::fig14::run(secs, seed)));
-    println!("== Figure 15 ==\n{}", ffs_experiments::fig15::render(&ffs_experiments::fig15::run(secs, seed)));
-    println!("== Figure 16 ==\n{}", ffs_experiments::fig16::render(&ffs_experiments::fig16::run(secs, seed)));
-    println!("== Table 6 ==\n{}", ffs_experiments::table6::render(&ffs_experiments::table6::run(secs, seed)));
-    println!("== Ablations ==\n{}", ffs_experiments::ablation::render(&ffs_experiments::ablation::run(secs, seed)));
+    println!(
+        "== Figure 14 ==\n{}",
+        ffs_experiments::fig14::render(&ffs_experiments::fig14::run(secs, seed))
+    );
+    println!(
+        "== Figure 15 ==\n{}",
+        ffs_experiments::fig15::render(&ffs_experiments::fig15::run(secs, seed))
+    );
+    println!(
+        "== Figure 16 ==\n{}",
+        ffs_experiments::fig16::render(&ffs_experiments::fig16::run(secs, seed))
+    );
+    println!(
+        "== Table 6 ==\n{}",
+        ffs_experiments::table6::render(&ffs_experiments::table6::run(secs, seed))
+    );
+    println!(
+        "== Ablations ==\n{}",
+        ffs_experiments::ablation::render(&ffs_experiments::ablation::run(secs, seed))
+    );
 
     let report = parallel::bench_report(started.elapsed().as_secs_f64());
     eprintln!(

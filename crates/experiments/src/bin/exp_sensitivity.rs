@@ -8,5 +8,8 @@ fn main() {
     println!("{}", ffs_experiments::sensitivity::render_slo_sweep(&rows));
     println!("Seed sweep (SLO hit rate, mean ± std over 5 seeds)\n");
     let stats = ffs_experiments::sensitivity::seed_sweep(secs, &[1, 2, 3, 4, 5]);
-    println!("{}", ffs_experiments::sensitivity::render_seed_sweep(&stats));
+    println!(
+        "{}",
+        ffs_experiments::sensitivity::render_seed_sweep(&stats)
+    );
 }

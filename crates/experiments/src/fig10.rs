@@ -73,7 +73,13 @@ pub fn gain_over(rows: &[Fig10Row], workload: WorkloadClass, baseline: SystemKin
 
 /// Renders the figure.
 pub fn render(rows: &[Fig10Row]) -> String {
-    let mut t = TextTable::new(&["workload", "INFless rps", "ESG rps", "FluidFaaS rps", "Fluid vs ESG"]);
+    let mut t = TextTable::new(&[
+        "workload",
+        "INFless rps",
+        "ESG rps",
+        "FluidFaaS rps",
+        "Fluid vs ESG",
+    ]);
     for workload in WorkloadClass::ALL {
         let get = |sys: SystemKind| {
             rows.iter()
@@ -86,7 +92,10 @@ pub fn render(rows: &[Fig10Row]) -> String {
             format!("{:.1}", get(SystemKind::Infless)),
             format!("{:.1}", get(SystemKind::Esg)),
             format!("{:.1}", get(SystemKind::FluidFaaS)),
-            format!("{:+.0}%", gain_over(rows, workload, SystemKind::Esg) * 100.0),
+            format!(
+                "{:+.0}%",
+                gain_over(rows, workload, SystemKind::Esg) * 100.0
+            ),
         ]);
     }
     t.render()

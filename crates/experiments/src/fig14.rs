@@ -66,7 +66,14 @@ pub fn find(
 /// Renders the figure (left bar ESG, right bar FluidFaaS, as in the paper).
 pub fn render(rows: &[Fig14Row]) -> String {
     let mut t = TextTable::new(&[
-        "workload", "app", "system", "queue ms", "load ms", "exec ms", "transfer ms", "total ms",
+        "workload",
+        "app",
+        "system",
+        "queue ms",
+        "load ms",
+        "exec ms",
+        "transfer ms",
+        "total ms",
     ]);
     for r in rows {
         t.row(&[

@@ -27,7 +27,13 @@ pub struct Fig16Curve {
     pub mean: f64,
 }
 
-fn summarize(workload: WorkloadClass, system: SystemKind, busy: Vec<(f64, f64)>, total_gpcs: f64, duration_secs: f64) -> Fig16Curve {
+fn summarize(
+    workload: WorkloadClass,
+    system: SystemKind,
+    busy: Vec<(f64, f64)>,
+    total_gpcs: f64,
+    duration_secs: f64,
+) -> Fig16Curve {
     let curve: Vec<(f64, f64)> = busy.iter().map(|&(t, b)| (t, b / total_gpcs)).collect();
     let steady: Vec<f64> = curve
         .iter()
@@ -130,6 +136,11 @@ mod tests {
         let curves = run(90.0, 1);
         let esg = find(&curves, WorkloadClass::Light, SystemKind::Esg);
         let fluid = find(&curves, WorkloadClass::Light, SystemKind::FluidFaaS);
-        assert!((fluid.mean - esg.mean).abs() < 0.1, "fluid {:.2} esg {:.2}", fluid.mean, esg.mean);
+        assert!(
+            (fluid.mean - esg.mean).abs() < 0.1,
+            "fluid {:.2} esg {:.2}",
+            fluid.mean,
+            esg.mean
+        );
     }
 }

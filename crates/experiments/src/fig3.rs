@@ -56,7 +56,11 @@ pub fn run(duration_secs: f64, seed: u64) -> Fig3 {
         required,
         peak_second,
         peak_overallocation: peak,
-        mean_overallocation: if ratio_n > 0.0 { ratio_sum / ratio_n } else { 0.0 },
+        mean_overallocation: if ratio_n > 0.0 {
+            ratio_sum / ratio_n
+        } else {
+            0.0
+        },
     }
 }
 
@@ -67,8 +71,17 @@ pub fn render(fig: &Fig3) -> String {
         if !(ts as u64).is_multiple_of(10) {
             continue;
         }
-        let ratio = if r > 1.0 { format!("{:.0}%", (a / r - 1.0) * 100.0) } else { "-".into() };
-        t.row(&[format!("{ts:.0}"), format!("{a:.1}"), format!("{r:.1}"), ratio]);
+        let ratio = if r > 1.0 {
+            format!("{:.0}%", (a / r - 1.0) * 100.0)
+        } else {
+            "-".into()
+        };
+        t.row(&[
+            format!("{ts:.0}"),
+            format!("{a:.1}"),
+            format!("{r:.1}"),
+            ratio,
+        ]);
     }
     format!(
         "{}\nmean over-allocation: {:.0}% above required; peak {:.0}% at t={:.0}s\n",

@@ -6,9 +6,9 @@
 //! severalfold, which is the headroom eviction-based time sharing exploits.
 
 use ffs_metrics::TextTable;
+use ffs_sim::SimDuration;
 use ffs_trace::WorkloadClass;
 use fluidfaas::FfsConfig;
-use ffs_sim::SimDuration;
 
 use crate::runner::{run_system, SystemKind};
 
@@ -39,8 +39,9 @@ pub fn run(duration_secs: f64, seed: u64) -> Fig5 {
     let mut cfg = FfsConfig::paper_default(WorkloadClass::Light);
     // The production trace analysis uses the common 10-minute keep-alive.
     cfg.baseline_keep_alive = SimDuration::from_mins(10);
-    let trace = ffs_trace::AzureTraceConfig::for_workload(WorkloadClass::Light, duration_secs, seed)
-        .generate();
+    let trace =
+        ffs_trace::AzureTraceConfig::for_workload(WorkloadClass::Light, duration_secs, seed)
+            .generate();
     let out = run_system(SystemKind::Esg, cfg, &trace);
     let n = out.cost.gpu_time_secs.len();
     let slices = out.slices_per_gpu;

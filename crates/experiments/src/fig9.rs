@@ -52,7 +52,9 @@ pub fn render(rows: &[Fig9Row]) -> String {
         for app in workload.apps() {
             let get = |sys: SystemKind| -> String {
                 rows.iter()
-                    .find(|r| r.workload == workload && r.app_index == app.index() && r.system == sys)
+                    .find(|r| {
+                        r.workload == workload && r.app_index == app.index() && r.system == sys
+                    })
                     .map(|r| format!("{:.3}", r.slo_hit_rate))
                     .unwrap_or_else(|| "-".into())
             };
@@ -91,7 +93,10 @@ mod tests {
         // Light: all three systems comparable and healthy.
         let light_fluid = aggregate(&rows, WorkloadClass::Light, SystemKind::FluidFaaS);
         let light_esg = aggregate(&rows, WorkloadClass::Light, SystemKind::Esg);
-        assert!((light_fluid - light_esg).abs() < 0.1, "{light_fluid} vs {light_esg}");
+        assert!(
+            (light_fluid - light_esg).abs() < 0.1,
+            "{light_fluid} vs {light_esg}"
+        );
         assert!(light_fluid > 0.85);
 
         // Medium and heavy: FluidFaaS clearly ahead of ESG, ESG >= INFless.

@@ -138,7 +138,11 @@ pub fn bench_report(total_secs: f64) -> BenchReport {
     BenchReport {
         total_secs,
         runs,
-        runs_per_sec: if total_secs > 0.0 { runs as f64 / total_secs } else { 0.0 },
+        runs_per_sec: if total_secs > 0.0 {
+            runs as f64 / total_secs
+        } else {
+            0.0
+        },
         busy_secs: harness_busy_secs(),
         threads: threads(),
         plan_cache_hits,

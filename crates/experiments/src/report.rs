@@ -33,7 +33,10 @@ pub fn run(duration_secs: f64, seed: u64) -> Vec<Claim> {
     claims.push(Claim {
         artifact: "Fig 3",
         paper: "ESG demands far more than required (167% above, typical instant)".into(),
-        measured: format!("mean {:.0}% above required", (f3.mean_overallocation - 1.0) * 100.0),
+        measured: format!(
+            "mean {:.0}% above required",
+            (f3.mean_overallocation - 1.0) * 100.0
+        ),
         holds: f3.mean_overallocation > 1.3,
     });
 
@@ -62,15 +65,24 @@ pub fn run(duration_secs: f64, seed: u64) -> Vec<Claim> {
         holds: light_gap < 0.1,
     });
     for (wl, claim) in [
-        (WorkloadClass::Medium, "medium: FluidFaaS up to 90% higher SLO hit rate"),
-        (WorkloadClass::Heavy, "heavy: FluidFaaS 61% higher SLO hit rate"),
+        (
+            WorkloadClass::Medium,
+            "medium: FluidFaaS up to 90% higher SLO hit rate",
+        ),
+        (
+            WorkloadClass::Heavy,
+            "heavy: FluidFaaS 61% higher SLO hit rate",
+        ),
     ] {
         let fluid = fig9::aggregate(&f9, wl, SystemKind::FluidFaaS);
         let esg = fig9::aggregate(&f9, wl, SystemKind::Esg);
         claims.push(Claim {
             artifact: "Fig 9",
             paper: claim.into(),
-            measured: format!("Fluid {fluid:.3} vs ESG {esg:.3} ({:+.0}%)", (fluid / esg - 1.0) * 100.0),
+            measured: format!(
+                "Fluid {fluid:.3} vs ESG {esg:.3} ({:+.0}%)",
+                (fluid / esg - 1.0) * 100.0
+            ),
             holds: fluid > esg * 1.1,
         });
     }
@@ -78,9 +90,24 @@ pub fn run(duration_secs: f64, seed: u64) -> Vec<Claim> {
     // Figure 10.
     let f10 = fig10::run(duration_secs, seed);
     for (wl, paper, lo, hi) in [
-        (WorkloadClass::Light, "light: similar throughput", -0.15, 0.15),
-        (WorkloadClass::Medium, "medium: ~25% higher throughput", 0.10, 0.60),
-        (WorkloadClass::Heavy, "heavy: ~75% higher throughput", 0.40, 1.30),
+        (
+            WorkloadClass::Light,
+            "light: similar throughput",
+            -0.15,
+            0.15,
+        ),
+        (
+            WorkloadClass::Medium,
+            "medium: ~25% higher throughput",
+            0.10,
+            0.60,
+        ),
+        (
+            WorkloadClass::Heavy,
+            "heavy: ~75% higher throughput",
+            0.40,
+            1.30,
+        ),
     ] {
         let g = fig10::gain_over(&f10, wl, SystemKind::Esg);
         claims.push(Claim {

@@ -21,11 +21,7 @@ fn trace_cache() -> &'static Mutex<HashMap<TraceKey, Arc<Trace>>> {
 /// generated once and shared (the three systems — and every parallel
 /// worker — replay the identical trace, as the paper's comparisons
 /// require).
-pub fn shared_workload_trace(
-    workload: WorkloadClass,
-    duration_secs: f64,
-    seed: u64,
-) -> Arc<Trace> {
+pub fn shared_workload_trace(workload: WorkloadClass, duration_secs: f64, seed: u64) -> Arc<Trace> {
     let key = (workload, duration_secs.to_bits(), seed, false);
     let mut cache = trace_cache().lock().expect("trace cache");
     Arc::clone(cache.entry(key).or_insert_with(|| {
@@ -94,6 +90,20 @@ pub fn run_system(kind: SystemKind, cfg: FfsConfig, trace: &Trace) -> RunOutput 
             run_platform(&mut sys, trace)
         }
     }
+}
+
+/// Runs the FluidFaaS engine with an explicit policy bundle (the ablation
+/// path: arms substitute policies instead of toggling config flags). Trace
+/// artifacts are recorded exactly as for [`run_system`].
+pub fn run_fluid_with(
+    cfg: FfsConfig,
+    policies: fluidfaas::PolicyBundle,
+    trace: &Trace,
+) -> RunOutput {
+    let _trace = crate::trace_out::RunTrace::begin(SystemKind::FluidFaaS.name());
+    let mut sys = FluidFaaSSystem::with_policies(cfg, policies, trace)
+        .unwrap_or_else(|e| panic!("invalid FluidFaaS setup: {e}"));
+    run_platform(&mut sys, trace)
 }
 
 /// Runs a system on the paper-default fleet with the bursty Azure-style

@@ -104,7 +104,12 @@ pub fn seed_sweep(duration_secs: f64, seeds: &[u64]) -> Vec<SeedStats> {
             .slo_hit_rate()
     });
     let mut out = Vec::new();
-    for group in specs.iter().zip(rates).collect::<Vec<_>>().chunks(seeds.len().max(1)) {
+    for group in specs
+        .iter()
+        .zip(rates)
+        .collect::<Vec<_>>()
+        .chunks(seeds.len().max(1))
+    {
         let &(workload, system, _) = group[0].0;
         let mut stats = OnlineStats::new();
         for (_, rate) in group {
@@ -168,7 +173,13 @@ mod tests {
     fn seed_sweep_is_stable() {
         let rows = seed_sweep(60.0, &[1, 2, 3]);
         for r in &rows {
-            assert!(r.hit_std < 0.25, "{} {} std {:.3}", r.workload.name(), r.system.name(), r.hit_std);
+            assert!(
+                r.hit_std < 0.25,
+                "{} {} std {:.3}",
+                r.workload.name(),
+                r.system.name(),
+                r.hit_std
+            );
         }
         // The medium/heavy ordering holds in the mean.
         let get = |wl: WorkloadClass, sys: SystemKind| {

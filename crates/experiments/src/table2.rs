@@ -53,8 +53,24 @@ mod tests {
     fn matches_paper_table2() {
         let rows = rows();
         assert_eq!(rows.len(), 5);
-        assert_eq!(rows[0], Table2Row { slice: "7g.80gb", compute_gpcs: 7, memory_gb: 80, max_count: 1 });
-        assert_eq!(rows[4], Table2Row { slice: "1g.10gb", compute_gpcs: 1, memory_gb: 10, max_count: 7 });
+        assert_eq!(
+            rows[0],
+            Table2Row {
+                slice: "7g.80gb",
+                compute_gpcs: 7,
+                memory_gb: 80,
+                max_count: 1
+            }
+        );
+        assert_eq!(
+            rows[4],
+            Table2Row {
+                slice: "1g.10gb",
+                compute_gpcs: 1,
+                memory_gb: 10,
+                max_count: 7
+            }
+        );
         assert!(render().contains("4g.40gb"));
     }
 }

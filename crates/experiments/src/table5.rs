@@ -49,13 +49,19 @@ pub fn rows() -> Vec<Table5Row> {
 
 /// Renders the table.
 pub fn render() -> String {
-    let mut t = TextTable::new(&["Application", "Variant", "MIG (Baseline)", "MIG (FluidFaaS)"]);
+    let mut t = TextTable::new(&[
+        "Application",
+        "Variant",
+        "MIG (Baseline)",
+        "MIG (FluidFaaS)",
+    ]);
     for r in rows() {
         t.row(&[
             r.app.name().to_string(),
             r.variant.name().to_string(),
             r.baseline.map_or("NULL".to_string(), |s| format!(">= {s}")),
-            r.fluidfaas.map_or("NULL".to_string(), |s| format!(">= {s}")),
+            r.fluidfaas
+                .map_or("NULL".to_string(), |s| format!(">= {s}")),
         ]);
     }
     t.render()

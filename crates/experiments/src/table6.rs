@@ -64,7 +64,13 @@ pub fn normalized(
         cells
             .iter()
             .find(|c| c.workload == workload && c.system == sys)
-            .map(|c| if gpu { c.gpu_time_secs } else { c.mig_time_secs })
+            .map(|c| {
+                if gpu {
+                    c.gpu_time_secs
+                } else {
+                    c.mig_time_secs
+                }
+            })
             .unwrap_or(0.0)
     };
     get(system) / get(SystemKind::FluidFaaS)
@@ -92,15 +98,16 @@ pub fn normalized_mig_per_request(
 
 /// Renders the table in the paper's layout.
 pub fn render(cells: &[Table6Cell]) -> String {
-    let mut t = TextTable::new(&[
-        "metric", "workload", "INF", "ESG", "Fluid",
-    ]);
+    let mut t = TextTable::new(&["metric", "workload", "INF", "ESG", "Fluid"]);
     for gpu in [false, true] {
         for workload in WorkloadClass::ALL {
             t.row(&[
                 if gpu { "GPU time" } else { "MIG time" }.to_string(),
                 workload.name().to_string(),
-                format!("{:.2}", normalized(cells, workload, SystemKind::Infless, gpu)),
+                format!(
+                    "{:.2}",
+                    normalized(cells, workload, SystemKind::Infless, gpu)
+                ),
                 format!("{:.2}", normalized(cells, workload, SystemKind::Esg, gpu)),
                 "1.00".to_string(),
             ]);
@@ -167,6 +174,9 @@ mod tests {
     fn fluidfaas_light_gpu_time_not_higher_than_infless() {
         let cells = run(120.0, 1);
         let inf = normalized(&cells, WorkloadClass::Light, SystemKind::Infless, true);
-        assert!(inf >= 0.98, "INFless ratio {inf:.2} (Fluid should not cost more)");
+        assert!(
+            inf >= 0.98,
+            "INFless ratio {inf:.2} (Fluid should not cost more)"
+        );
     }
 }

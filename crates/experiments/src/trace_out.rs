@@ -96,7 +96,9 @@ impl RunTrace {
 impl Drop for RunTrace {
     fn drop(&mut self) {
         let Some(dir) = trace_dir() else { return };
-        let Some(rec) = ffs_obs::uninstall() else { return };
+        let Some(rec) = ffs_obs::uninstall() else {
+            return;
+        };
         let recording = rec.drain();
         if recording.events.is_empty() {
             return;

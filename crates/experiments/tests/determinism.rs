@@ -78,7 +78,11 @@ fn render_traced(traced: bool) -> String {
             "{} {} n={} hit={:016x} thr={:016x} gpu={:016x}\n",
             workload.name(),
             system.name(),
-            out.log.records().iter().filter(|r| r.completed.is_some()).count(),
+            out.log
+                .records()
+                .iter()
+                .filter(|r| r.completed.is_some())
+                .count(),
             out.log.slo_hit_rate().to_bits(),
             out.throughput_rps().to_bits(),
             out.cost.total_gpu_time_secs().to_bits(),
@@ -105,4 +109,103 @@ fn tracing_does_not_perturb_simulation_output() {
     let off = render_traced(false);
     let on = render_traced(true);
     assert_eq!(off, on, "tracing on/off must be byte-identical");
+}
+
+// ---------------------------------------------------------------------
+// Golden captures taken at the pre-refactor commit (monolithic
+// `FluidFaaSSystem` + `MonolithicSystem` event loops). The engine/policy
+// refactor must reproduce these byte-for-byte: float metrics are compared
+// as raw bit patterns, so even sub-ulp drift fails.
+// ---------------------------------------------------------------------
+
+/// One run per `SystemKind` per workload class (the `exp_all` sweep shape).
+fn render_systems_golden() -> String {
+    let mut s = String::new();
+    for workload in [
+        WorkloadClass::Light,
+        WorkloadClass::Medium,
+        WorkloadClass::Heavy,
+    ] {
+        for system in SystemKind::ALL {
+            let out = run_workload(system, workload, SECS, SEED);
+            let completed = out
+                .log
+                .records()
+                .iter()
+                .filter(|r| r.completed.is_some())
+                .count();
+            s.push_str(&format!(
+                "{} {} n={} hit={:016x} thr={:016x} gpu={:016x} mig={:016x}\n",
+                workload.name(),
+                system.name(),
+                completed,
+                out.log.slo_hit_rate().to_bits(),
+                out.throughput_rps().to_bits(),
+                out.cost.total_gpu_time_secs().to_bits(),
+                out.cost.total_mig_time_secs().to_bits(),
+            ));
+        }
+    }
+    s
+}
+
+/// Every `exp_ablation` arm (policy substitutions post-refactor).
+fn render_ablation_golden() -> String {
+    let rows = ffs_experiments::ablation::run(SECS, SEED);
+    let mut s = String::new();
+    for r in &rows {
+        s.push_str(&format!(
+            "{} hit={:016x} thr={:016x} p95={:016x}\n",
+            r.arm,
+            r.slo_hit_rate.to_bits(),
+            r.throughput_rps.to_bits(),
+            r.p95_ms.to_bits(),
+        ));
+    }
+    s
+}
+
+/// Prints the current golden strings (run with `--ignored --nocapture` to
+/// regenerate the constants below after an *intentional* behaviour change).
+#[test]
+#[ignore = "golden regeneration helper"]
+fn print_golden() {
+    println!("=== systems ===\n{}", render_systems_golden());
+    println!("=== ablation ===\n{}", render_ablation_golden());
+}
+
+const SYSTEMS_GOLDEN: &str = "\
+light INFless n=1382 hit=3feaf9b3ae7eb40d thr=402eb60b60b60b61 gpu=4096400000000000 mig=40b07c0000000000
+light ESG n=1382 hit=3fe9727a41f1ebff thr=402eb60b60b60b61 gpu=4096300000000000 mig=40b0800000000000
+light FluidFaaS n=1382 hit=3fea832628c0a5f9 thr=402eb60b60b60b61 gpu=40962bbe0e30446c mig=40b08bec4806290f
+medium INFless n=1000 hit=3fe2978d4fdf3b64 thr=402638e38e38e38e gpu=4096400000000000 mig=40a6180000000000
+medium ESG n=1000 hit=3fe55810624dd2f2 thr=402638e38e38e38e gpu=4096300000000000 mig=40a6200000000000
+medium FluidFaaS n=1000 hit=3fe7ef9db22d0e56 thr=402638e38e38e38e gpu=40963ba3ad5bee3d mig=40afc7c8c9b84556
+heavy INFless n=649 hit=3fb35404bbc27720 thr=401cd82d82d82d83 gpu=4096300000000000 mig=4096300000000000
+heavy ESG n=649 hit=3fb35404bbc27720 thr=401cd82d82d82d83 gpu=4096300000000000 mig=4096300000000000
+heavy FluidFaaS n=649 hit=3fda08ad8f2fba94 thr=401cd82d82d82d83 gpu=4096478b6b2af145 mig=40aba3c5b59578a3
+";
+
+const ABLATION_GOLDEN: &str = "\
+full hit=3fda08ad8f2fba94 thr=401cd82d82d82d83 p95=40b1f2e5e353f7cf
+no-cv-ranking hit=3fd90c3a6109128a thr=401cd82d82d82d83 p95=40b1f2e5e353f7cf
+no-time-sharing hit=3fd88e00c9f5be85 thr=401cd82d82d82d83 p95=40b366d26e978d4f
+no-migration hit=3fda08ad8f2fba94 thr=401cd82d82d82d83 p95=40b1f2e5e353f7cf
+erlang-c-scaling hit=3fd93eb7d0aa6759 thr=401cd82d82d82d83 p95=40b38a922d0e5604
+transfer-x2 hit=3fdab96495e46367 thr=401cd82d82d82d83 p95=40b1ff64dd2f1aa0
+transfer-x4 hit=3fdb50dce4c861d3 thr=401cd82d82d82d83 p95=40b21585a1cac083
+";
+
+/// Cross-policy determinism: each `SystemKind` on the shared engine must
+/// produce `RunOutput` byte-identical to the pre-refactor capture.
+#[test]
+fn engine_output_matches_pre_refactor_golden() {
+    assert_eq!(render_systems_golden(), SYSTEMS_GOLDEN);
+}
+
+/// Each ablation arm, expressed as a policy substitution, must reproduce
+/// the config-boolean arm it replaced.
+#[test]
+fn ablation_arms_match_pre_refactor_golden() {
+    assert_eq!(render_ablation_golden(), ABLATION_GOLDEN);
 }

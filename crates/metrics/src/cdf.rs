@@ -11,7 +11,10 @@ pub struct LatencyCdf {
 impl LatencyCdf {
     /// Builds a CDF from latency samples (ms). NaNs are rejected.
     pub fn new(mut samples: Vec<f64>) -> Self {
-        assert!(samples.iter().all(|x| x.is_finite()), "latencies must be finite");
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "latencies must be finite"
+        );
         samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         LatencyCdf { sorted_ms: samples }
     }

@@ -176,7 +176,11 @@ impl CostTracker {
         }
         CostReport {
             gpu_time_secs: self.gpu_time.iter().map(|d| d.as_secs_f64()).collect(),
-            occupied_secs: self.occupied_total.iter().map(|d| d.as_secs_f64()).collect(),
+            occupied_secs: self
+                .occupied_total
+                .iter()
+                .map(|d| d.as_secs_f64())
+                .collect(),
             occupied_gpc_secs: self.occupied_gpc_secs.clone(),
             active_secs: self.active_total.iter().map(|d| d.as_secs_f64()).collect(),
             window_secs: end.saturating_since(self.start).as_secs_f64(),

@@ -49,7 +49,11 @@ pub fn rows_csv(header: &[&str], rows: &[Vec<String>]) -> String {
     let _ = writeln!(
         out,
         "{}",
-        header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        header
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(",")
     );
     for row in rows {
         assert_eq!(row.len(), header.len(), "row arity mismatch");
@@ -100,10 +104,7 @@ mod tests {
 
     #[test]
     fn rows_csv_with_header() {
-        let s = rows_csv(
-            &["app", "hit"],
-            &[vec!["image,cls".into(), "0.95".into()]],
-        );
+        let s = rows_csv(&["app", "hit"], &[vec!["image,cls".into(), "0.95".into()]]);
         assert!(s.contains("\"image,cls\",0.95"));
     }
 }

@@ -59,7 +59,10 @@ impl LogHistogram {
 
     /// Records a value.
     pub fn record(&mut self, v: f64) {
-        assert!(v.is_finite() && v >= 0.0, "histogram values must be finite and non-negative");
+        assert!(
+            v.is_finite() && v >= 0.0,
+            "histogram values must be finite and non-negative"
+        );
         let b = self.bucket_of(v);
         if b >= self.counts.len() {
             self.counts.resize(b + 1, 0);

@@ -26,8 +26,8 @@ pub mod report;
 pub mod timeline;
 
 pub use cdf::LatencyCdf;
-pub use histogram::LogHistogram;
 pub use cost::{CostReport, CostTracker};
+pub use histogram::LogHistogram;
 pub use record::{Breakdown, RequestLog, RequestRecord};
 pub use report::TextTable;
 pub use timeline::BinnedSeries;

@@ -93,7 +93,9 @@ impl RequestLog {
 
     /// Records for one application.
     pub fn for_app(&self, app_index: usize) -> impl Iterator<Item = &RequestRecord> {
-        self.records.iter().filter(move |r| r.app_index == app_index)
+        self.records
+            .iter()
+            .filter(move |r| r.app_index == app_index)
     }
 
     /// Fraction of requests completed within their SLO (Figure 9). Unfilled
@@ -120,7 +122,11 @@ impl RequestLog {
     /// Completed requests per second over `duration` (Figure 10's
     /// throughput).
     pub fn throughput_rps(&self, duration: SimDuration) -> f64 {
-        let done = self.records.iter().filter(|r| r.completed.is_some()).count();
+        let done = self
+            .records
+            .iter()
+            .filter(|r| r.completed.is_some())
+            .count();
         done as f64 / duration.as_secs_f64()
     }
 
@@ -131,7 +137,9 @@ impl RequestLog {
 
     /// Completed-request latencies for one app.
     pub fn latencies_ms_for(&self, app_index: usize) -> Vec<f64> {
-        self.for_app(app_index).filter_map(|r| r.latency_ms()).collect()
+        self.for_app(app_index)
+            .filter_map(|r| r.latency_ms())
+            .collect()
     }
 
     /// Mean breakdown over completed requests (Figure 14), per app.
@@ -168,7 +176,13 @@ impl RequestLog {
 mod tests {
     use super::*;
 
-    fn record(id: u64, app: usize, arrival_s: u64, latency_ms: Option<f64>, slo_ms: f64) -> RequestRecord {
+    fn record(
+        id: u64,
+        app: usize,
+        arrival_s: u64,
+        latency_ms: Option<f64>,
+        slo_ms: f64,
+    ) -> RequestRecord {
         let arrival = SimTime::from_secs(arrival_s);
         RequestRecord {
             id,

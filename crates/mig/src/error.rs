@@ -55,13 +55,19 @@ impl fmt::Display for MigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MigError::OverlappingPlacement { profile, start } => {
-                write!(f, "placement of {profile} at slot {start} overlaps another slice")
+                write!(
+                    f,
+                    "placement of {profile} at slot {start} overlaps another slice"
+                )
             }
             MigError::InvalidStartSlot { profile, start } => {
                 write!(f, "{profile} cannot start at compute slot {start}")
             }
             MigError::MemoryOvercommit { demanded } => {
-                write!(f, "layout demands {demanded} memory slices but the GPU has 8")
+                write!(
+                    f,
+                    "layout demands {demanded} memory slices but the GPU has 8"
+                )
             }
             MigError::MaxCountExceeded { profile, requested } => {
                 write!(

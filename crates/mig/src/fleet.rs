@@ -105,7 +105,11 @@ impl Fleet {
     /// Builds a fleet of `nodes` nodes with `gpus_per_node` GPUs each,
     /// partitioned per `scheme`. GPU ids are global
     /// (`node * gpus_per_node + local`).
-    pub fn new(nodes: usize, gpus_per_node: usize, scheme: &PartitionScheme) -> Result<Self, MigError> {
+    pub fn new(
+        nodes: usize,
+        gpus_per_node: usize,
+        scheme: &PartitionScheme,
+    ) -> Result<Self, MigError> {
         let mut out = Vec::with_capacity(nodes);
         for n in 0..nodes {
             let mut gpus = Vec::with_capacity(gpus_per_node);
@@ -151,7 +155,9 @@ impl Fleet {
 
     /// Iterates over all GPUs with their node ids.
     pub fn gpus(&self) -> impl Iterator<Item = (NodeId, &Gpu)> {
-        self.nodes.iter().flat_map(|n| n.gpus.iter().map(move |g| (n.id, g)))
+        self.nodes
+            .iter()
+            .flat_map(|n| n.gpus.iter().map(move |g| (n.id, g)))
     }
 
     fn node_of_gpu(&self, gpu: GpuId) -> Result<usize, MigError> {
@@ -211,11 +217,7 @@ impl Fleet {
     }
 
     /// Free slices of at least `min_profile` on `node` (or anywhere).
-    pub fn free_slices_at_least(
-        &self,
-        node: Option<NodeId>,
-        min_mem_gb: f64,
-    ) -> Vec<FreeSlice> {
+    pub fn free_slices_at_least(&self, node: Option<NodeId>, min_mem_gb: f64) -> Vec<FreeSlice> {
         self.free_slices(node)
             .into_iter()
             .filter(|s| s.profile.fits_memory(min_mem_gb))
@@ -300,8 +302,7 @@ mod tests {
     #[test]
     fn hybrid_scheme_matches_table7() {
         let f = Fleet::new(1, 8, &PartitionScheme::hybrid()).unwrap();
-        let descriptions: Vec<String> = f
-            .nodes()[0]
+        let descriptions: Vec<String> = f.nodes()[0]
             .gpus()
             .iter()
             .map(|g| g.layout().describe())

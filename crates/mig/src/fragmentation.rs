@@ -10,7 +10,6 @@ use serde::{Deserialize, Serialize};
 
 use crate::fleet::Fleet;
 
-
 /// How a fleet can serve a monolithic demand of `mem_gb` / `gpcs`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Placeability {
@@ -66,7 +65,11 @@ pub fn report(fleet: &Fleet) -> FragmentationReport {
     let free_gpcs: u32 = free.iter().map(|s| s.profile.gpcs()).sum();
     let largest_free_gpcs = free.iter().map(|s| s.profile.gpcs()).max().unwrap_or(0);
     let free_mem_gb: u32 = free.iter().map(|s| s.profile.memory_gb()).sum();
-    let largest_free_mem_gb = free.iter().map(|s| s.profile.memory_gb()).max().unwrap_or(0);
+    let largest_free_mem_gb = free
+        .iter()
+        .map(|s| s.profile.memory_gb())
+        .max()
+        .unwrap_or(0);
     let index = if free_gpcs == 0 {
         0.0
     } else {
@@ -120,7 +123,10 @@ mod tests {
         // A small demand is still directly placeable.
         assert_eq!(classify_demand(&fleet, 8.0, 1), Placeability::Placeable);
         // An impossible demand is recognised as such.
-        assert_eq!(classify_demand(&fleet, 500.0, 3), Placeability::Insufficient);
+        assert_eq!(
+            classify_demand(&fleet, 500.0, 3),
+            Placeability::Insufficient
+        );
     }
 
     #[test]

@@ -188,7 +188,11 @@ mod tests {
         let profiles: Vec<SliceProfile> = g.slices().iter().map(|s| s.profile).collect();
         assert_eq!(
             profiles,
-            vec![SliceProfile::G4_40, SliceProfile::G2_20, SliceProfile::G1_10]
+            vec![
+                SliceProfile::G4_40,
+                SliceProfile::G2_20,
+                SliceProfile::G1_10
+            ]
         );
         assert_eq!(g.free_slices().count(), 3);
         assert!(!g.any_allocated());

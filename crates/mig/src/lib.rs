@@ -44,8 +44,8 @@ pub mod placement;
 pub mod profile;
 
 pub use error::MigError;
-pub use fragmentation::{classify_demand, FragmentationReport, Placeability};
 pub use fleet::{Fleet, Node, NodeId, PartitionScheme};
+pub use fragmentation::{classify_demand, FragmentationReport, Placeability};
 pub use gpu::{Gpu, GpuId, MigSlice, SliceId};
 pub use placement::{PartitionLayout, Placement};
 pub use profile::SliceProfile;

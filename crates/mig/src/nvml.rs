@@ -205,7 +205,8 @@ impl NvmlSim {
     /// operator's bootstrap script would.
     pub fn bootstrap(&mut self, index: u16, profiles: &[SliceProfile]) -> Result<u64, MigError> {
         self.set_mig_mode(index, MigMode::Enabled)?;
-        let placements: Result<PartitionLayout, MigError> = PartitionLayout::from_profiles(profiles);
+        let placements: Result<PartitionLayout, MigError> =
+            PartitionLayout::from_profiles(profiles);
         self.repartition(index, placements?)
     }
 }
@@ -260,7 +261,11 @@ mod tests {
         let mut nv = NvmlSim::init(1);
         nv.bootstrap(
             0,
-            &[SliceProfile::G4_40, SliceProfile::G2_20, SliceProfile::G1_10],
+            &[
+                SliceProfile::G4_40,
+                SliceProfile::G2_20,
+                SliceProfile::G1_10,
+            ],
         )
         .unwrap();
         nv.create_gpu_instance(0, SliceProfile::G4_40).unwrap();

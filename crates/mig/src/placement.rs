@@ -70,7 +70,9 @@ impl PartitionLayout {
     pub fn from_profiles(profiles: &[SliceProfile]) -> Result<Self, MigError> {
         let mut sorted: Vec<SliceProfile> = profiles.to_vec();
         sorted.sort_by_key(|p| std::cmp::Reverse(p.placement_span()));
-        let mut layout = PartitionLayout { placements: Vec::new() };
+        let mut layout = PartitionLayout {
+            placements: Vec::new(),
+        };
         for p in sorted {
             let placed = p
                 .start_slots()
@@ -117,7 +119,11 @@ impl PartitionLayout {
 
     /// `1g.10gb * 7` (used by the Hybrid scheme of Table 7).
     pub fn preset_seven_small() -> Self {
-        PartitionLayout::new((0..7).map(|s| Placement::new(SliceProfile::G1_10, s)).collect())
+        PartitionLayout::new(
+            (0..7)
+                .map(|s| Placement::new(SliceProfile::G1_10, s))
+                .collect(),
+        )
     }
 
     /// `2g.20gb * 3 + 1g.10gb` (used by the Hybrid scheme of Table 7).
@@ -255,7 +261,11 @@ impl PartitionLayout {
     pub fn is_maximal(&self) -> bool {
         for profile in SliceProfile::ALL {
             for &start in profile.start_slots() {
-                if self.with_added(Placement::new(profile, start)).validate().is_ok() {
+                if self
+                    .with_added(Placement::new(profile, start))
+                    .validate()
+                    .is_ok()
+                {
                     return false;
                 }
             }
@@ -340,7 +350,9 @@ mod tests {
             PartitionLayout::preset_two_large(),
             PartitionLayout::preset_full(),
         ] {
-            layout.validate().unwrap_or_else(|e| panic!("{}: {e}", layout.describe()));
+            layout
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", layout.describe()));
         }
     }
 
@@ -364,7 +376,10 @@ mod tests {
     #[test]
     fn invalid_start_slot_rejected() {
         let l = PartitionLayout::new(vec![Placement::new(SliceProfile::G4_40, 1)]);
-        assert!(matches!(l.validate(), Err(MigError::InvalidStartSlot { .. })));
+        assert!(matches!(
+            l.validate(),
+            Err(MigError::InvalidStartSlot { .. })
+        ));
     }
 
     #[test]
@@ -373,7 +388,10 @@ mod tests {
             Placement::new(SliceProfile::G4_40, 0),
             Placement::new(SliceProfile::G2_20, 2),
         ]);
-        assert!(matches!(l.validate(), Err(MigError::OverlappingPlacement { .. })));
+        assert!(matches!(
+            l.validate(),
+            Err(MigError::OverlappingPlacement { .. })
+        ));
     }
 
     #[test]
@@ -384,7 +402,10 @@ mod tests {
             Placement::new(SliceProfile::G3_40, 0),
             Placement::new(SliceProfile::G1_10, 3),
         ]);
-        assert!(matches!(l.validate(), Err(MigError::OverlappingPlacement { .. })));
+        assert!(matches!(
+            l.validate(),
+            Err(MigError::OverlappingPlacement { .. })
+        ));
     }
 
     #[test]
@@ -444,8 +465,7 @@ mod tests {
         assert!(multisets.contains("3g.40gb+4g.40gb"));
         assert!(multisets.contains("2g.20gb+2g.20gb+3g.40gb"));
         assert!(multisets.contains("7g.80gb"));
-        assert!(multisets
-            .contains("1g.10gb+1g.10gb+1g.10gb+1g.10gb+1g.10gb+1g.10gb+1g.10gb"));
+        assert!(multisets.contains("1g.10gb+1g.10gb+1g.10gb+1g.10gb+1g.10gb+1g.10gb+1g.10gb"));
     }
 
     #[test]
@@ -472,8 +492,12 @@ mod tests {
 
     #[test]
     fn from_profiles_rejects_infeasible() {
-        assert!(PartitionLayout::from_profiles(&[SliceProfile::G4_40, SliceProfile::G4_40]).is_err());
-        assert!(PartitionLayout::from_profiles(&[SliceProfile::G7_80, SliceProfile::G1_10]).is_err());
+        assert!(
+            PartitionLayout::from_profiles(&[SliceProfile::G4_40, SliceProfile::G4_40]).is_err()
+        );
+        assert!(
+            PartitionLayout::from_profiles(&[SliceProfile::G7_80, SliceProfile::G1_10]).is_err()
+        );
     }
 
     #[test]

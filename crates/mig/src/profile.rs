@@ -193,11 +193,26 @@ mod tests {
 
     #[test]
     fn smallest_with_memory_boundaries() {
-        assert_eq!(SliceProfile::smallest_with_memory(0.0), Some(SliceProfile::G1_10));
-        assert_eq!(SliceProfile::smallest_with_memory(10.0), Some(SliceProfile::G1_10));
-        assert_eq!(SliceProfile::smallest_with_memory(10.1), Some(SliceProfile::G2_20));
-        assert_eq!(SliceProfile::smallest_with_memory(20.1), Some(SliceProfile::G3_40));
-        assert_eq!(SliceProfile::smallest_with_memory(40.1), Some(SliceProfile::G7_80));
+        assert_eq!(
+            SliceProfile::smallest_with_memory(0.0),
+            Some(SliceProfile::G1_10)
+        );
+        assert_eq!(
+            SliceProfile::smallest_with_memory(10.0),
+            Some(SliceProfile::G1_10)
+        );
+        assert_eq!(
+            SliceProfile::smallest_with_memory(10.1),
+            Some(SliceProfile::G2_20)
+        );
+        assert_eq!(
+            SliceProfile::smallest_with_memory(20.1),
+            Some(SliceProfile::G3_40)
+        );
+        assert_eq!(
+            SliceProfile::smallest_with_memory(40.1),
+            Some(SliceProfile::G7_80)
+        );
         assert_eq!(SliceProfile::smallest_with_memory(80.1), None);
     }
 

@@ -435,13 +435,24 @@ impl ObsEvent {
             ObsEvent::RequestArrived { req, func } => {
                 s.push_str(&format!("\"req\":{req},\"func\":{func}"));
             }
-            ObsEvent::RequestDispatched { req, func, path, target } => {
+            ObsEvent::RequestDispatched {
+                req,
+                func,
+                path,
+                target,
+            } => {
                 s.push_str(&format!(
                     "\"req\":{req},\"func\":{func},\"path\":\"{}\",\"target\":{target}",
                     path.as_str()
                 ));
             }
-            ObsEvent::RequestCompleted { req, app, latency_ms, slo_ms, slo_met } => {
+            ObsEvent::RequestCompleted {
+                req,
+                app,
+                latency_ms,
+                slo_ms,
+                slo_met,
+            } => {
                 s.push_str(&format!("\"req\":{req},\"app\":{app},\"latency_ms\":"));
                 push_f64(&mut s, *latency_ms);
                 s.push_str(",\"slo_ms\":");
@@ -482,7 +493,12 @@ impl ObsEvent {
             ObsEvent::PlanCacheLookup { func, node, hit } => {
                 s.push_str(&format!("\"func\":{func},\"node\":{node},\"hit\":{hit}"));
             }
-            ObsEvent::KeepAliveTransition { func, from, to, cause } => {
+            ObsEvent::KeepAliveTransition {
+                func,
+                from,
+                to,
+                cause,
+            } => {
                 s.push_str(&format!(
                     "\"func\":{func},\"from\":\"{}\",\"to\":\"{}\",\"cause\":\"{}\"",
                     from.as_str(),
@@ -490,7 +506,11 @@ impl ObsEvent {
                     cause.as_str()
                 ));
             }
-            ObsEvent::Eviction { func, reason, slice } => {
+            ObsEvent::Eviction {
+                func,
+                reason,
+                slice,
+            } => {
                 s.push_str(&format!(
                     "\"func\":{func},\"reason\":\"{}\",\"gpu\":{},\"slice\":{}",
                     reason.as_str(),
@@ -498,7 +518,14 @@ impl ObsEvent {
                     slice.index
                 ));
             }
-            ObsEvent::InstanceLaunched { inst, func, node, stages, pipelined, cold_ms } => {
+            ObsEvent::InstanceLaunched {
+                inst,
+                func,
+                node,
+                stages,
+                pipelined,
+                cold_ms,
+            } => {
                 s.push_str(&format!(
                     "\"inst\":{inst},\"func\":{func},\"node\":{node},\"stages\":{stages},\"pipelined\":{pipelined},\"cold_ms\":"
                 ));

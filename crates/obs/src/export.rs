@@ -32,7 +32,13 @@ pub fn write_jsonl<W: Write>(w: &mut W, rec: &Recording) -> io::Result<()> {
 fn write_jsonl_event<W: Write>(w: &mut W, s: &Stamped) -> io::Result<()> {
     let fields = s.event.fields_json();
     if fields.is_empty() {
-        writeln!(w, "{{\"kind\":\"{}\",\"t_us\":{},\"seq\":{}}}", s.event.kind(), s.t_us, s.seq)
+        writeln!(
+            w,
+            "{{\"kind\":\"{}\",\"t_us\":{},\"seq\":{}}}",
+            s.event.kind(),
+            s.t_us,
+            s.seq
+        )
     } else {
         writeln!(
             w,
@@ -183,7 +189,12 @@ pub fn write_chrome_trace<W: Write>(w: &mut W, rec: &Recording) -> io::Result<()
         )?;
     }
 
-    write!(w, "],\"otherData\":{{\"dropped\":{},\"counters\":{}}}}}", rec.dropped, rec.counters.to_json())
+    write!(
+        w,
+        "],\"otherData\":{{\"dropped\":{},\"counters\":{}}}}}",
+        rec.dropped,
+        rec.counters.to_json()
+    )
 }
 
 /// Renders a counter snapshot as a human-oriented multi-line summary.
@@ -225,13 +236,28 @@ mod tests {
 
     fn sample_recording() -> Recording {
         let r = Recorder::with_capacity(64);
-        r.push(0, ObsEvent::RunStart { invocations: 2, gpus: 1 });
+        r.push(
+            0,
+            ObsEvent::RunStart {
+                invocations: 2,
+                gpus: 1,
+            },
+        );
         r.push(5, ObsEvent::RequestArrived { req: 0, func: 3 });
         r.push(
             10,
-            ObsEvent::SliceActive { slice: SliceRef::new(0, 2), func: 3, req: 0 },
+            ObsEvent::SliceActive {
+                slice: SliceRef::new(0, 2),
+                func: 3,
+                req: 0,
+            },
         );
-        r.push(30, ObsEvent::SliceIdle { slice: SliceRef::new(0, 2) });
+        r.push(
+            30,
+            ObsEvent::SliceIdle {
+                slice: SliceRef::new(0, 2),
+            },
+        );
         r.push(31, ObsEvent::QueueDepth { pending: 4 });
         r.push(40, ObsEvent::RunEnd { sim_secs: 0.00004 });
         r.drain()
@@ -274,7 +300,11 @@ mod tests {
         let r = Recorder::with_capacity(8);
         r.push(
             10,
-            ObsEvent::SliceActive { slice: SliceRef::new(1, 0), func: 7, req: 9 },
+            ObsEvent::SliceActive {
+                slice: SliceRef::new(1, 0),
+                func: 7,
+                req: 9,
+            },
         );
         r.push(50, ObsEvent::QueueDepth { pending: 1 });
         let rec = r.drain();

@@ -169,7 +169,11 @@ impl Recorder {
         g.seq = 0;
         g.queue_samples_seen = 0;
         let counters = std::mem::take(&mut g.counters);
-        Recording { events, counters, dropped }
+        Recording {
+            events,
+            counters,
+            dropped,
+        }
     }
 }
 

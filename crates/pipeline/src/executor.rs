@@ -91,7 +91,11 @@ impl ExecutorStats {
     /// Summarises request timings.
     pub fn from_timings(timings: &[RequestTiming]) -> Self {
         let mut hist = ffs_metrics::LogHistogram::for_latency_ms();
-        let stages = timings.iter().map(|t| t.stage_service.len()).max().unwrap_or(0);
+        let stages = timings
+            .iter()
+            .map(|t| t.stage_service.len())
+            .max()
+            .unwrap_or(0);
         let mut stage_sums = vec![0.0f64; stages];
         let mut stage_counts = vec![0usize; stages];
         for t in timings {
@@ -159,7 +163,12 @@ impl PipelineExecutor {
     /// value, e.g. `0.01`, to run paper-scale pipelines in test time).
     /// `queue_cap` bounds each inter-stage queue, providing backpressure
     /// like the paper's job queues.
-    pub fn spawn(specs: Vec<StageSpec>, mode: KernelMode, time_scale: f64, queue_cap: usize) -> Self {
+    pub fn spawn(
+        specs: Vec<StageSpec>,
+        mode: KernelMode,
+        time_scale: f64,
+        queue_cap: usize,
+    ) -> Self {
         assert!(!specs.is_empty(), "a pipeline needs at least one stage");
         assert!(time_scale > 0.0);
         assert!(queue_cap >= 1);
@@ -172,7 +181,8 @@ impl PipelineExecutor {
             senders.push(tx);
             receivers.push(rx);
         }
-        let eviction: Vec<Arc<AtomicBool>> = (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
+        let eviction: Vec<Arc<AtomicBool>> =
+            (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
         let timings = Arc::new(Mutex::new(Vec::new()));
 
         let mut workers = Vec::with_capacity(n);

@@ -10,7 +10,7 @@
 //!   ranks first, so non-pipelined deployments are preferred whenever a
 //!   large-enough slice is available (matching the paper's pipeline
 //!   migration policy).
-//! * [`estimate`] — latency / bottleneck / throughput algebra for a planned
+//! * [`estimate()`] — latency / bottleneck / throughput algebra for a planned
 //!   instance, used by the load balancer's heterogeneity-aware routing.
 //! * [`executor`] — a real multi-threaded pipeline runtime mirroring the
 //!   paper's Listing 1: one worker per stage, handoff through in-memory
@@ -36,7 +36,9 @@ pub mod plan;
 pub mod replay;
 
 pub use estimate::{estimate, InstanceEstimate};
-pub use executor::{ExecutorError, ExecutorStats, KernelMode, PipelineExecutor, RequestTiming, StageSpec};
+pub use executor::{
+    ExecutorError, ExecutorStats, KernelMode, PipelineExecutor, RequestTiming, StageSpec,
+};
 pub use plan::{
     explain_plan, plan_deployment, plan_deployment_unranked, DeploymentPlan, PlanExplanation,
     StagePlan,

@@ -89,12 +89,17 @@ fn assign_slices(
         } else {
             1
         };
-        let pos = available
-            .iter()
-            .position(|s| s.profile.fits_memory(stage_mems[idx]) && s.profile.gpcs() >= need_gpcs)?;
+        let pos = available.iter().position(|s| {
+            s.profile.fits_memory(stage_mems[idx]) && s.profile.gpcs() >= need_gpcs
+        })?;
         picks[idx] = Some(available.remove(pos));
     }
-    Some(picks.into_iter().map(|p| p.expect("all assigned")).collect())
+    Some(
+        picks
+            .into_iter()
+            .map(|p| p.expect("all assigned"))
+            .collect(),
+    )
 }
 
 /// Plans a deployment of `profile` onto the currently free slices.
@@ -121,9 +126,8 @@ pub fn plan_deployment_unranked(
         .ok()?
         .into_iter()
         .map(|p| {
-            let stage_costs = p.stage_costs(|n| {
-                profile.node_exec_ms(n, ffs_mig::SliceProfile::G1_10)
-            });
+            let stage_costs =
+                p.stage_costs(|n| profile.node_exec_ms(n, ffs_mig::SliceProfile::G1_10));
             let cv = p.cv(|n| profile.node_exec_ms(n, ffs_mig::SliceProfile::G1_10));
             ffs_dag::RankedPartition {
                 partition: p,
@@ -145,7 +149,7 @@ pub struct PlanExplanation {
     pub rejected: Vec<ffs_obs::RejectedCandidate>,
 }
 
-/// Reconstructs why [`plan_from_list`]-style planning settled on `plan`:
+/// Reconstructs why `plan_from_list`-style planning settled on `plan`:
 /// walks `list` up to the deployed partition and classifies each rejection.
 ///
 /// Pure and side-effect-free — intended to run only when tracing is
@@ -278,9 +282,11 @@ mod tests {
     #[test]
     fn pipeline_built_from_fragments_when_no_big_slice() {
         // Only 1g.10gb slices free: medium app must pipeline (Figure 4 c/d).
-        let fleet = Fleet::new(1, 1, &PartitionScheme::Uniform(
-            ffs_mig::PartitionLayout::preset_seven_small(),
-        ))
+        let fleet = Fleet::new(
+            1,
+            1,
+            &PartitionScheme::Uniform(ffs_mig::PartitionLayout::preset_seven_small()),
+        )
         .unwrap();
         let p = profile(App::ImageClassification, Variant::Medium);
         let plan = plan_deployment(&p, &free_of(&fleet)).unwrap();
@@ -296,9 +302,11 @@ mod tests {
     fn balanced_partition_chosen_among_feasible() {
         // With plenty of 1g slices, the chosen pipeline is the lowest-CV
         // multi-stage partition that fits.
-        let fleet = Fleet::new(1, 2, &PartitionScheme::Uniform(
-            ffs_mig::PartitionLayout::preset_seven_small(),
-        ))
+        let fleet = Fleet::new(
+            1,
+            2,
+            &PartitionScheme::Uniform(ffs_mig::PartitionLayout::preset_seven_small()),
+        )
         .unwrap();
         let p = profile(App::DepthRecognition, Variant::Medium);
         let plan = plan_deployment(&p, &free_of(&fleet)).unwrap();
@@ -308,11 +316,10 @@ mod tests {
         // the first non-monolithic entry.
         let first_multi = ranked
             .iter()
-            .find(|r| !r.partition.is_monolithic() && {
-                r.partition
-                    .stage_mem_gb(&p.dag)
-                    .iter()
-                    .all(|&m| m <= 10.0)
+            .find(|r| {
+                !r.partition.is_monolithic() && {
+                    r.partition.stage_mem_gb(&p.dag).iter().all(|&m| m <= 10.0)
+                }
             })
             .unwrap();
         assert_eq!(plan.partition, first_multi.partition);
@@ -324,9 +331,11 @@ mod tests {
         let p = profile(App::ImageClassification, Variant::Large);
         assert_eq!(plan_deployment(&p, &[]), None);
         // Large needs 2g.20gb stages; 1g-only fleets cannot host it at all.
-        let fleet = Fleet::new(1, 1, &PartitionScheme::Uniform(
-            ffs_mig::PartitionLayout::preset_seven_small(),
-        ))
+        let fleet = Fleet::new(
+            1,
+            1,
+            &PartitionScheme::Uniform(ffs_mig::PartitionLayout::preset_seven_small()),
+        )
         .unwrap();
         assert_eq!(plan_deployment(&p, &free_of(&fleet)), None);
     }
@@ -336,9 +345,11 @@ mod tests {
         // Expanded-medium needs >= 4 GPCs monolithic (Table 5): a 3g.40gb
         // slice has the memory but not the compute, so with only a 3g free
         // the planner must pipeline instead.
-        let fleet = Fleet::new(1, 1, &PartitionScheme::Uniform(
-            ffs_mig::PartitionLayout::preset_two_large(),
-        ))
+        let fleet = Fleet::new(
+            1,
+            1,
+            &PartitionScheme::Uniform(ffs_mig::PartitionLayout::preset_two_large()),
+        )
         .unwrap();
         let p = profile(App::ExpandedImageClassification, Variant::Medium);
         // Free: 4g.40gb + 3g.40gb. Monolithic fits the 4g.
@@ -393,9 +404,11 @@ mod tests {
         // Only 1g.10gb slices free: the monolith (rank 0) cannot fit, so
         // the chosen pipeline sits at a later rank and every earlier rank
         // carries a rejection reason.
-        let fleet = Fleet::new(1, 1, &PartitionScheme::Uniform(
-            ffs_mig::PartitionLayout::preset_seven_small(),
-        ))
+        let fleet = Fleet::new(
+            1,
+            1,
+            &PartitionScheme::Uniform(ffs_mig::PartitionLayout::preset_seven_small()),
+        )
         .unwrap();
         let p = profile(App::ImageClassification, Variant::Medium);
         let free = free_of(&fleet);

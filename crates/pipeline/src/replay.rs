@@ -65,7 +65,12 @@ pub fn spawn_from_plan(
     plan: &DeploymentPlan,
     opts: &ReplayOptions,
 ) -> PipelineExecutor {
-    PipelineExecutor::spawn(stage_specs(profile, plan), opts.mode, opts.time_scale, opts.queue_cap)
+    PipelineExecutor::spawn(
+        stage_specs(profile, plan),
+        opts.mode,
+        opts.time_scale,
+        opts.queue_cap,
+    )
 }
 
 #[cfg(test)]
@@ -97,7 +102,11 @@ mod tests {
         let (profile, plan) = pipelined_plan();
         let specs = stage_specs(&profile, &plan);
         assert_eq!(specs.len(), plan.num_stages());
-        let all_names: String = specs.iter().map(|s| s.name.clone()).collect::<Vec<_>>().join("+");
+        let all_names: String = specs
+            .iter()
+            .map(|s| s.name.clone())
+            .collect::<Vec<_>>()
+            .join("+");
         for n in profile.dag.nodes() {
             assert!(
                 all_names.contains(&profile.dag.component(n).name),

@@ -244,8 +244,16 @@ mod tests {
             let medium = app.build_dag(Variant::Medium).total_mem_gb();
             let large = app.build_dag(Variant::Large).total_mem_gb();
             assert!(small <= 10.0, "{} small {small}", app.name());
-            assert!(medium > 10.0 && medium <= 20.0, "{} medium {medium}", app.name());
-            assert!(large > 20.0 && large <= 40.0, "{} large {large}", app.name());
+            assert!(
+                medium > 10.0 && medium <= 20.0,
+                "{} medium {medium}",
+                app.name()
+            );
+            assert!(
+                large > 20.0 && large <= 40.0,
+                "{} large {large}",
+                app.name()
+            );
         }
         // Expanded app: small in (10, 20], medium in (20, 40], large > 40.
         let app = App::ExpandedImageClassification;

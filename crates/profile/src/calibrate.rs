@@ -134,21 +134,36 @@ mod tests {
     fn underdetermined_inputs_rejected() {
         assert_eq!(fit_amdahl(&[]), None);
         assert_eq!(
-            fit_amdahl(&[MeasuredPoint { gpcs: 2, exec_ms: 50.0 }]),
+            fit_amdahl(&[MeasuredPoint {
+                gpcs: 2,
+                exec_ms: 50.0
+            }]),
             None
         );
         // Two points on the same slice size are still one distinct size.
         assert_eq!(
             fit_amdahl(&[
-                MeasuredPoint { gpcs: 2, exec_ms: 50.0 },
-                MeasuredPoint { gpcs: 2, exec_ms: 51.0 }
+                MeasuredPoint {
+                    gpcs: 2,
+                    exec_ms: 50.0
+                },
+                MeasuredPoint {
+                    gpcs: 2,
+                    exec_ms: 51.0
+                }
             ]),
             None
         );
         assert_eq!(
             fit_amdahl(&[
-                MeasuredPoint { gpcs: 1, exec_ms: -1.0 },
-                MeasuredPoint { gpcs: 2, exec_ms: 50.0 }
+                MeasuredPoint {
+                    gpcs: 1,
+                    exec_ms: -1.0
+                },
+                MeasuredPoint {
+                    gpcs: 2,
+                    exec_ms: 50.0
+                }
             ]),
             None
         );
@@ -159,13 +174,19 @@ mod tests {
         // Perfectly parallel: exec halves with double GPCs -> s ~ 0.
         let par: Vec<MeasuredPoint> = [1u32, 2, 4]
             .iter()
-            .map(|&g| MeasuredPoint { gpcs: g, exec_ms: 100.0 / g as f64 })
+            .map(|&g| MeasuredPoint {
+                gpcs: g,
+                exec_ms: 100.0 / g as f64,
+            })
             .collect();
         assert!(fit_amdahl(&par).unwrap().serial_fraction < 0.01);
         // Perfectly serial: exec constant -> s ~ 1.
         let ser: Vec<MeasuredPoint> = [1u32, 2, 4]
             .iter()
-            .map(|&g| MeasuredPoint { gpcs: g, exec_ms: 100.0 })
+            .map(|&g| MeasuredPoint {
+                gpcs: g,
+                exec_ms: 100.0,
+            })
             .collect();
         assert!(fit_amdahl(&ser).unwrap().serial_fraction > 0.99);
     }

@@ -114,11 +114,7 @@ impl FunctionProfile {
     /// slice (components back-to-back in one process, with the baseline's
     /// cheap in-process handoffs).
     pub fn mono_exec_ms(&self, slice: SliceProfile) -> f64 {
-        let compute: f64 = self
-            .dag
-            .nodes()
-            .map(|n| self.node_exec_ms(n, slice))
-            .sum();
+        let compute: f64 = self.dag.nodes().map(|n| self.node_exec_ms(n, slice)).sum();
         let handoffs = (self.dag.len().saturating_sub(1)) as f64 * self.perf.inprocess_handoff_ms;
         compute + handoffs
     }
@@ -137,7 +133,11 @@ impl FunctionProfile {
     /// End-to-end latency (ms) of a pipeline partition where stage `i` runs
     /// on `slices[i]`: stage times plus boundary transfers. (Unloaded
     /// latency; queueing is the simulator's business.)
-    pub fn pipeline_latency_ms(&self, partition: &PipelinePartition, slices: &[SliceProfile]) -> f64 {
+    pub fn pipeline_latency_ms(
+        &self,
+        partition: &PipelinePartition,
+        slices: &[SliceProfile],
+    ) -> f64 {
         assert_eq!(partition.num_stages(), slices.len());
         let exec: f64 = partition
             .stages()
@@ -235,17 +235,72 @@ mod tests {
     fn table5_minimum_slices() {
         use SliceProfile::*;
         let rows: Vec<(App, Variant, Option<SliceProfile>, Option<SliceProfile>)> = vec![
-            (App::ImageClassification, Variant::Small, Some(G1_10), Some(G1_10)),
-            (App::ImageClassification, Variant::Medium, Some(G2_20), Some(G1_10)),
-            (App::ImageClassification, Variant::Large, Some(G3_40), Some(G2_20)),
-            (App::DepthRecognition, Variant::Small, Some(G1_10), Some(G1_10)),
-            (App::DepthRecognition, Variant::Medium, Some(G2_20), Some(G1_10)),
-            (App::DepthRecognition, Variant::Large, Some(G3_40), Some(G2_20)),
-            (App::BackgroundElimination, Variant::Small, Some(G1_10), Some(G1_10)),
-            (App::BackgroundElimination, Variant::Medium, Some(G2_20), Some(G1_10)),
-            (App::BackgroundElimination, Variant::Large, Some(G3_40), Some(G2_20)),
-            (App::ExpandedImageClassification, Variant::Small, Some(G2_20), Some(G1_10)),
-            (App::ExpandedImageClassification, Variant::Medium, Some(G4_40), Some(G1_10)),
+            (
+                App::ImageClassification,
+                Variant::Small,
+                Some(G1_10),
+                Some(G1_10),
+            ),
+            (
+                App::ImageClassification,
+                Variant::Medium,
+                Some(G2_20),
+                Some(G1_10),
+            ),
+            (
+                App::ImageClassification,
+                Variant::Large,
+                Some(G3_40),
+                Some(G2_20),
+            ),
+            (
+                App::DepthRecognition,
+                Variant::Small,
+                Some(G1_10),
+                Some(G1_10),
+            ),
+            (
+                App::DepthRecognition,
+                Variant::Medium,
+                Some(G2_20),
+                Some(G1_10),
+            ),
+            (
+                App::DepthRecognition,
+                Variant::Large,
+                Some(G3_40),
+                Some(G2_20),
+            ),
+            (
+                App::BackgroundElimination,
+                Variant::Small,
+                Some(G1_10),
+                Some(G1_10),
+            ),
+            (
+                App::BackgroundElimination,
+                Variant::Medium,
+                Some(G2_20),
+                Some(G1_10),
+            ),
+            (
+                App::BackgroundElimination,
+                Variant::Large,
+                Some(G3_40),
+                Some(G2_20),
+            ),
+            (
+                App::ExpandedImageClassification,
+                Variant::Small,
+                Some(G2_20),
+                Some(G1_10),
+            ),
+            (
+                App::ExpandedImageClassification,
+                Variant::Medium,
+                Some(G4_40),
+                Some(G1_10),
+            ),
         ];
         for (app, variant, baseline, pipeline) in rows {
             let p = profile(app, variant);
@@ -269,7 +324,11 @@ mod tests {
         // excludes it.
         let p = profile(App::ExpandedImageClassification, Variant::Large);
         assert!(p.app.excluded_from_study(p.variant));
-        assert_eq!(p.min_baseline_slice(), Some(G7_80), "only a full GPU could host it");
+        assert_eq!(
+            p.min_baseline_slice(),
+            Some(G7_80),
+            "only a full GPU could host it"
+        );
     }
 
     #[test]

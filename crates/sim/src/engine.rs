@@ -97,7 +97,11 @@ impl<E> Scheduler<E> {
     /// Schedules `ev` at absolute time `at`.
     #[inline]
     pub fn at(&mut self, at: SimTime, ev: E) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
@@ -254,6 +258,9 @@ mod tests {
     fn empty_queue_returns_immediately() {
         let mut w = Recorder { log: vec![] };
         let mut s: Scheduler<u32> = Scheduler::new();
-        assert_eq!(run_until(&mut w, &mut s, SimTime::from_secs(1)), StopReason::QueueEmpty);
+        assert_eq!(
+            run_until(&mut w, &mut s, SimTime::from_secs(1)),
+            StopReason::QueueEmpty
+        );
     }
 }

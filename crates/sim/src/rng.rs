@@ -51,7 +51,8 @@ impl SimRng {
     /// parent generator is not advanced, so adding a new `split` call never
     /// perturbs existing streams.
     pub fn split(&self, stream: u64) -> SimRng {
-        let mut sm = self.s[0] ^ self.s[2].rotate_left(17) ^ stream.wrapping_mul(0xA24BAED4963EE407);
+        let mut sm =
+            self.s[0] ^ self.s[2].rotate_left(17) ^ stream.wrapping_mul(0xA24BAED4963EE407);
         let s = [
             splitmix64(&mut sm),
             splitmix64(&mut sm),
@@ -220,7 +221,10 @@ mod tests {
         let mut r = SimRng::seed_from_u64(9);
         let n = 200_000;
         let mean: f64 = (0..n).map(|_| r.exp(2.5)).sum::<f64>() / n as f64;
-        assert!((mean - 2.5).abs() < 0.05, "exp mean {mean} too far from 2.5");
+        assert!(
+            (mean - 2.5).abs() < 0.05,
+            "exp mean {mean} too far from 2.5"
+        );
     }
 
     #[test]

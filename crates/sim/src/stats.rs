@@ -193,7 +193,7 @@ mod tests {
         let mut m = TimeWeightedMean::new(SimTime::ZERO, 0.0);
         m.set(SimTime::from_secs(10), 1.0); // 0 for 10s
         m.set(SimTime::from_secs(20), 0.5); // 1 for 10s
-        // then 0.5 for 10s → integral = 0 + 10 + 5 = 15 over 30s
+                                            // then 0.5 for 10s → integral = 0 + 10 + 5 = 15 over 30s
         assert!((m.mean_until(SimTime::from_secs(30)) - 0.5).abs() < 1e-12);
         assert!((m.integral_until(SimTime::from_secs(30)) - 15.0).abs() < 1e-9);
         assert_eq!(m.current(), 0.5);

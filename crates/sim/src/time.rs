@@ -291,7 +291,10 @@ mod tests {
         let late = SimTime::from_secs(5);
         assert_eq!(late.saturating_since(early), SimDuration::from_secs(4));
         assert_eq!(early.saturating_since(late), SimDuration::ZERO);
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
         assert_eq!(
             SimDuration::from_secs(1).saturating_sub(SimDuration::from_secs(2)),
             SimDuration::ZERO
@@ -307,9 +310,20 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![SimTime::from_secs(3), SimTime::ZERO, SimTime::from_millis(1)];
+        let mut v = vec![
+            SimTime::from_secs(3),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+        ];
         v.sort();
-        assert_eq!(v, vec![SimTime::ZERO, SimTime::from_millis(1), SimTime::from_secs(3)]);
+        assert_eq!(
+            v,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_millis(1),
+                SimTime::from_secs(3)
+            ]
+        );
     }
 
     #[test]

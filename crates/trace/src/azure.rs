@@ -119,15 +119,18 @@ impl AzureTraceConfig {
         }
         burst_edges.push((0.0, on));
         while t < self.duration_secs {
-            let mean = if on { self.burst_on_secs } else { self.burst_off_secs };
+            let mean = if on {
+                self.burst_on_secs
+            } else {
+                self.burst_off_secs
+            };
             t += rng.exp(mean);
             on = !on;
             burst_edges.push((t, on));
         }
         let state_at = |time: f64| -> bool {
-            match burst_edges.binary_search_by(|&(s, _)| {
-                s.partial_cmp(&time).expect("finite time")
-            }) {
+            match burst_edges.binary_search_by(|&(s, _)| s.partial_cmp(&time).expect("finite time"))
+            {
                 Ok(i) => burst_edges[i].1,
                 Err(0) => burst_edges[0].1,
                 Err(i) => burst_edges[i - 1].1,
@@ -232,7 +235,10 @@ mod tests {
         let cfg = AzureTraceConfig::steady(vec![App::ImageClassification], 500.0, 10.0, 3);
         let trace = cfg.generate();
         let cv = trace.interarrival_cv(App::ImageClassification);
-        assert!((cv - 1.0).abs() < 0.15, "Poisson CV should be near 1, got {cv}");
+        assert!(
+            (cv - 1.0).abs() < 0.15,
+            "Poisson CV should be near 1, got {cv}"
+        );
     }
 
     #[test]

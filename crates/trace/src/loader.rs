@@ -48,7 +48,10 @@ impl fmt::Display for LoadError {
             LoadError::MissingHeader => write!(f, "missing CSV header"),
             LoadError::TooFewColumns => write!(f, "header has no minute columns"),
             LoadError::BadCount { row, minute } => {
-                write!(f, "non-numeric invocation count at row {row}, minute {minute}")
+                write!(
+                    f,
+                    "non-numeric invocation count at row {row}, minute {minute}"
+                )
             }
             LoadError::NoRows => write!(f, "no data rows"),
         }
@@ -96,10 +99,10 @@ pub fn parse_csv(content: &str) -> Result<Vec<FunctionRow>, LoadError> {
         let trigger = cols.next().unwrap_or_default().to_string();
         let mut per_minute = Vec::new();
         for (m, c) in cols.enumerate() {
-            let count: u32 = c
-                .trim()
-                .parse()
-                .map_err(|_| LoadError::BadCount { row: i + 1, minute: m })?;
+            let count: u32 = c.trim().parse().map_err(|_| LoadError::BadCount {
+                row: i + 1,
+                minute: m,
+            })?;
             per_minute.push(count);
         }
         rows.push(FunctionRow {
@@ -199,7 +202,10 @@ o2,a2,f2,timer,0,3,0
             .filter(|i| i.app == App::DepthRecognition)
             .map(|i| i.arrival.as_secs_f64())
             .collect();
-        assert!(depth.iter().all(|&t| (60.0..120.0).contains(&t)), "{depth:?}");
+        assert!(
+            depth.iter().all(|&t| (60.0..120.0).contains(&t)),
+            "{depth:?}"
+        );
         // Deterministic.
         let again = to_trace(&rows, &apps, 3, 7);
         assert_eq!(trace.invocations, again.invocations);

@@ -91,13 +91,8 @@ mod tests {
 
     #[test]
     fn steady_trace_statistics() {
-        let trace = AzureTraceConfig::steady(
-            vec![App::ImageClassification],
-            300.0,
-            8.0,
-            2,
-        )
-        .generate();
+        let trace =
+            AzureTraceConfig::steady(vec![App::ImageClassification], 300.0, 8.0, 2).generate();
         let s = app_stats(&trace, App::ImageClassification);
         assert!((s.interarrival_cv - 1.0).abs() < 0.2, "{s:?}");
         assert!((s.mean_rps - 8.0).abs() < 1.0);
@@ -105,8 +100,8 @@ mod tests {
 
     #[test]
     fn empty_app_is_benign() {
-        let trace = AzureTraceConfig::steady(vec![App::ImageClassification], 10.0, 1.0, 2)
-            .generate();
+        let trace =
+            AzureTraceConfig::steady(vec![App::ImageClassification], 10.0, 1.0, 2).generate();
         let s = app_stats(&trace, App::DepthRecognition);
         assert_eq!(s.count, 0);
         assert_eq!(s.mean_rps, 0.0);

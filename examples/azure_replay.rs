@@ -34,7 +34,12 @@ fn main() {
 
     let rows = parse_csv(&content).expect("valid Azure-format CSV");
     let total: u64 = rows.iter().map(|r| r.total()).sum();
-    let minutes = rows.iter().map(|r| r.per_minute.len()).max().unwrap_or(0).min(10);
+    let minutes = rows
+        .iter()
+        .map(|r| r.per_minute.len())
+        .max()
+        .unwrap_or(0)
+        .min(10);
     println!(
         "loaded {} functions, {total} invocations; replaying the first {minutes} minutes",
         rows.len()
@@ -60,8 +65,5 @@ fn main() {
         cdf.p50().unwrap_or(0.0),
         cdf.p95().unwrap_or(0.0),
     );
-    println!(
-        "scheduler activity: {:?}",
-        sys.scheduler_log()
-    );
+    println!("scheduler activity: {:?}", sys.scheduler_log());
 }

@@ -37,7 +37,11 @@ fn main() {
             "{:<10} {:>7.1}% {:>10} {:>9.0} {:>9.0} {:>9.0}s {:>9.0}s",
             system.name(),
             out.log.slo_hit_rate() * 100.0,
-            out.log.records().iter().filter(|r| r.completed.is_some()).count(),
+            out.log
+                .records()
+                .iter()
+                .filter(|r| r.completed.is_some())
+                .count(),
             cdf.p50().unwrap_or(0.0),
             cdf.p95().unwrap_or(0.0),
             out.cost.total_gpu_time_secs(),

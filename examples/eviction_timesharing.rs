@@ -17,13 +17,31 @@ fn main() {
     println!("Figure 8 keep-alive transitions:");
     let mut state = KeepAliveState::Cold;
     let script = [
-        (Transition::RequestArrived, "first request creates a time-sharing instance (1)"),
-        (Transition::UtilizationHigh, "load spike promotes it to exclusive hot (2)"),
-        (Transition::UtilizationLow, "demand drops, back to time sharing (3)"),
-        (Transition::Evicted, "another function needs the slice: evicted to CPU = warm (4)"),
-        (Transition::RequestArrived, "a request reloads it from CPU memory"),
+        (
+            Transition::RequestArrived,
+            "first request creates a time-sharing instance (1)",
+        ),
+        (
+            Transition::UtilizationHigh,
+            "load spike promotes it to exclusive hot (2)",
+        ),
+        (
+            Transition::UtilizationLow,
+            "demand drops, back to time sharing (3)",
+        ),
+        (
+            Transition::Evicted,
+            "another function needs the slice: evicted to CPU = warm (4)",
+        ),
+        (
+            Transition::RequestArrived,
+            "a request reloads it from CPU memory",
+        ),
         (Transition::Evicted, "evicted again"),
-        (Transition::IdleTimeout, "10 idle minutes terminate it: cold (5)"),
+        (
+            Transition::IdleTimeout,
+            "10 idle minutes terminate it: cold (5)",
+        ),
     ];
     for (t, what) in script {
         let next = state.next(t);
@@ -61,7 +79,10 @@ fn main() {
             None => format!("cold slot, load f{f}"),
         };
         s.touch_resident(f);
-        println!("  step {step}: request for f{f}: {action}; LRU order now {:?}", s.lru);
+        println!(
+            "  step {step}: request for f{f}: {action}; LRU order now {:?}",
+            s.lru
+        );
     }
     println!("  total evictions: {evictions}");
     println!(

@@ -61,7 +61,11 @@ fn main() {
     let timings = executor.shutdown();
 
     println!("\n{ok}/{n_requests} outputs match the sequential reference");
-    let per_request_seq: f64 = timings[0].stage_service.iter().map(|d| d.as_secs_f64()).sum();
+    let per_request_seq: f64 = timings[0]
+        .stage_service
+        .iter()
+        .map(|d| d.as_secs_f64())
+        .sum();
     println!(
         "wall clock for {n_requests} requests: {:.0} ms (sequential would be ~{:.0} ms)",
         elapsed.as_secs_f64() * 1e3,
@@ -71,5 +75,8 @@ fn main() {
         "pipelining speedup: {:.2}x",
         per_request_seq * n_requests as f64 / elapsed.as_secs_f64()
     );
-    assert_eq!(ok, n_requests, "pipeline must preserve the function's output");
+    assert_eq!(
+        ok, n_requests,
+        "pipeline must preserve the function's output"
+    );
 }

@@ -46,18 +46,30 @@ fn main() {
     {
         fleet.allocate(s.id).unwrap();
     }
-    println!("\nfree fragments after the 4g.40gb is taken: {:?}", fleet.free_profile_histogram());
+    println!(
+        "\nfree fragments after the 4g.40gb is taken: {:?}",
+        fleet.free_profile_histogram()
+    );
 
     let plan = plan_deployment(&profile, &fleet.free_slices(None))
         .expect("the transformer halves fit the fragments");
-    println!("planned a {}-stage LLM pipeline (CV {:.3}):", plan.num_stages(), plan.cv);
+    println!(
+        "planned a {}-stage LLM pipeline (CV {:.3}):",
+        plan.num_stages(),
+        plan.cv
+    );
     for (i, stage) in plan.stages.iter().enumerate() {
         let names: Vec<&str> = stage
             .nodes
             .iter()
             .map(|&n| profile.dag.component(n).name.as_str())
             .collect();
-        println!("  stage {i}: [{}] on {} ({:.1} GB)", names.join(", "), stage.profile, stage.mem_gb);
+        println!(
+            "  stage {i}: [{}] on {} ({:.1} GB)",
+            names.join(", "),
+            stage.profile,
+            stage.mem_gb
+        );
     }
     let est = estimate(&profile, &plan);
     println!(

@@ -5,8 +5,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use fluidfaas_repro::dag::{FfsFunctionBuilder, Mode};
 use fluidfaas_repro::dag::module::SimpleModule;
+use fluidfaas_repro::dag::{FfsFunctionBuilder, Mode};
 use fluidfaas_repro::mig::{Fleet, PartitionScheme};
 use fluidfaas_repro::pipeline::{estimate, plan::plan_deployment};
 use fluidfaas_repro::profile::{App, FunctionProfile, PerfModel, Variant};
@@ -38,11 +38,20 @@ fn main() {
     let b = f.reg(&detect, &[a]).unwrap();
     let _c = f.reg(&classify, &[b]).unwrap();
     let dag = f.build().unwrap();
-    println!("registered FFS DAG `{}` with {} components, {:.1} GB total", dag.name(), dag.len(), dag.total_mem_gb());
+    println!(
+        "registered FFS DAG `{}` with {} components, {:.1} GB total",
+        dag.name(),
+        dag.len(),
+        dag.total_mem_gb()
+    );
 
     // --- 2. Offline profiling (the BUILDDAG entry point) ------------------
     // The paper's applications ship pre-built; profile one of them.
-    let profile = FunctionProfile::build(App::ImageClassification, Variant::Medium, &PerfModel::default());
+    let profile = FunctionProfile::build(
+        App::ImageClassification,
+        Variant::Medium,
+        &PerfModel::default(),
+    );
     println!(
         "\nprofiled `{}`: reference latency {:.0} ms, SLO(1.5x) {:.0} ms",
         profile.name,

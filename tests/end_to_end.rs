@@ -2,9 +2,9 @@
 //! metrics, for all three systems, asserting the paper's headline shapes.
 
 use fluidfaas_repro::experiments::runner::{run_workload, SystemKind};
-use fluidfaas_repro::trace::{AzureTraceConfig, WorkloadClass};
 use fluidfaas_repro::fluidfaas::platform::runner::run_platform;
 use fluidfaas_repro::fluidfaas::{FfsConfig, FluidFaaSSystem};
+use fluidfaas_repro::trace::{AzureTraceConfig, WorkloadClass};
 
 #[test]
 fn medium_workload_fluidfaas_beats_esg_on_slo() {
@@ -30,7 +30,11 @@ fn heavy_workload_fluidfaas_serves_faster_and_never_less() {
         out.log
             .records()
             .iter()
-            .filter(|r| r.completed.map(|c| c.as_secs_f64() <= 120.0).unwrap_or(false))
+            .filter(|r| {
+                r.completed
+                    .map(|c| c.as_secs_f64() <= 120.0)
+                    .unwrap_or(false)
+            })
             .count()
     };
     assert!(
@@ -65,7 +69,12 @@ fn every_request_is_accounted_exactly_once() {
         let mut ids: Vec<u64> = out.log.records().iter().map(|r| r.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), trace.len(), "{}: no duplicate records", kind.name());
+        assert_eq!(
+            ids.len(),
+            trace.len(),
+            "{}: no duplicate records",
+            kind.name()
+        );
     }
 }
 
@@ -88,7 +97,10 @@ fn different_seeds_give_different_traces_but_same_shapes() {
             fluid_wins += 1;
         }
     }
-    assert_eq!(fluid_wins, 3, "the heavy-workload ordering must be seed-robust");
+    assert_eq!(
+        fluid_wins, 3,
+        "the heavy-workload ordering must be seed-robust"
+    );
 }
 
 #[test]
@@ -105,7 +117,10 @@ fn pipelines_only_form_when_fragments_are_the_only_option() {
     let trace = AzureTraceConfig::for_workload(WorkloadClass::Heavy, 90.0, 5).generate();
     let mut sys = FluidFaaSSystem::new(cfg, &trace);
     let _ = run_platform(&mut sys, &trace);
-    assert!(sys.peak_pipelines() > 0, "heavy workload must build pipelines");
+    assert!(
+        sys.peak_pipelines() > 0,
+        "heavy workload must build pipelines"
+    );
 }
 
 #[test]

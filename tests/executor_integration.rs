@@ -25,7 +25,11 @@ fn specs_from_plan(
 
 #[test]
 fn planned_pipeline_runs_live_and_matches_reference() {
-    let profile = FunctionProfile::build(App::ImageClassification, Variant::Medium, &PerfModel::default());
+    let profile = FunctionProfile::build(
+        App::ImageClassification,
+        Variant::Medium,
+        &PerfModel::default(),
+    );
     // Only 1g slices: the planner must pipeline.
     let fleet = Fleet::new(
         1,
@@ -36,7 +40,12 @@ fn planned_pipeline_runs_live_and_matches_reference() {
     let plan = plan_deployment(&profile, &fleet.free_slices(None)).expect("feasible");
     assert!(!plan.is_monolithic());
 
-    let ex = PipelineExecutor::spawn(specs_from_plan(&profile, &plan), KernelMode::Sleep, 0.001, 4);
+    let ex = PipelineExecutor::spawn(
+        specs_from_plan(&profile, &plan),
+        KernelMode::Sleep,
+        0.001,
+        4,
+    );
     let input = vec![3.0_f32, -1.5, 0.0, 42.0];
     let expected = ex.reference_output(input.clone());
     for i in 0..10 {
@@ -48,7 +57,9 @@ fn planned_pipeline_runs_live_and_matches_reference() {
     }
     let timings = ex.shutdown();
     assert_eq!(timings.len(), 10);
-    assert!(timings.iter().all(|t| t.stage_service.len() == plan.num_stages()));
+    assert!(timings
+        .iter()
+        .all(|t| t.stage_service.len() == plan.num_stages()));
 }
 
 #[test]

@@ -8,7 +8,11 @@ use fluidfaas_repro::trace::{AzureTraceConfig, WorkloadClass};
 
 #[test]
 fn all_schemes_all_systems_all_workloads() {
-    for scheme in [PartitionScheme::p1(), PartitionScheme::p2(), PartitionScheme::hybrid()] {
+    for scheme in [
+        PartitionScheme::p1(),
+        PartitionScheme::p2(),
+        PartitionScheme::hybrid(),
+    ] {
         for workload in WorkloadClass::ALL {
             let trace = AzureTraceConfig::for_workload(workload, 30.0, 2).generate();
             for system in SystemKind::ALL {

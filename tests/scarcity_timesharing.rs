@@ -27,7 +27,12 @@ fn four_functions_share_one_gpu_through_eviction() {
             .iter()
             .filter(|r| r.app_index == app.index() && r.completed.is_some())
             .count();
-        assert!(served > 0, "App {} starved: {:?}", app.index(), sys.scheduler_log());
+        assert!(
+            served > 0,
+            "App {} starved: {:?}",
+            app.index(),
+            sys.scheduler_log()
+        );
     }
 
     // The shared machinery actually engaged: reloads onto shared slices,
