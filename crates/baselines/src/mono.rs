@@ -72,12 +72,13 @@ impl Router for BaselineRouter {
             let chosen: Option<InstanceId> = match self.kind {
                 // Deadline-aware: lowest-latency instance with capacity.
                 BaselineKind::Esg => lowest_latency_instance(core, f, slo),
-                // FIFO: first instance (by id) with capacity.
-                BaselineKind::Infless => core
-                    .instances
-                    .values()
-                    .find(|i| i.func == f && i.has_capacity(slo))
-                    .map(|i| i.id),
+                // FIFO: first instance (by id) with capacity. The
+                // per-function index is ascending by id, matching the
+                // full-map scan it replaces.
+                BaselineKind::Infless => core.instances_of[f]
+                    .iter()
+                    .copied()
+                    .find(|id| core.instances[id].has_capacity(slo)),
             };
             let Some(id) = chosen else { break };
             route_to_instance(core, id, req, now, sched);
@@ -162,8 +163,11 @@ impl Autoscaler for BaselineAutoscaler {
         now: SimTime,
         sched: &mut Scheduler<Event>,
     ) {
-        // Scale up.
-        for f in 0..core.catalog.len() {
+        // Scale up. Only functions that have ever seen an arrival can be
+        // pressured (demand and backlog both rest at zero otherwise), so
+        // the sweep walks the engine's active set instead of the catalog.
+        for fi in 0..core.active_funcs.len() {
+            let f = core.active_funcs[fi];
             for _ in 0..MAX_LAUNCHES_PER_TICK {
                 let cap = core.capacity_rps(f);
                 // Epsilon floor: the demand EWMA never decays to exactly
@@ -181,7 +185,7 @@ impl Autoscaler for BaselineAutoscaler {
             }
         }
         // Exclusive keep-alive: release only after a long idle period.
-        let ids: Vec<InstanceId> = core.instances.keys().copied().collect();
+        let ids: Vec<InstanceId> = core.instances.keys().collect();
         for id in ids {
             let (idle_for, empty, f, throughput) = {
                 let inst = core.instances.get(&id).expect("live");

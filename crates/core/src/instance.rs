@@ -5,10 +5,63 @@ use std::collections::VecDeque;
 
 use ffs_mig::NodeId;
 use ffs_pipeline::{DeploymentPlan, InstanceEstimate};
+use ffs_profile::FunctionProfile;
 use ffs_sim::{SimDuration, SimTime};
 
 use crate::platform::catalog::FuncId;
 use crate::platform::events::InstanceId;
+
+/// Per-stage timing constants of a deployment — pure functions of
+/// (profile, plan), computed once at launch so the per-request hot path
+/// reads three `f64`s instead of cloning stage node lists and re-walking
+/// the profile tables.
+#[derive(Clone, Debug)]
+pub struct StageTimings {
+    /// Execution time of each stage (ms) on its slice profile.
+    pub exec_ms: Vec<f64>,
+    /// In-process handoff time within each stage (ms).
+    pub handoff_ms: Vec<f64>,
+    /// Host-shared-memory transfer after each stage (ms); the final
+    /// stage's entry is the planner's "no boundary" value (0).
+    pub transfer_ms: Vec<f64>,
+}
+
+impl StageTimings {
+    /// Computes the timing table for `plan` running `profile`.
+    pub fn compute(profile: &FunctionProfile, plan: &DeploymentPlan) -> Self {
+        let crossings = plan.partition.boundary_transfers_mb(&profile.dag);
+        let exec_ms = plan
+            .stages
+            .iter()
+            .map(|s| profile.stage_exec_ms(&s.nodes, s.profile))
+            .collect();
+        let handoff_ms = plan
+            .stages
+            .iter()
+            .map(|s| s.nodes.len().saturating_sub(1) as f64 * profile.perf.inprocess_handoff_ms)
+            .collect();
+        let transfer_ms = (0..plan.num_stages())
+            .map(|s| {
+                let mb = crossings.get(s).copied().unwrap_or(0.0);
+                profile.perf.boundary_ms(mb)
+            })
+            .collect();
+        StageTimings {
+            exec_ms,
+            handoff_ms,
+            transfer_ms,
+        }
+    }
+
+    /// An all-zero table for `n` stages (test/bench scaffolding).
+    pub fn zero(n: usize) -> Self {
+        StageTimings {
+            exec_ms: vec![0.0; n],
+            handoff_ms: vec![0.0; n],
+            transfer_ms: vec![0.0; n],
+        }
+    }
+}
 
 /// Lifecycle phase of an exclusive instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,6 +97,8 @@ pub struct Instance {
     pub stage_busy: Vec<Option<u64>>,
     /// FIFO queue in front of each stage.
     pub stage_queues: Vec<VecDeque<u64>>,
+    /// Precomputed per-stage timings (see [`StageTimings`]).
+    pub timings: StageTimings,
     /// Requests currently crossing a stage boundary (in a host-shared-
     /// memory transfer): they occupy the instance but sit in no queue.
     pub in_transfer: usize,
@@ -55,16 +110,19 @@ pub struct Instance {
 
 impl Instance {
     /// Creates a launching instance.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         id: InstanceId,
         func: FuncId,
         plan: DeploymentPlan,
         est: InstanceEstimate,
+        timings: StageTimings,
         node: NodeId,
         now: SimTime,
         ready_at: SimTime,
     ) -> Self {
         let n = plan.num_stages();
+        debug_assert_eq!(timings.exec_ms.len(), n);
         Instance {
             id,
             func,
@@ -74,6 +132,7 @@ impl Instance {
             phase: Phase::Launching { ready_at },
             stage_busy: vec![None; n],
             stage_queues: vec![VecDeque::new(); n],
+            timings,
             in_transfer: 0,
             last_used: now,
             busy_since: None,
@@ -184,6 +243,7 @@ mod tests {
             0,
             plan(3),
             estimate(),
+            StageTimings::zero(3),
             NodeId(0),
             SimTime::ZERO,
             SimTime::from_secs(2),

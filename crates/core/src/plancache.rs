@@ -116,7 +116,25 @@ impl PlanCache {
         profile: &FunctionProfile,
         free: &[FreeSlice],
     ) -> Option<DeploymentPlan> {
-        let key = (f, node, ranked, slice_signature(free));
+        self.plan_with_signature(f, node, ranked, profile, slice_signature(free), || {
+            free.to_vec()
+        })
+    }
+
+    /// [`PlanCache::plan`] with the signature supplied by the caller (the
+    /// fleet maintains it incrementally — `Fleet::node_signature`). The
+    /// free-slice list is only materialized on a miss, via `fill`; the hit
+    /// path (~98% of lookups in the paper sweeps) touches no slice data.
+    pub fn plan_with_signature(
+        &mut self,
+        f: FuncId,
+        node: NodeId,
+        ranked: bool,
+        profile: &FunctionProfile,
+        signature: u64,
+        fill: impl FnOnce() -> Vec<FreeSlice>,
+    ) -> Option<DeploymentPlan> {
+        let key = (f, node, ranked, signature);
         if let Some(cached) = self.map.get(&key) {
             self.hits += 1;
             ffs_obs::record(|| ffs_obs::ObsEvent::PlanCacheLookup {
@@ -132,10 +150,16 @@ impl PlanCache {
             node: node.0,
             hit: false,
         });
+        let free = fill();
+        debug_assert_eq!(
+            signature,
+            slice_signature(&free),
+            "caller-supplied signature diverged from the free-slice list"
+        );
         let plan = if ranked {
-            plan_deployment(profile, free)
+            plan_deployment(profile, &free)
         } else {
-            plan_deployment_unranked(profile, free)
+            plan_deployment_unranked(profile, &free)
         };
         self.map.insert(key, plan.clone());
         plan
@@ -150,7 +174,23 @@ impl PlanCache {
         profile: &FunctionProfile,
         free: &[FreeSlice],
     ) -> bool {
-        let key = (f, node, true, slice_signature(free));
+        self.monolithic_possible_with_signature(f, node, profile, slice_signature(free), || {
+            free.to_vec()
+        })
+    }
+
+    /// [`PlanCache::monolithic_possible`] with a caller-supplied signature;
+    /// like [`PlanCache::plan_with_signature`], the slice list is only
+    /// materialized (via `fill`) when the lookup misses.
+    pub fn monolithic_possible_with_signature(
+        &mut self,
+        f: FuncId,
+        node: NodeId,
+        profile: &FunctionProfile,
+        signature: u64,
+        fill: impl FnOnce() -> Vec<FreeSlice>,
+    ) -> bool {
+        let key = (f, node, true, signature);
         if let Some(cached) = self.map.get(&key) {
             self.hits += 1;
             ffs_obs::record(|| ffs_obs::ObsEvent::PlanCacheLookup {
@@ -166,7 +206,13 @@ impl PlanCache {
             node: node.0,
             hit: false,
         });
-        let plan = plan_deployment(profile, free);
+        let free = fill();
+        debug_assert_eq!(
+            signature,
+            slice_signature(&free),
+            "caller-supplied signature diverged from the free-slice list"
+        );
+        let plan = plan_deployment(profile, &free);
         let mono = plan.as_ref().map(|p| p.is_monolithic()).unwrap_or(false);
         self.map.insert(key, plan);
         mono

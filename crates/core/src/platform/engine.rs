@@ -12,15 +12,15 @@
 //! `FluidFaaSSystem` and the ESG / INFless baselines are thin wrappers
 //! that pick a bundle; they contain no event handling of their own.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
-use ffs_mig::{Fleet, MigError, NodeId};
+use ffs_mig::{Fleet, MigError, NodeId, SliceProfile};
 use ffs_pipeline::{estimate, DeploymentPlan};
 use ffs_sim::{Scheduler, SimDuration, SimTime, World};
 use ffs_trace::Trace;
 
 use crate::config::FfsConfig;
-use crate::instance::{Instance, Phase};
+use crate::instance::{Instance, Phase, StageTimings};
 use crate::keepalive::{KeepAliveState, Transition};
 use crate::plancache::PlanCache;
 use crate::shared::SharedPool;
@@ -31,6 +31,7 @@ use super::hub::MetricsHub;
 use super::policy::PolicyBundle;
 use super::request::RequestState;
 use super::runner::Platform;
+use super::slab::InstanceSlab;
 
 /// Maximum instance launches per function per scale tick (burst ramp
 /// limit shared by every autoscaler policy).
@@ -112,7 +113,7 @@ pub struct EngineCore {
     /// One state record per trace invocation, indexed by request id.
     pub requests: Vec<RequestState>,
     /// Live exclusive instances.
-    pub instances: BTreeMap<InstanceId, Instance>,
+    pub instances: InstanceSlab,
     /// Next instance id to assign.
     pub next_instance: u64,
     /// The time-sharing slice pool.
@@ -140,6 +141,41 @@ pub struct EngineCore {
     pub sched_log: SchedulerLog,
     /// Memoized launch plans, invalidated on any slice alloc/free.
     pub plan_cache: PlanCache,
+    /// Live exclusive instances of each function, in ascending instance-id
+    /// order (ids are assigned monotonically, so a push keeps the order).
+    /// The per-function index mirrors `instances` exactly; routing and
+    /// scaling iterate it instead of filtering the whole map.
+    pub instances_of: Vec<Vec<InstanceId>>,
+    /// Live pipelined (non-monolithic) instance count.
+    pub pipeline_count: usize,
+    /// Functions the per-tick loops must visit, ascending. A function
+    /// activates on its first arrival and deactivates only when every
+    /// per-function datum is at its cold rest state (see
+    /// [`EngineCore::sweep_inactive`]), so skipping inactive functions is
+    /// provably a no-op for every tick computation.
+    pub active_funcs: Vec<FuncId>,
+    /// Membership mask for `active_funcs`.
+    pub is_active: Vec<bool>,
+    /// One-shot flag: the per-tick arrival counter saturated at least once
+    /// this run (pathological trace; the count is a lower bound).
+    pub arrivals_saturated: bool,
+    /// Precomputed monolithic (exec, handoff) split per function per slice
+    /// profile (`SliceProfile::ALL` order) — the time-sharing hot path.
+    pub mono_split_ms: Vec<[(f64, f64); SliceProfile::ALL.len()]>,
+    /// Precomputed monolithic execution estimate per function per slice
+    /// profile (`SliceProfile::ALL` order).
+    pub shared_exec_ms: Vec<[f64; SliceProfile::ALL.len()]>,
+    /// Precomputed model-load time of each function's full DAG (ms).
+    pub load_all_ms: Vec<f64>,
+}
+
+/// Position of `p` in `SliceProfile::ALL` (the per-profile table order).
+#[inline]
+pub(crate) fn profile_index(p: SliceProfile) -> usize {
+    SliceProfile::ALL
+        .iter()
+        .position(|&q| q == p)
+        .expect("profile is in ALL")
 }
 
 impl EngineCore {
@@ -147,16 +183,51 @@ impl EngineCore {
     pub fn try_new(cfg: FfsConfig, trace: &Trace) -> Result<Self, EngineError> {
         let catalog = FunctionCatalog::for_workload(cfg.workload, cfg.slo_scale, &cfg.perf);
         let fleet = Fleet::new(cfg.nodes, cfg.gpus_per_node, &cfg.scheme)?;
-        let hub = MetricsHub::new(&catalog, fleet.gpu_count(), SimDuration::from_secs(1));
+        let mut hub = MetricsHub::new(&catalog, fleet.gpu_count(), SimDuration::from_secs(1));
+        // Every invocation produces exactly one log record (completed or
+        // abandoned); sizing the log up front keeps the completion path
+        // allocation-free.
+        hub.log.reserve(trace.invocations.len());
         let requests = build_requests(&catalog, trace)?;
         let n = catalog.len();
         let horizon = SimTime::ZERO + trace.duration + cfg.drain;
+        // Utilization samples land once per tick through the whole run;
+        // pre-sizing the bins keeps the tick path reallocation-free too.
+        hub.busy_gpcs.reserve_until(horizon);
+        hub.allocated_gpcs.reserve_until(horizon);
+        hub.required_gpcs.reserve_until(horizon);
+        // Per-(function, profile) timing tables: pure functions of the
+        // catalog, computed once so the execution hot paths are lookups.
+        let mono_split_ms = (0..n)
+            .map(|f| {
+                let mut row = [(0.0, 0.0); SliceProfile::ALL.len()];
+                for (i, &p) in SliceProfile::ALL.iter().enumerate() {
+                    row[i] = mono_split(&catalog, f, p);
+                }
+                row
+            })
+            .collect();
+        let shared_exec_ms = (0..n)
+            .map(|f| {
+                let mut row = [0.0; SliceProfile::ALL.len()];
+                for (i, &p) in SliceProfile::ALL.iter().enumerate() {
+                    row[i] = catalog.profile(f).mono_exec_ms(p);
+                }
+                row
+            })
+            .collect();
+        let load_all_ms = (0..n)
+            .map(|f| {
+                let profile = catalog.profile(f);
+                profile.load_ms(&all_nodes(&catalog, f))
+            })
+            .collect();
         Ok(EngineCore {
             cfg,
             fleet,
             hub,
             requests,
-            instances: BTreeMap::new(),
+            instances: InstanceSlab::new(),
             next_instance: 1,
             pool: SharedPool::new(),
             ka: vec![KeepAliveState::Cold; n],
@@ -171,6 +242,14 @@ impl EngineCore {
             peak_pipelines: 0,
             sched_log: SchedulerLog::default(),
             plan_cache: PlanCache::new(),
+            instances_of: vec![Vec::new(); n],
+            pipeline_count: 0,
+            active_funcs: Vec::with_capacity(n),
+            is_active: vec![false; n],
+            arrivals_saturated: false,
+            mono_split_ms,
+            shared_exec_ms,
+            load_all_ms,
         })
     }
 
@@ -185,10 +264,75 @@ impl EngineCore {
 
     /// Number of live pipelined instances.
     pub fn pipeline_instance_count(&self) -> usize {
-        self.instances
-            .values()
-            .filter(|i| !i.plan.is_monolithic())
-            .count()
+        self.pipeline_count
+    }
+
+    /// Precomputed monolithic (exec, handoff) split for `f` on `slice`.
+    #[inline]
+    pub fn mono_split_of(&self, f: FuncId, slice: SliceProfile) -> (f64, f64) {
+        self.mono_split_ms[f][profile_index(slice)]
+    }
+
+    /// Precomputed monolithic execution estimate for `f` on `slice`.
+    #[inline]
+    pub fn shared_exec_of(&self, f: FuncId, slice: SliceProfile) -> f64 {
+        self.shared_exec_ms[f][profile_index(slice)]
+    }
+
+    /// Books one arrival for `f`: bumps the per-tick counter (saturating —
+    /// a pathological trace can overflow a `u32` within one tick; the
+    /// saturation is counted once per run and surfaced through `ffs-obs`)
+    /// and activates the function for the per-tick loops.
+    pub fn note_arrival(&mut self, f: FuncId) {
+        match self.arrivals_in_tick[f].checked_add(1) {
+            Some(v) => self.arrivals_in_tick[f] = v,
+            None => {
+                if !self.arrivals_saturated {
+                    self.arrivals_saturated = true;
+                    ffs_obs::note_arrival_saturation();
+                }
+            }
+        }
+        if !self.is_active[f] {
+            self.is_active[f] = true;
+            // Keep `active_funcs` ascending: per-tick iteration order must
+            // match the `0..catalog.len()` order it replaces exactly.
+            let pos = self
+                .active_funcs
+                .binary_search(&f)
+                .expect_err("is_active[f] was false, so f is not in active_funcs");
+            self.active_funcs.insert(pos, f);
+        }
+    }
+
+    /// Retires functions whose every per-function datum is back at its
+    /// cold rest state from the active set. For such a function each
+    /// per-tick computation is a provable no-op: the demand EWMA folds
+    /// zero arrivals into an exactly-zero estimate (`0.3*0.0 + 0.7*0.0`),
+    /// the required-GPC sum's term is an exact `+0.0`, no autoscaler
+    /// policy fires without demand/pending/instances, the keep-alive sweep
+    /// ignores Cold lineages, and routing an empty backlog returns
+    /// immediately — so skipping it cannot move a single output bit.
+    pub fn sweep_inactive(&mut self) {
+        let (is_active, pending, instances_of, ka, demand, pool) = (
+            &mut self.is_active,
+            &self.pending,
+            &self.instances_of,
+            &self.ka,
+            &self.demand_rps,
+            &self.pool,
+        );
+        self.active_funcs.retain(|&f| {
+            let resting = demand[f] == 0.0
+                && pending[f].is_empty()
+                && instances_of[f].is_empty()
+                && matches!(ka[f], KeepAliveState::Cold)
+                && pool.slot_of(f).is_none();
+            if resting {
+                is_active[f] = false;
+            }
+            !resting
+        });
     }
 
     /// How completed requests were served:
@@ -246,15 +390,13 @@ impl EngineCore {
             self.requests[req as usize].served = Some(path);
         }
         let f = inst.func;
-        let nodes = inst.plan.stages[stage].nodes.clone();
-        let slice_profile = inst.plan.stages[stage].profile;
         let slice = inst.plan.stages[stage].slice;
         let mono = inst.plan.is_monolithic();
-        let profile = self.catalog.profile(f);
-        let exec_ms: f64 = profile.stage_exec_ms(&nodes, slice_profile);
-        // Within a stage (monolithic or pipelined alike), components hand
-        // off in-process.
-        let handoff_ms = (nodes.len().saturating_sub(1)) as f64 * profile.perf.inprocess_handoff_ms;
+        // Stage timing constants were computed once at launch; the
+        // per-request path copies two floats instead of cloning the stage's
+        // node list and re-walking the profile tables.
+        let exec_ms = inst.timings.exec_ms[stage];
+        let handoff_ms = inst.timings.handoff_ms[stage];
         self.requests[req as usize].exec_ms += exec_ms;
         self.requests[req as usize].transfer_ms += handoff_ms;
         self.hub.slice_active(now, slice);
@@ -307,21 +449,20 @@ impl EngineCore {
         let slice = inst.plan.stages[stage].slice;
         let last = stage + 1 == inst.plan.num_stages();
         let f = inst.func;
+        // Boundary-transfer time was precomputed at launch (unused when
+        // this is the final stage).
+        let transfer_ms = inst.timings.transfer_ms[stage];
         self.hub.slice_idle(now, slice);
         ffs_obs::record(|| ffs_obs::ObsEvent::SliceIdle { slice: sref(slice) });
         if last {
-            let breakdown = self.requests[req as usize].finish(now);
-            let state = self.requests[req as usize].clone();
-            self.hub.complete(&state, breakdown);
+            // Split borrow: the request record mutates (finish) and is then
+            // read by the hub — disjoint fields, no clone needed.
+            let EngineCore { requests, hub, .. } = self;
+            let state = &mut requests[req as usize];
+            let breakdown = state.finish(now);
+            hub.complete(state, breakdown);
         } else {
             // Boundary transfer through host shared memory.
-            let profile = self.catalog.profile(f);
-            let crossings = {
-                let inst = self.instances.get(&id).expect("live");
-                inst.plan.partition.boundary_transfers_mb(&profile.dag)
-            };
-            let mb = crossings.get(stage).copied().unwrap_or(0.0);
-            let transfer_ms = profile.perf.boundary_ms(mb);
             self.requests[req as usize].transfer_ms += transfer_ms;
             if let Some(inst) = self.instances.get_mut(&id) {
                 inst.in_transfer += 1;
@@ -370,7 +511,7 @@ impl EngineCore {
         self.requests[req as usize].served = Some(super::request::ServePath::TimeShared);
         let slice = slot.slice.id;
         let profile = slot.slice.profile;
-        let (exec_ms, handoff_ms) = mono_split(&self.catalog, f, profile);
+        let (exec_ms, handoff_ms) = self.mono_split_ms[f][profile_index(profile)];
         self.requests[req as usize].exec_ms += exec_ms;
         self.requests[req as usize].transfer_ms += handoff_ms;
         self.hub.slice_active(now, slice);
@@ -418,15 +559,11 @@ impl EngineCore {
         self.plan_cache.invalidate();
         let profile = self.catalog.profile(f);
         let est = estimate(profile, &plan);
+        let timings = StageTimings::compute(profile, &plan);
         self.peak_instances = self.peak_instances.max(self.instances.len() + 1);
         if !plan.is_monolithic() {
-            let pipes = self
-                .instances
-                .values()
-                .filter(|i| !i.plan.is_monolithic())
-                .count()
-                + 1;
-            self.peak_pipelines = self.peak_pipelines.max(pipes);
+            self.pipeline_count += 1;
+            self.peak_pipelines = self.peak_pipelines.max(self.pipeline_count);
         }
         let id = InstanceId(self.next_instance);
         self.next_instance += 1;
@@ -446,8 +583,13 @@ impl EngineCore {
             pipelined,
             cold_ms,
         });
-        self.instances
-            .insert(id, Instance::new(id, f, plan, est, node, now, ready_at));
+        self.instances.insert(
+            id,
+            Instance::new(id, f, plan, est, timings, node, now, ready_at),
+        );
+        // Ids are assigned monotonically, so pushing keeps the
+        // per-function index in ascending-id (== BTreeMap) order.
+        self.instances_of[f].push(id);
         sched.at(ready_at, Event::InstanceReady(id));
         id
     }
@@ -471,7 +613,14 @@ impl EngineCore {
         }
         self.plan_cache.invalidate();
         let f = inst.func;
-        if !self.instances.values().any(|i| i.func == f) {
+        if !inst.plan.is_monolithic() {
+            debug_assert!(self.pipeline_count > 0);
+            self.pipeline_count -= 1;
+        }
+        let ids = &mut self.instances_of[f];
+        let pos = ids.iter().position(|&x| x == id).expect("indexed instance");
+        ids.remove(pos);
+        if ids.is_empty() {
             self.ka[f] = self.ka[f].next_traced(Transition::UtilizationLow, f as u32);
         }
     }
@@ -486,7 +635,11 @@ impl EngineCore {
         let window = now.saturating_since(self.last_tick);
         self.last_tick = now;
         let window_secs = window.as_secs_f64().max(1e-9);
-        for f in 0..self.catalog.len() {
+        // Dirty-set iteration (ascending, matching the full-catalog order):
+        // an inactive function has zero arrivals and an exactly-zero EWMA,
+        // for which this fold is a bit-exact no-op.
+        for i in 0..self.active_funcs.len() {
+            let f = self.active_funcs[i];
             let inst_rate = self.arrivals_in_tick[f] as f64 / window_secs;
             self.arrivals_in_tick[f] = 0;
             self.demand_rps[f] = if now == SimTime::ZERO {
@@ -524,28 +677,38 @@ impl EngineCore {
         self.hub
             .allocated_gpcs
             .record(now, self.fleet.allocated_gpcs() as f64);
-        let required: f64 = (0..self.catalog.len())
-            .map(|f| self.demand_rps[f] * self.catalog.profile(f).dag.total_work() / 1_000.0)
+        // Inactive functions contribute an exact `+0.0` term, which cannot
+        // move any partial sum's bits; active functions are visited in the
+        // same ascending order the full scan used.
+        let required: f64 = self
+            .active_funcs
+            .iter()
+            .map(|&f| self.demand_rps[f] * self.catalog.profile(f).dag.total_work() / 1_000.0)
             .sum();
         self.hub.required_gpcs.record(now, required);
     }
 
     /// Aggregate serving capacity (req/s) of `f`'s non-draining instances.
     pub fn capacity_rps(&self, f: FuncId) -> f64 {
-        self.instances
-            .values()
-            .filter(|i| i.func == f && i.phase != Phase::Draining)
+        self.instances_of[f]
+            .iter()
+            .map(|id| &self.instances[id])
+            .filter(|i| i.phase != Phase::Draining)
             .map(|i| i.est.throughput_rps)
             .sum()
     }
 
     /// Functions with pending demand and no way to serve it: no exclusive
-    /// instance (live or launching), and no time-sharing binding.
+    /// instance (live or launching), and no time-sharing binding. Only
+    /// active functions can have a non-empty backlog, so the active set
+    /// suffices (and preserves the ascending scan order).
     pub fn starving_funcs(&self) -> Vec<FuncId> {
-        (0..self.catalog.len())
+        self.active_funcs
+            .iter()
+            .copied()
             .filter(|&f| {
                 !self.pending[f].is_empty()
-                    && !self.instances.values().any(|i| i.func == f)
+                    && self.instances_of[f].is_empty()
                     && self.pool.slot_of(f).is_none()
             })
             .collect()
@@ -560,26 +723,31 @@ impl EngineCore {
             return !self.pending[f].is_empty();
         }
         // Per-server rate: the mean of live instances' throughput, or the
-        // profile's min-baseline estimate before anything is live.
-        let live: Vec<f64> = self
-            .instances
-            .values()
-            .filter(|i| i.func == f && i.phase != Phase::Draining)
-            .map(|i| i.est.throughput_rps)
-            .collect();
-        let mu = if live.is_empty() {
+        // profile's min-baseline estimate before anything is live. One
+        // indexed pass (same ascending-id order the map scan used) — no
+        // scratch vector.
+        let mut live_sum = 0.0;
+        let mut live_count = 0u32;
+        for id in &self.instances_of[f] {
+            let i = &self.instances[id];
+            if i.phase != Phase::Draining {
+                live_sum += i.est.throughput_rps;
+                live_count += 1;
+            }
+        }
+        let mu = if live_count == 0 {
             let p = self.catalog.profile(f);
             match p.min_baseline_slice() {
                 Some(s) => 1_000.0 / p.mono_exec_ms(s),
                 None => return false,
             }
         } else {
-            live.iter().sum::<f64>() / live.len() as f64
+            live_sum / live_count as f64
         };
         let slo_secs = self.catalog.slo_ms(f) / 1_000.0;
         let target_wait = (target_wait_frac * slo_secs).max(1e-3);
         let needed = ffs_sim::queueing::servers_for_mean_wait(demand, mu, target_wait);
-        (live.len() as u32) < needed
+        live_count < needed
     }
 }
 
@@ -604,15 +772,6 @@ pub(crate) fn mono_split(
     let exec: f64 = p.dag.nodes().map(|n| p.node_exec_ms(n, slice)).sum();
     let handoff = (p.dag.len().saturating_sub(1)) as f64 * p.perf.inprocess_handoff_ms;
     (exec, handoff)
-}
-
-/// Monolithic execution-time estimate on a shared slice.
-pub(crate) fn est_shared_exec_ms(
-    catalog: &FunctionCatalog,
-    f: FuncId,
-    slice: ffs_mig::SliceProfile,
-) -> f64 {
-    catalog.profile(f).mono_exec_ms(slice)
 }
 
 fn build_requests(
@@ -661,7 +820,7 @@ impl World for Engine {
                     req: id,
                     func: f as u32,
                 });
-                core.arrivals_in_tick[f] += 1;
+                core.note_arrival(f);
                 core.last_use[f] = now;
                 policies.autoscaler.on_arrival(core, f);
                 core.pending[f].push_back(id);
@@ -719,10 +878,14 @@ impl World for Engine {
                 let slice = s.slice.id;
                 core.hub.slice_idle(now, slice);
                 ffs_obs::record(|| ffs_obs::ObsEvent::SliceIdle { slice: sref(slice) });
-                let breakdown = core.requests[req as usize].finish(now);
-                let state = core.requests[req as usize].clone();
-                core.hub.complete(&state, breakdown);
-                let f = state.func;
+                let f = {
+                    // Split borrow (request mutates, hub reads) — no clone.
+                    let EngineCore { requests, hub, .. } = &mut *core;
+                    let state = &mut requests[req as usize];
+                    let breakdown = state.finish(now);
+                    hub.complete(state, breakdown);
+                    state.func
+                };
                 core.last_use[f] = now;
                 policies
                     .router
@@ -739,12 +902,17 @@ impl World for Engine {
                 policies
                     .migrator
                     .migrate(core, &*policies.placer, now, sched);
-                // Retry anything stuck in the backlog.
-                for f in 0..core.catalog.len() {
+                // Retry anything stuck in the backlog. Only active
+                // functions can have one (ascending order, as before);
+                // dispatching an empty backlog is a no-op.
+                for i in 0..core.active_funcs.len() {
+                    let f = core.active_funcs[i];
                     policies
                         .router
                         .dispatch(core, &*policies.shared, f, now, sched);
                 }
+                // Functions whose state fully decayed leave the active set.
+                core.sweep_inactive();
                 core.schedule_next_tick(now, sched);
             }
             Event::KeepAlive(_) => { /* handled by the tick sweep */ }

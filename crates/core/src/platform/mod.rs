@@ -9,6 +9,7 @@ pub mod hub;
 pub mod policy;
 pub mod request;
 pub mod runner;
+pub mod slab;
 
 pub use catalog::{FuncId, FunctionCatalog};
 pub use engine::{Engine, EngineCore, EngineError, SchedulerLog, MAX_LAUNCHES_PER_TICK};

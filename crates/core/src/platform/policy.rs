@@ -182,9 +182,12 @@ pub fn route_to_instance(
 /// The lowest-latency instance of `f` with admission capacity (the
 /// deadline-aware chooser shared by FluidFaaS and ESG routing).
 pub fn lowest_latency_instance(core: &EngineCore, f: FuncId, slo_ms: f64) -> Option<InstanceId> {
+    // The per-function id index is ascending, matching the full-map scan
+    // it replaces, so strict-< keeps the same first-best tie winner.
     let mut best: Option<(InstanceId, f64)> = None;
-    for inst in core.instances.values() {
-        if inst.func == f && inst.has_capacity(slo_ms) {
+    for id in &core.instances_of[f] {
+        let inst = &core.instances[id];
+        if inst.has_capacity(slo_ms) {
             let better = match best {
                 None => true,
                 Some((_, lat)) => inst.est.latency_ms < lat,
@@ -224,8 +227,9 @@ pub fn exclusive_view(core: &EngineCore, f: FuncId) -> ExclusiveView {
         best_bottleneck_ms: f64::INFINITY,
         best_latency_ms: f64::INFINITY,
     };
-    for inst in core.instances.values() {
-        if inst.func != f || inst.phase == Phase::Draining {
+    for id in &core.instances_of[f] {
+        let inst = &core.instances[id];
+        if inst.phase == Phase::Draining {
             continue;
         }
         match inst.phase {

@@ -68,12 +68,16 @@ impl RunOutput {
 /// Runs a platform through a trace: schedules all arrivals plus the first
 /// scale tick, runs to completion (trace end + drain), finalises metrics.
 pub fn run_platform<P: Platform>(platform: &mut P, trace: &Trace) -> RunOutput {
-    // All arrivals plus the first scale tick go in up front; sizing the heap
-    // to the trace avoids its doubling reallocations on large traces.
-    let mut sched: Scheduler<Event> = Scheduler::with_capacity(trace.invocations.len() + 1);
-    for inv in &trace.invocations {
-        sched.at(inv.arrival, Event::Arrival(inv.id));
-    }
+    // All arrivals go in up front via the sorted bulk path (traces are
+    // sorted by arrival), which keeps them out of the scheduler's overflow
+    // heap; only dynamically scheduled far-future events pay heap ops.
+    let mut sched: Scheduler<Event> = Scheduler::new();
+    sched.preload_sorted(
+        trace
+            .invocations
+            .iter()
+            .map(|inv| (inv.arrival, Event::Arrival(inv.id))),
+    );
     sched.at(SimTime::ZERO, Event::ScaleTick);
     let end = SimTime::ZERO + trace.duration + platform.drain();
     ffs_obs::record_at(0, || ffs_obs::ObsEvent::RunStart {

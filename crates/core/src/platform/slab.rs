@@ -1,0 +1,174 @@
+//! Id-indexed instance storage: the engine's live-instance table as a
+//! slab instead of an ordered map.
+//!
+//! Instance ids are handed out by a monotonic counter and never reused,
+//! so `InstanceId(n)` can index a `Vec` directly: every lookup on the
+//! per-event hot path (routing, stage completion, transfers) is one
+//! bounds-checked array access instead of a `BTreeMap` descent. Iteration
+//! walks the slots in index order, which is exactly the ascending-id
+//! order the `BTreeMap` used to give — policy code that depends on
+//! first-by-id tie-breaking (FIFO routing, global retire sweeps) is
+//! unaffected by the swap.
+//!
+//! Slots of retired instances stay as `None` tombstones; the vector's
+//! length is the highest id ever live, which stays small (hundreds) for
+//! any realistic run because launches are rate-limited per scale tick.
+
+use crate::instance::Instance;
+use crate::platform::events::InstanceId;
+
+/// The engine's live-instance table, indexed by [`InstanceId`].
+#[derive(Default)]
+pub struct InstanceSlab {
+    slots: Vec<Option<Instance>>,
+    live: usize,
+}
+
+impl InstanceSlab {
+    /// An empty table.
+    pub fn new() -> Self {
+        InstanceSlab::default()
+    }
+
+    /// Number of live instances.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no instance is live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// The live instance with id `id`, if any.
+    #[inline]
+    pub fn get(&self, id: &InstanceId) -> Option<&Instance> {
+        self.slots.get(id.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Mutable access to the live instance with id `id`, if any.
+    #[inline]
+    pub fn get_mut(&mut self, id: &InstanceId) -> Option<&mut Instance> {
+        self.slots.get_mut(id.0 as usize).and_then(Option::as_mut)
+    }
+
+    /// Inserts an instance under `id`. Ids come from the engine's
+    /// monotonic counter, so the slot is always fresh.
+    pub fn insert(&mut self, id: InstanceId, inst: Instance) {
+        let idx = id.0 as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        debug_assert!(self.slots[idx].is_none(), "instance id reused");
+        self.slots[idx] = Some(inst);
+        self.live += 1;
+    }
+
+    /// Removes and returns the instance under `id`, if live.
+    pub fn remove(&mut self, id: &InstanceId) -> Option<Instance> {
+        let taken = self.slots.get_mut(id.0 as usize).and_then(Option::take);
+        if taken.is_some() {
+            self.live -= 1;
+        }
+        taken
+    }
+
+    /// Live instance ids, ascending.
+    pub fn keys(&self) -> impl Iterator<Item = InstanceId> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_some())
+            .map(|(i, _)| InstanceId(i as u64))
+    }
+
+    /// Live instances in ascending id order.
+    pub fn values(&self) -> impl Iterator<Item = &Instance> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+}
+
+impl std::ops::Index<&InstanceId> for InstanceSlab {
+    type Output = Instance;
+
+    #[inline]
+    fn index(&self, id: &InstanceId) -> &Instance {
+        self.get(id).expect("live instance")
+    }
+}
+
+impl std::ops::Index<InstanceId> for InstanceSlab {
+    type Output = Instance;
+
+    #[inline]
+    fn index(&self, id: InstanceId) -> &Instance {
+        self.get(&id).expect("live instance")
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::instance::{Instance, StageTimings};
+    use ffs_dag::PipelinePartition;
+    use ffs_mig::{GpuId, NodeId, SliceId, SliceProfile};
+    use ffs_pipeline::plan::StagePlan;
+    use ffs_pipeline::{DeploymentPlan, InstanceEstimate};
+    use ffs_sim::SimTime;
+
+    fn inst(id: u64) -> Instance {
+        let nodes = vec![ffs_dag::NodeId(0)];
+        let plan = DeploymentPlan {
+            partition: PipelinePartition::new(vec![nodes.clone()]),
+            stages: vec![StagePlan {
+                nodes,
+                slice: SliceId::new(GpuId(0), 0),
+                profile: SliceProfile::G1_10,
+                mem_gb: 1.0,
+            }],
+            cv: 0.0,
+        };
+        Instance::new(
+            InstanceId(id),
+            0,
+            plan,
+            InstanceEstimate {
+                latency_ms: 1.0,
+                bottleneck_ms: 1.0,
+                throughput_rps: 1.0,
+            },
+            StageTimings::zero(1),
+            NodeId(0),
+            SimTime::ZERO,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut slab = InstanceSlab::new();
+        assert!(slab.is_empty());
+        slab.insert(InstanceId(3), inst(3));
+        slab.insert(InstanceId(1), inst(1));
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(&InstanceId(3)).unwrap().id, InstanceId(3));
+        assert!(slab.get(&InstanceId(2)).is_none());
+        assert_eq!(slab.remove(&InstanceId(3)).unwrap().id, InstanceId(3));
+        assert!(slab.remove(&InstanceId(3)).is_none(), "double remove");
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_ascending_by_id() {
+        let mut slab = InstanceSlab::new();
+        for id in [5u64, 2, 9, 1] {
+            slab.insert(InstanceId(id), inst(id));
+        }
+        slab.remove(&InstanceId(2));
+        let ids: Vec<u64> = slab.keys().map(|i| i.0).collect();
+        assert_eq!(ids, vec![1, 5, 9]);
+        let vals: Vec<u64> = slab.values().map(|i| i.id.0).collect();
+        assert_eq!(vals, vec![1, 5, 9]);
+    }
+}

@@ -13,9 +13,7 @@ use ffs_trace::Trace;
 use crate::config::{FfsConfig, ScalingPolicy};
 use crate::keepalive::{KeepAliveState, Transition};
 use crate::platform::catalog::{FuncId, FunctionCatalog};
-use crate::platform::engine::{
-    all_nodes, est_shared_exec_ms, sref, Engine, EngineCore, EngineError, MAX_LAUNCHES_PER_TICK,
-};
+use crate::platform::engine::{sref, Engine, EngineCore, EngineError, MAX_LAUNCHES_PER_TICK};
 use crate::platform::events::{Event, InstanceId};
 use crate::platform::hub::MetricsHub;
 use crate::platform::policy::{
@@ -135,25 +133,26 @@ impl SharedPoolPolicy for FluidSharedPool {
         }
         // Most urgent pending head among bound functions (§5.3 ordering:
         // deadline minus estimated execution and load times, ascending).
-        let bound = core.pool.slot(slot_idx).bound.clone();
+        // Candidates are scanned by index (no clone of the bound list);
+        // exec/load estimates come from the per-(function, profile) tables
+        // precomputed at engine construction.
         let slice_profile = core.pool.slot(slot_idx).slice.profile;
         let slice_id = core.pool.slot(slot_idx).slice.id;
         let resident = core.pool.slot(slot_idx).resident;
         let mut best: Option<(i64, FuncId, u64)> = None;
-        for f in bound {
+        for i in 0..core.pool.slot(slot_idx).bound.len() {
+            let f = core.pool.slot(slot_idx).bound[i];
             let Some(&req) = core.pending[f].front() else {
                 continue;
             };
             if !should_overflow_to_shared(core, f, req, now) {
                 continue;
             }
-            let exec = est_shared_exec_ms(&core.catalog, f, slice_profile);
+            let exec = core.shared_exec_of(f, slice_profile);
             let load = if resident == Some(f) {
                 0.0
             } else {
-                core.catalog
-                    .profile(f)
-                    .load_ms(&all_nodes(&core.catalog, f))
+                core.load_all_ms[f]
             };
             let key = core.requests[req as usize].urgency_key(exec, load);
             if best.is_none_or(|(k, _, _)| key < k) {
@@ -169,15 +168,9 @@ impl SharedPoolPolicy for FluidSharedPool {
         } else {
             // Evict the resident (→ Warm ④) and reload `f` from CPU.
             let evicted = core.pool.slot_mut(slot_idx).resident.take();
-            let mut load_ms = core
-                .catalog
-                .profile(f)
-                .load_ms(&all_nodes(&core.catalog, f));
+            let mut load_ms = core.load_all_ms[f];
             if let Some(g) = evicted {
-                load_ms += core
-                    .catalog
-                    .profile(g)
-                    .load_ms(&all_nodes(&core.catalog, g));
+                load_ms += core.load_all_ms[g];
                 core.ka[g] = core.ka[g].next_traced(Transition::Evicted, g as u32);
                 core.sched_log.evictions += 1;
                 ffs_obs::record(|| ffs_obs::ObsEvent::Eviction {
@@ -288,7 +281,13 @@ impl Autoscaler for FluidAutoscaler {
         // time sharing) exists precisely so lightly-used exclusive slices
         // are reclaimable for others.
         let starving = !core.starving_funcs().is_empty();
-        for f in 0..core.catalog.len() {
+        // Demote-candidate scratch, reused across functions.
+        let mut ids: Vec<InstanceId> = Vec::new();
+        // Dirty-set scan: an inactive function has zero demand, an empty
+        // backlog and no instances, so neither scale-up pressure nor the
+        // demote sweep can fire for it. Ascending order as before.
+        for fi in 0..core.active_funcs.len() {
+            let f = core.active_funcs[fi];
             // Scale up per the configured policy.
             for _ in 0..MAX_LAUNCHES_PER_TICK {
                 let pressured = match self.policy {
@@ -315,14 +314,17 @@ impl Autoscaler for FluidAutoscaler {
                 }
             }
             // Demote (③): low-utilization idle exclusive instances retire;
-            // the function falls back to its time-sharing lineage.
-            let ids: Vec<InstanceId> = core
-                .instances
-                .values()
-                .filter(|i| i.func == f && i.is_ready())
-                .map(|i| i.id)
-                .collect();
-            for id in ids {
+            // the function falls back to its time-sharing lineage. The
+            // per-function id index is in ascending-id order — the same
+            // order the instance-map filter produced.
+            ids.clear();
+            ids.extend(
+                core.instances_of[f]
+                    .iter()
+                    .copied()
+                    .filter(|id| core.instances[id].is_ready()),
+            );
+            for &id in &ids {
                 let window = core.cfg.scale_tick;
                 let (util, empty, throughput, idle_for) = {
                     let inst = core.instances.get_mut(&id).expect("live");
@@ -349,7 +351,10 @@ impl Autoscaler for FluidAutoscaler {
     }
 
     fn keep_alive(&self, core: &mut EngineCore, now: SimTime) {
-        for f in 0..core.catalog.len() {
+        // Dirty-set scan: inactive functions are Cold, and Cold lineages
+        // never match the TimeSharing|Warm expiry guard.
+        for fi in 0..core.active_funcs.len() {
+            let f = core.active_funcs[fi];
             let idle = now.saturating_since(core.last_use[f]);
             if idle >= core.cfg.keep_alive
                 && matches!(
@@ -412,12 +417,25 @@ pub struct FluidPlacer {
 
 impl Placer for FluidPlacer {
     fn place(&self, core: &mut EngineCore, f: FuncId) -> Option<(DeploymentPlan, NodeId)> {
-        let profile = core.catalog.profile(f);
+        // Split borrows: the plan cache mutates while the fleet and catalog
+        // are only read, so the lookup key comes from the incrementally
+        // maintained node signature and the free-slice list is materialized
+        // only on a cache miss.
+        let EngineCore {
+            plan_cache,
+            fleet,
+            catalog,
+            ..
+        } = core;
+        let profile = catalog.profile(f);
         let mut chosen: Option<DeploymentPlan> = None;
         let mut chosen_node = None;
-        for node in core.fleet.nodes().iter().map(|n| n.id).collect::<Vec<_>>() {
-            let free = core.fleet.free_slices(Some(node));
-            let plan = core.plan_cache.plan(f, node, self.ranked, profile, &free);
+        for i in 0..fleet.node_count() {
+            let node = fleet.nodes()[i].id;
+            let sig = fleet.node_signature(node);
+            let plan = plan_cache.plan_with_signature(f, node, self.ranked, profile, sig, || {
+                fleet.free_slices(Some(node))
+            });
             if let Some(p) = plan {
                 let better = match &chosen {
                     None => true,
@@ -481,14 +499,27 @@ impl Migrator for FluidMigrator {
         for id in candidates {
             let f = core.instances.get(&id).expect("live").func;
             // A monolithic plan on currently free slices? (Always the
-            // ranked planner: monolithic ranks first regardless.)
+            // ranked planner: monolithic ranks first regardless.) Probed
+            // through the incremental node signature; the slice list is
+            // only materialized on a cache miss.
             let mut mono_possible = false;
-            for node in core.fleet.nodes().iter().map(|n| n.id).collect::<Vec<_>>() {
-                let free = core.fleet.free_slices(Some(node));
-                let profile = core.catalog.profile(f);
-                if core.plan_cache.monolithic_possible(f, node, profile, &free) {
-                    mono_possible = true;
-                    break;
+            {
+                let EngineCore {
+                    plan_cache,
+                    fleet,
+                    catalog,
+                    ..
+                } = &mut *core;
+                let profile = catalog.profile(f);
+                for i in 0..fleet.node_count() {
+                    let node = fleet.nodes()[i].id;
+                    let sig = fleet.node_signature(node);
+                    if plan_cache.monolithic_possible_with_signature(f, node, profile, sig, || {
+                        fleet.free_slices(Some(node))
+                    }) {
+                        mono_possible = true;
+                        break;
+                    }
                 }
             }
             if mono_possible && launch_exclusive(core, placer, f, now, sched) {

@@ -1,0 +1,35 @@
+//! The per-tick arrival counter saturates instead of wrapping.
+//!
+//! A pathological trace could deliver more than `u32::MAX` arrivals for one
+//! function between two scale ticks; the counter must clamp (keeping the
+//! demand estimate a lower bound) rather than wrap to a tiny value, and the
+//! event must be surfaced once through `ffs-obs`.
+
+use ffs_trace::{AzureTraceConfig, WorkloadClass};
+use fluidfaas::{EngineCore, FfsConfig};
+
+#[test]
+fn arrival_counter_saturates_and_reports_once() {
+    let trace = AzureTraceConfig::for_workload(WorkloadClass::Light, 1.0, 7).generate();
+    let cfg = FfsConfig::paper_default(WorkloadClass::Light);
+    let mut core = EngineCore::try_new(cfg, &trace).expect("engine builds");
+
+    let before = ffs_obs::arrival_saturations();
+    core.arrivals_in_tick[0] = u32::MAX - 1;
+
+    // Normal bump: one below the ceiling still increments.
+    core.note_arrival(0);
+    assert_eq!(core.arrivals_in_tick[0], u32::MAX);
+    assert!(!core.arrivals_saturated);
+
+    // Overflowing bump: clamps, flags, and counts exactly once.
+    core.note_arrival(0);
+    assert_eq!(core.arrivals_in_tick[0], u32::MAX, "counter must clamp");
+    assert!(core.arrivals_saturated, "saturation flag must latch");
+    assert_eq!(ffs_obs::arrival_saturations(), before + 1);
+
+    // Further overflow in the same run stays silent (one-shot per run).
+    core.note_arrival(0);
+    assert_eq!(core.arrivals_in_tick[0], u32::MAX);
+    assert_eq!(ffs_obs::arrival_saturations(), before + 1);
+}

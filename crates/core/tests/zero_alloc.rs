@@ -1,0 +1,116 @@
+//! The steady-state event loop performs zero heap allocations.
+//!
+//! A counting global allocator wraps the system allocator; after a warm-up
+//! phase that launches instances, grows every ring to its working size and
+//! primes the scheduler's wheel slots, a measured window of pure event
+//! traffic (arrivals, stage completions, request completions — no scale
+//! tick, which is cadence work, not per-event work) must allocate nothing:
+//! requests are prebuilt, the request log and utilization bins are
+//! pre-sized, wheel slots and per-function rings recycle their capacity,
+//! and plan/timing lookups hit precomputed tables.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ffs_profile::App;
+use ffs_sim::{run_until, Scheduler, SimTime};
+use ffs_trace::{AzureTraceConfig, WorkloadClass};
+use fluidfaas::platform::events::Event;
+use fluidfaas::{FfsConfig, FluidFaaSSystem};
+
+/// Allocation events observed while the current thread is in a measured
+/// window. Thread-scoped via the `COUNTING` flag so harness threads and
+/// lazy runtime initialisation elsewhere never pollute the count.
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+struct CountingAlloc;
+
+impl CountingAlloc {
+    fn note() {
+        // `try_with` so allocations during TLS teardown stay safe.
+        let _ = COUNTING.try_with(|c| {
+            if c.get() {
+                ALLOCS.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        Self::note();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        Self::note();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        Self::note();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Runs a measured window of `f` on this thread and returns how many
+/// allocations it performed.
+fn allocations_in<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    COUNTING.with(|c| c.set(true));
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let r = f();
+    let after = ALLOCS.load(Ordering::Relaxed);
+    COUNTING.with(|c| c.set(false));
+    (after - before, r)
+}
+
+#[test]
+fn steady_state_events_do_not_allocate() {
+    // A steady single-app load the small fleet can absorb: after the
+    // autoscaler's first ticks the exclusive instances serve every arrival
+    // without touching the shared pool or the planner.
+    let trace = AzureTraceConfig::steady(vec![App::ImageClassification], 8.0, 40.0, 11).generate();
+    let cfg = FfsConfig::test_small(WorkloadClass::Light);
+    let mut sys = FluidFaaSSystem::new(cfg, &trace);
+
+    let mut sched: Scheduler<Event> = Scheduler::new();
+    sched.preload_sorted(
+        trace
+            .invocations
+            .iter()
+            .map(|inv| (inv.arrival, Event::Arrival(inv.id))),
+    );
+    sched.at(SimTime::ZERO, Event::ScaleTick);
+
+    // Warm-up: launches, ring growth, wheel priming, first completions.
+    run_until(&mut sys, &mut sched, SimTime::from_micros(5_200_000));
+
+    // Measured window between two scale ticks (ticks land on whole
+    // seconds; events at exactly the deadline stay queued): pure arrival /
+    // stage / completion traffic.
+    let executed_before = ffs_sim::process_executed_events();
+    let (allocs, _) =
+        allocations_in(|| run_until(&mut sys, &mut sched, SimTime::from_micros(5_900_000)));
+    let executed = ffs_sim::process_executed_events() - executed_before;
+
+    assert!(
+        executed >= 20,
+        "window must exercise real event traffic (got {executed} events)"
+    );
+    assert_eq!(
+        allocs, 0,
+        "steady-state event handling must not allocate ({executed} events executed)"
+    );
+}

@@ -75,11 +75,23 @@ fn main() {
         report.runs, report.total_secs, report.runs_per_sec, report.busy_secs, report.threads
     );
     eprintln!(
+        "harness: {} events executed ({:.0} events/s)",
+        report.events, report.events_per_sec
+    );
+    eprintln!(
         "harness: plan cache {} hits / {} misses ({:.1}% hit rate)",
         report.plan_cache_hits,
         report.plan_cache_misses,
         report.plan_cache_hit_rate() * 100.0
     );
+    let clamps = ffs_obs::schedule_clamps();
+    if clamps > 0 {
+        eprintln!("harness: WARNING: {clamps} past-time schedules were clamped to now");
+    }
+    let saturations = ffs_obs::arrival_saturations();
+    if saturations > 0 {
+        eprintln!("harness: WARNING: {saturations} per-tick arrival counters saturated");
+    }
     match parallel::write_bench_json(Path::new("BENCH_harness.json"), &report) {
         Ok(()) => eprintln!("harness: wrote BENCH_harness.json"),
         Err(e) => eprintln!("harness: could not write BENCH_harness.json: {e}"),

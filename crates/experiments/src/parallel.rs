@@ -113,6 +113,10 @@ pub struct BenchReport {
     pub busy_secs: f64,
     /// Worker count the harness used.
     pub threads: usize,
+    /// Simulation events executed across all runs (process-wide).
+    pub events: u64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
     /// FluidFaaS launch-plan cache hits accumulated across all runs.
     pub plan_cache_hits: u64,
     /// FluidFaaS launch-plan cache misses accumulated across all runs.
@@ -134,6 +138,7 @@ impl BenchReport {
 /// Builds a report for a section that took `total_secs` of wall clock.
 pub fn bench_report(total_secs: f64) -> BenchReport {
     let runs = harness_runs();
+    let events = ffs_sim::process_executed_events();
     let (plan_cache_hits, plan_cache_misses) = fluidfaas::plancache::process_stats();
     BenchReport {
         total_secs,
@@ -145,6 +150,12 @@ pub fn bench_report(total_secs: f64) -> BenchReport {
         },
         busy_secs: harness_busy_secs(),
         threads: threads(),
+        events,
+        events_per_sec: if total_secs > 0.0 {
+            events as f64 / total_secs
+        } else {
+            0.0
+        },
         plan_cache_hits,
         plan_cache_misses,
     }
@@ -153,12 +164,14 @@ pub fn bench_report(total_secs: f64) -> BenchReport {
 /// Writes the report as JSON.
 pub fn write_bench_json(path: &Path, report: &BenchReport) -> std::io::Result<()> {
     let json = format!(
-        "{{\n  \"total_secs\": {:.3},\n  \"runs\": {},\n  \"runs_per_sec\": {:.3},\n  \"busy_secs\": {:.3},\n  \"threads\": {},\n  \"plan_cache_hits\": {},\n  \"plan_cache_misses\": {},\n  \"plan_cache_hit_rate\": {:.4}\n}}\n",
+        "{{\n  \"total_secs\": {:.3},\n  \"runs\": {},\n  \"runs_per_sec\": {:.3},\n  \"busy_secs\": {:.3},\n  \"threads\": {},\n  \"events\": {},\n  \"events_per_sec\": {:.0},\n  \"plan_cache_hits\": {},\n  \"plan_cache_misses\": {},\n  \"plan_cache_hit_rate\": {:.4}\n}}\n",
         report.total_secs,
         report.runs,
         report.runs_per_sec,
         report.busy_secs,
         report.threads,
+        report.events,
+        report.events_per_sec,
         report.plan_cache_hits,
         report.plan_cache_misses,
         report.plan_cache_hit_rate(),

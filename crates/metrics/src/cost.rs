@@ -8,12 +8,21 @@
 //! being *actively used* (processing a request) — the gap between the two
 //! is the waste caused by exclusive keep-alive.
 
-use std::collections::HashMap;
-
 use ffs_sim::{SimDuration, SimTime};
 
 /// Identifies a slice for accounting: (GPU index, slice index).
 pub type SliceKey = (u16, u8);
+
+/// Dense per-slice slots per GPU. MIG exposes at most 7 compute
+/// instances per GPU, so 8 keeps `gpu * STRIDE + index` collision-free;
+/// the tables grow on demand if a layout ever exceeds it.
+const SLICE_STRIDE: usize = 8;
+
+#[inline]
+fn slot(key: SliceKey) -> usize {
+    debug_assert!((key.1 as usize) < SLICE_STRIDE, "slice index over stride");
+    key.0 as usize * SLICE_STRIDE + key.1 as usize
+}
 
 /// Tracks allocation and activity intervals for a fleet.
 #[derive(Clone, Debug)]
@@ -25,12 +34,14 @@ pub struct CostTracker {
     gpu_busy_since: Vec<Option<SimTime>>,
     gpu_time: Vec<SimDuration>,
     /// Allocation start per slice (drives "MIG time" / occupied), with the
-    /// slice's GPC weight for compute-normalized cost.
-    occupied_since: HashMap<SliceKey, (SimTime, u32)>,
+    /// slice's GPC weight for compute-normalized cost. Dense, indexed by
+    /// [`slot`] — the per-stage hooks are the metrics hot path.
+    occupied_since: Vec<Option<(SimTime, u32)>>,
     occupied_total: Vec<SimDuration>,
     occupied_gpc_secs: Vec<f64>,
-    /// Activity start per slice (drives "actively used").
-    active_since: HashMap<SliceKey, SimTime>,
+    /// Activity start per slice (drives "actively used"), indexed by
+    /// [`slot`].
+    active_since: Vec<Option<SimTime>>,
     active_total: Vec<SimDuration>,
 }
 
@@ -99,10 +110,10 @@ impl CostTracker {
             alloc_count: vec![0; num_gpus],
             gpu_busy_since: vec![None; num_gpus],
             gpu_time: vec![SimDuration::ZERO; num_gpus],
-            occupied_since: HashMap::new(),
+            occupied_since: vec![None; num_gpus * SLICE_STRIDE],
             occupied_total: vec![SimDuration::ZERO; num_gpus],
             occupied_gpc_secs: vec![0.0; num_gpus],
-            active_since: HashMap::new(),
+            active_since: vec![None; num_gpus * SLICE_STRIDE],
             active_total: vec![SimDuration::ZERO; num_gpus],
         }
     }
@@ -112,7 +123,12 @@ impl CostTracker {
     pub fn slice_allocated(&mut self, t: SimTime, key: SliceKey, gpcs: u32) {
         let gpu = key.0 as usize;
         debug_assert!(gpu < self.num_gpus);
-        let prev = self.occupied_since.insert(key, (t, gpcs));
+        let i = slot(key);
+        if i >= self.occupied_since.len() {
+            self.occupied_since.resize(i + 1, None);
+            self.active_since.resize(i + 1, None);
+        }
+        let prev = self.occupied_since[i].replace((t, gpcs));
         debug_assert!(prev.is_none(), "double allocation of {key:?}");
         if self.alloc_count[gpu] == 0 {
             self.gpu_busy_since[gpu] = Some(t);
@@ -123,7 +139,11 @@ impl CostTracker {
     /// Records that a slice was released at `t`.
     pub fn slice_released(&mut self, t: SimTime, key: SliceKey) {
         let gpu = key.0 as usize;
-        if let Some((since, gpcs)) = self.occupied_since.remove(&key) {
+        if let Some((since, gpcs)) = self
+            .occupied_since
+            .get_mut(slot(key))
+            .and_then(Option::take)
+        {
             let d = t.saturating_since(since);
             self.occupied_total[gpu] += d;
             self.occupied_gpc_secs[gpu] += d.as_secs_f64() * gpcs as f64;
@@ -144,30 +164,36 @@ impl CostTracker {
     /// Records that a slice began processing a request at `t`. Idempotent
     /// while already active.
     pub fn slice_active(&mut self, t: SimTime, key: SliceKey) {
-        self.active_since.entry(key).or_insert(t);
+        let i = slot(key);
+        if i >= self.active_since.len() {
+            self.occupied_since.resize(i + 1, None);
+            self.active_since.resize(i + 1, None);
+        }
+        self.active_since[i].get_or_insert(t);
     }
 
     /// Records that a slice stopped processing at `t`. Idempotent while
     /// already idle.
     pub fn slice_idle(&mut self, t: SimTime, key: SliceKey) {
-        if let Some(since) = self.active_since.remove(&key) {
+        if let Some(since) = self.active_since.get_mut(slot(key)).and_then(Option::take) {
             self.active_total[key.0 as usize] += t.saturating_since(since);
         }
     }
 
     /// Closes all open intervals at `end` and produces the report.
     pub fn finalize(mut self, end: SimTime) -> CostReport {
-        let keys: Vec<SliceKey> = self.active_since.keys().copied().collect();
-        for key in keys {
-            self.slice_idle(end, key);
+        for i in 0..self.active_since.len() {
+            if let Some(since) = self.active_since[i].take() {
+                self.active_total[i / SLICE_STRIDE] += end.saturating_since(since);
+            }
         }
-        let keys: Vec<SliceKey> = self.occupied_since.keys().copied().collect();
-        for key in keys {
-            let gpu = key.0 as usize;
-            let (since, gpcs) = self.occupied_since.remove(&key).expect("present");
-            let d = end.saturating_since(since);
-            self.occupied_total[gpu] += d;
-            self.occupied_gpc_secs[gpu] += d.as_secs_f64() * gpcs as f64;
+        for i in 0..self.occupied_since.len() {
+            if let Some((since, gpcs)) = self.occupied_since[i].take() {
+                let gpu = i / SLICE_STRIDE;
+                let d = end.saturating_since(since);
+                self.occupied_total[gpu] += d;
+                self.occupied_gpc_secs[gpu] += d.as_secs_f64() * gpcs as f64;
+            }
         }
         for gpu in 0..self.num_gpus {
             if let Some(since) = self.gpu_busy_since[gpu].take() {

@@ -76,6 +76,12 @@ impl RequestLog {
         self.records.push(r);
     }
 
+    /// Pre-sizes the log for `n` additional records, so a run with a known
+    /// request count never reallocates on the completion path.
+    pub fn reserve(&mut self, n: usize) {
+        self.records.reserve(n);
+    }
+
     /// All records.
     pub fn records(&self) -> &[RequestRecord] {
         &self.records

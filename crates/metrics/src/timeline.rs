@@ -35,6 +35,14 @@ impl BinnedSeries {
         self.counts[idx] += 1;
     }
 
+    /// Pre-sizes the series through `horizon`, so recording during a run
+    /// whose end is known up front never reallocates.
+    pub fn reserve_until(&mut self, horizon: SimTime) {
+        let bins = (horizon.as_micros() / self.bin.as_micros()) as usize + 1;
+        self.sums.reserve(bins.saturating_sub(self.sums.len()));
+        self.counts.reserve(bins.saturating_sub(self.counts.len()));
+    }
+
     /// The bin width.
     pub fn bin(&self) -> SimDuration {
         self.bin

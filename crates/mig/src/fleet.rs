@@ -88,6 +88,19 @@ impl Node {
 pub struct Fleet {
     nodes: Vec<Node>,
     gpus_per_node: usize,
+    /// Per-node count of free slices of each profile (`SliceProfile::ALL`
+    /// order), maintained incrementally on every allocate/release so
+    /// signature queries never walk the fleet.
+    free_counts: Vec<[u32; SliceProfile::ALL.len()]>,
+}
+
+/// Position of `p` in `SliceProfile::ALL` (the canonical count order).
+#[inline]
+fn profile_index(p: SliceProfile) -> usize {
+    SliceProfile::ALL
+        .iter()
+        .position(|&q| q == p)
+        .expect("profile is in ALL")
 }
 
 /// A free slice visible to a scheduler, with its location and profile.
@@ -122,9 +135,22 @@ impl Fleet {
                 gpus,
             });
         }
+        let free_counts = out
+            .iter()
+            .map(|n| {
+                let mut counts = [0u32; SliceProfile::ALL.len()];
+                for g in &n.gpus {
+                    for s in g.free_slices() {
+                        counts[profile_index(s.profile)] += 1;
+                    }
+                }
+                counts
+            })
+            .collect();
         Ok(Fleet {
             nodes: out,
             gpus_per_node,
+            free_counts,
         })
     }
 
@@ -226,12 +252,14 @@ impl Fleet {
 
     /// Allocates a specific slice.
     pub fn allocate(&mut self, id: SliceId) -> Result<(), MigError> {
+        let node = self.node_of_gpu(id.gpu)?;
+        let profile = self.profile_of(id)?;
         self.gpu_mut(id.gpu)?.allocate(id)?;
+        self.free_counts[node][profile_index(profile)] -= 1;
         if ffs_obs::enabled() {
-            let gpcs = self.profile_of(id).map(|p| p.gpcs()).unwrap_or(0);
             ffs_obs::record(|| ffs_obs::ObsEvent::SliceAllocated {
                 slice: ffs_obs::SliceRef::new(id.gpu.0, id.index),
-                gpcs,
+                gpcs: profile.gpcs(),
             });
         }
         Ok(())
@@ -239,7 +267,10 @@ impl Fleet {
 
     /// Releases a specific slice.
     pub fn release(&mut self, id: SliceId) -> Result<(), MigError> {
+        let node = self.node_of_gpu(id.gpu)?;
+        let profile = self.profile_of(id)?;
         self.gpu_mut(id.gpu)?.release(id)?;
+        self.free_counts[node][profile_index(profile)] += 1;
         ffs_obs::record(|| ffs_obs::ObsEvent::SliceReleased {
             slice: ffs_obs::SliceRef::new(id.gpu.0, id.index),
         });
@@ -273,15 +304,30 @@ impl Fleet {
     pub fn free_profile_histogram(&self) -> Vec<(SliceProfile, usize)> {
         SliceProfile::ALL
             .iter()
-            .map(|&p| {
-                let n = self
-                    .free_slices(None)
-                    .iter()
-                    .filter(|s| s.profile == p)
-                    .count();
+            .enumerate()
+            .map(|(i, &p)| {
+                let n = self.free_counts.iter().map(|c| c[i] as usize).sum();
                 (p, n)
             })
             .collect()
+    }
+
+    /// Canonical signature of `node`'s free-slice multiset: the count of
+    /// each profile packed 12 bits wide (saturating) in `SliceProfile::ALL`
+    /// order. Maintained incrementally, so this is O(profiles) — and the
+    /// packing is bit-compatible with recomputing the signature from a
+    /// materialized [`Fleet::free_slices`] list (the plan cache's key).
+    pub fn node_signature(&self, node: NodeId) -> u64 {
+        self.free_counts
+            .get(node.0 as usize)
+            .map(Self::pack_signature)
+            .unwrap_or(0)
+    }
+
+    fn pack_signature(counts: &[u32; SliceProfile::ALL.len()]) -> u64 {
+        counts.iter().enumerate().fold(0u64, |sig, (i, &c)| {
+            sig | ((c.min(0xFFF) as u64) << (12 * i))
+        })
     }
 }
 
@@ -368,6 +414,54 @@ mod tests {
         assert_eq!(get(SliceProfile::G2_20), 2);
         assert_eq!(get(SliceProfile::G4_40), 2);
         assert_eq!(get(SliceProfile::G7_80), 0);
+    }
+
+    /// Recomputes a node's signature from a materialized free-slice list
+    /// (the pre-incremental definition).
+    fn recomputed_signature(f: &Fleet, node: NodeId) -> u64 {
+        let mut counts = [0u64; SliceProfile::ALL.len()];
+        for s in f.free_slices(Some(node)) {
+            counts[profile_index(s.profile)] += 1;
+        }
+        counts
+            .iter()
+            .enumerate()
+            .fold(0u64, |sig, (i, &c)| sig | (c.min(0xFFF) << (12 * i)))
+    }
+
+    #[test]
+    fn node_signature_tracks_alloc_release_incrementally() {
+        let mut f = Fleet::paper_default();
+        for n in 0..f.node_count() {
+            let node = NodeId(n as u16);
+            assert_eq!(f.node_signature(node), recomputed_signature(&f, node));
+        }
+        let free = f.free_slices(Some(NodeId(0)));
+        let before = f.node_signature(NodeId(0));
+        let other_before = f.node_signature(NodeId(1));
+        for s in &free[..3] {
+            f.allocate(s.id).unwrap();
+            assert_eq!(
+                f.node_signature(NodeId(0)),
+                recomputed_signature(&f, NodeId(0))
+            );
+            // The untouched node's signature must not move.
+            assert_eq!(f.node_signature(NodeId(1)), other_before);
+        }
+        assert_ne!(f.node_signature(NodeId(0)), before);
+        for s in &free[..3] {
+            f.release(s.id).unwrap();
+        }
+        assert_eq!(f.node_signature(NodeId(0)), before);
+        // Failed allocations must leave the counts untouched.
+        f.allocate(free[0].id).unwrap();
+        let mid = f.node_signature(NodeId(0));
+        assert!(f.allocate(free[0].id).is_err());
+        assert_eq!(f.node_signature(NodeId(0)), mid);
+        assert_eq!(
+            f.node_signature(NodeId(0)),
+            recomputed_signature(&f, NodeId(0))
+        );
     }
 
     #[test]

@@ -131,6 +131,38 @@ pub fn sample_queue_depth(t_us: u64, pending: u64) {
     });
 }
 
+/// Process-wide count of past-scheduling attempts the simulation scheduler
+/// clamped to `now`. Unconditional (not gated on [`enabled`]): a clamp is a
+/// logic error that must stay visible in release builds without tracing.
+static SCHEDULE_CLAMPS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Counts one past-scheduling clamp (called by `ffs-sim`'s `Scheduler::at`).
+#[inline]
+pub fn note_schedule_clamp() {
+    SCHEDULE_CLAMPS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total past-scheduling clamps observed in this process.
+pub fn schedule_clamps() -> u64 {
+    SCHEDULE_CLAMPS.load(Ordering::Relaxed)
+}
+
+/// Process-wide count of per-tick arrival-counter saturations (pathological
+/// traces overflowing a `u32` within one scale tick). Unconditional, like
+/// [`schedule_clamps`].
+static ARRIVAL_SATURATIONS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Counts one arrival-counter saturation.
+#[inline]
+pub fn note_arrival_saturation() {
+    ARRIVAL_SATURATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total arrival-counter saturations observed in this process.
+pub fn arrival_saturations() -> u64 {
+    ARRIVAL_SATURATIONS.load(Ordering::Relaxed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
