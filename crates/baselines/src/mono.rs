@@ -305,6 +305,10 @@ impl Platform for MonolithicSystem {
     fn slices_per_gpu(&self) -> usize {
         self.engine.slices_per_gpu()
     }
+
+    fn fault_stats(&self) -> fluidfaas::platform::FaultStats {
+        self.engine.fault_stats()
+    }
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! Platform configuration.
 
+use crate::chaos::FaultSpec;
 use ffs_mig::PartitionScheme;
 use ffs_profile::PerfModel;
 use ffs_sim::SimDuration;
@@ -68,6 +69,9 @@ pub struct FfsConfig {
     /// How long after the last trace arrival the run keeps draining before
     /// finalising metrics.
     pub drain: SimDuration,
+    /// Fault-injection spec (disabled by default; fault-free runs stay
+    /// bit-identical to pre-chaos goldens).
+    pub faults: FaultSpec,
 }
 
 impl FfsConfig {
@@ -93,6 +97,7 @@ impl FfsConfig {
             enable_migration: true,
             enable_cv_ranking: true,
             drain: SimDuration::from_secs(60),
+            faults: FaultSpec::disabled(),
         }
     }
 

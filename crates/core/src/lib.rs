@@ -41,6 +41,7 @@
 
 #![warn(clippy::unwrap_used)]
 
+pub mod chaos;
 pub mod config;
 pub mod instance;
 pub mod keepalive;
@@ -49,6 +50,7 @@ pub mod platform;
 pub mod shared;
 pub mod system;
 
+pub use chaos::{ChaosState, FaultSpec, FaultTarget};
 pub use config::{FfsConfig, ScalingPolicy};
 pub use keepalive::{KeepAliveState, Transition};
 pub use platform::engine::{Engine, EngineCore, EngineError};

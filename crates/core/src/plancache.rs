@@ -8,7 +8,7 @@
 //! plan` and is invalidated wholesale on *any* slice allocation or
 //! release.
 //!
-//! The signature is the canonical multiset of free [`SliceProfile`]s
+//! The signature is the canonical multiset of free [`ffs_mig::SliceProfile`]s
 //! (per-profile counts packed into a `u64`). Slice *ids* are not part of
 //! the key: because every allocate/release clears the cache, the free set
 //! behind a surviving entry is bitwise the exact set it was computed from,
@@ -18,22 +18,19 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use ffs_mig::fleet::FreeSlice;
-use ffs_mig::{NodeId, SliceProfile};
+use ffs_mig::NodeId;
 use ffs_pipeline::{plan_deployment, plan_deployment_unranked, DeploymentPlan};
 use ffs_profile::FunctionProfile;
 
 use crate::platform::catalog::FuncId;
 
 /// Canonical signature of a free-slice multiset: the count of each
-/// [`SliceProfile`] packed 12 bits wide in `SliceProfile::ALL` order
+/// [`ffs_mig::SliceProfile`] packed 12 bits wide in `SliceProfile::ALL` order
 /// (saturating, far above any real fleet's per-node slice count).
 pub fn slice_signature(free: &[FreeSlice]) -> u64 {
     let mut counts = [0u64; 5];
     for s in free {
-        let idx = SliceProfile::ALL
-            .iter()
-            .position(|&p| p == s.profile)
-            .expect("profile is in ALL");
+        let idx = s.profile.index();
         counts[idx] = (counts[idx] + 1).min(0xFFF);
     }
     counts

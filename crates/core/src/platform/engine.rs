@@ -14,11 +14,13 @@
 
 use std::collections::VecDeque;
 
-use ffs_mig::{Fleet, MigError, NodeId, SliceProfile};
+use ffs_mig::gpu::RECONFIGURE_SECS;
+use ffs_mig::{Fleet, GpuId, MigError, NodeId, SliceId, SliceProfile};
 use ffs_pipeline::{estimate, DeploymentPlan};
 use ffs_sim::{Scheduler, SimDuration, SimTime, World};
 use ffs_trace::Trace;
 
+use crate::chaos::{ChaosState, FaultTarget, FleetShape};
 use crate::config::FfsConfig;
 use crate::instance::{Instance, Phase, StageTimings};
 use crate::keepalive::{KeepAliveState, Transition};
@@ -30,7 +32,7 @@ use super::events::{Event, InstanceId};
 use super::hub::MetricsHub;
 use super::policy::PolicyBundle;
 use super::request::RequestState;
-use super::runner::Platform;
+use super::runner::{FaultStats, Platform};
 use super::slab::InstanceSlab;
 
 /// Maximum instance launches per function per scale tick (burst ramp
@@ -167,15 +169,14 @@ pub struct EngineCore {
     pub shared_exec_ms: Vec<[f64; SliceProfile::ALL.len()]>,
     /// Precomputed model-load time of each function's full DAG (ms).
     pub load_all_ms: Vec<f64>,
+    /// Fault-injection state (`ffs-chaos`); inert when faults are disabled.
+    pub chaos: ChaosState,
 }
 
 /// Position of `p` in `SliceProfile::ALL` (the per-profile table order).
 #[inline]
 pub(crate) fn profile_index(p: SliceProfile) -> usize {
-    SliceProfile::ALL
-        .iter()
-        .position(|&q| q == p)
-        .expect("profile is in ALL")
+    p.index()
 }
 
 impl EngineCore {
@@ -222,6 +223,22 @@ impl EngineCore {
                 profile.load_ms(&all_nodes(&catalog, f))
             })
             .collect();
+        // The chaos timeline draws victims from the smallest per-GPU slice
+        // count, so every drawn index exists under per-GPU layouts too.
+        let slices_per_gpu = fleet
+            .gpus()
+            .map(|(_, g)| g.slices().len())
+            .min()
+            .unwrap_or(0);
+        let chaos = ChaosState::build(
+            cfg.faults.clone(),
+            FleetShape {
+                nodes: cfg.nodes,
+                gpus_per_node: cfg.gpus_per_node,
+                slices_per_gpu,
+            },
+            horizon.as_micros(),
+        );
         Ok(EngineCore {
             cfg,
             fleet,
@@ -250,6 +267,7 @@ impl EngineCore {
             mono_split_ms,
             shared_exec_ms,
             load_all_ms,
+            chaos,
         })
     }
 
@@ -553,6 +571,9 @@ impl EngineCore {
         sched: &mut Scheduler<Event>,
     ) -> InstanceId {
         for s in &plan.stages {
+            // Infallible: the plan was computed against the current free
+            // set and the cache is invalidated on every fleet mutation, so
+            // every planned slice is still free (and not failed) here.
             self.fleet.allocate(s.slice).expect("planned slice is free");
             self.hub.slice_allocated(now, s.slice, s.profile.gpcs());
         }
@@ -608,6 +629,8 @@ impl EngineCore {
         });
         debug_assert!(inst.is_empty(), "retiring a non-empty instance");
         for s in &inst.plan.stages {
+            // Infallible: the instance held these slices since launch and
+            // nothing else can release an instance-owned slice.
             self.fleet.release(s.slice).expect("allocated slice");
             self.hub.slice_released(now, s.slice);
         }
@@ -618,11 +641,165 @@ impl EngineCore {
             self.pipeline_count -= 1;
         }
         let ids = &mut self.instances_of[f];
+        // Infallible: the per-function index mirrors the slab exactly, and
+        // the slab remove above proved the instance was live.
         let pos = ids.iter().position(|&x| x == id).expect("indexed instance");
         ids.remove(pos);
         if ids.is_empty() {
             self.ka[f] = self.ka[f].next_traced(Transition::UtilizationLow, f as u32);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (ffs-chaos)
+    // ------------------------------------------------------------------
+
+    /// Kills an instance whose slice failed: releases all of its slices
+    /// (intervals close at `now`), updates every index `retire_instance`
+    /// maintains, and returns the requests that were queued, executing,
+    /// or mid-transfer inside it — in (busy stages ascending, then queued
+    /// stages ascending) order — for the caller to retry. Unlike
+    /// retirement, the instance may be non-empty.
+    pub fn fail_instance(&mut self, id: InstanceId, now: SimTime) -> Vec<u64> {
+        let Some(inst) = self.instances.remove(&id) else {
+            return Vec::new();
+        };
+        ffs_obs::record(|| ffs_obs::ObsEvent::InstanceRetired {
+            inst: id.0,
+            func: inst.func as u32,
+        });
+        for s in &inst.plan.stages {
+            if self.fleet.release(s.slice).is_ok() {
+                self.hub.slice_released(now, s.slice);
+            }
+        }
+        self.plan_cache.invalidate();
+        let f = inst.func;
+        if !inst.plan.is_monolithic() {
+            debug_assert!(self.pipeline_count > 0);
+            self.pipeline_count -= 1;
+        }
+        if let Some(pos) = self.instances_of[f].iter().position(|&x| x == id) {
+            self.instances_of[f].remove(pos);
+        }
+        if self.instances_of[f].is_empty() {
+            self.ka[f] = self.ka[f].next_traced(Transition::UtilizationLow, f as u32);
+        }
+        // Stale StageDone/TransferDone events for this instance are
+        // classified against this list.
+        self.chaos.killed.push(id.0);
+        let mut reqs = Vec::new();
+        for b in &inst.stage_busy {
+            if let Some(r) = *b {
+                reqs.push(r);
+            }
+        }
+        for q in &inst.stage_queues {
+            reqs.extend(q.iter().copied());
+        }
+        // Mid-transfer requests are recovered when their `TransferDone`
+        // arrives (the transfer itself survives in host memory).
+        reqs
+    }
+
+    /// Kills a shared slot whose slice failed: drains its queue and
+    /// in-flight work, unbinds every function (the resident is evicted to
+    /// Warm), releases the slice, and tombstones the slot. The slot is
+    /// never removed from the pool vector — `Vec::remove` would shift the
+    /// indices referenced by pending `SharedDone`/`SharedLoadDone` events.
+    /// Returns the requests to retry.
+    pub fn fail_shared_slot(&mut self, idx: usize, now: SimTime) -> Vec<u64> {
+        let slot = self.pool.slot_mut(idx);
+        let mut reqs = Vec::new();
+        if let Some(r) = slot.busy_with.take() {
+            reqs.push(r);
+        }
+        if let Some((_, r)) = slot.loading.take() {
+            reqs.push(r);
+        }
+        while let Some(r) = slot.pop() {
+            reqs.push(r);
+        }
+        slot.mark_idle(now);
+        slot.dead = true;
+        let resident = slot.resident;
+        let bound = slot.bound.clone();
+        let slice = slot.slice;
+        for f in bound {
+            self.pool.unbind(f);
+        }
+        if let Some(g) = resident {
+            // The resident model's GPU state is lost with the slice; its
+            // lineage falls back to Warm (CPU copy), as on an eviction.
+            self.ka[g] = self.ka[g].next_traced(Transition::Evicted, g as u32);
+        }
+        if self.fleet.release(slice.id).is_ok() {
+            self.hub.slice_released(now, slice.id);
+        }
+        self.plan_cache.invalidate();
+        reqs
+    }
+
+    /// The slices a fault target expands to, ascending; slices already
+    /// failed are skipped (a second fault on a downed GPU is a no-op).
+    pub fn fault_slices(&self, target: FaultTarget) -> Vec<SliceId> {
+        let mut gpus: Vec<GpuId> = Vec::new();
+        match target {
+            FaultTarget::Slice(id) => {
+                return match self.fleet.gpu(id.gpu).and_then(|g| g.slice(id)) {
+                    Ok(s) if !s.is_failed() => vec![id],
+                    _ => Vec::new(),
+                };
+            }
+            FaultTarget::Gpu(g) => gpus.push(g),
+            FaultTarget::Node(n) => {
+                if let Some(node) = self.fleet.nodes().iter().find(|x| x.id == n) {
+                    gpus.extend(node.gpus().iter().map(|g| g.id));
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for gid in gpus {
+            if let Ok(gpu) = self.fleet.gpu(gid) {
+                out.extend(gpu.slices().iter().filter(|s| !s.is_failed()).map(|s| s.id));
+            }
+        }
+        out
+    }
+
+    /// The GPUs a fault target spans (for XID-style reporting and the
+    /// per-GPU reconfiguration charge on recovery).
+    pub fn fault_gpus(&self, target: FaultTarget) -> Vec<GpuId> {
+        match target {
+            FaultTarget::Slice(id) => vec![id.gpu],
+            FaultTarget::Gpu(g) => vec![g],
+            FaultTarget::Node(n) => self
+                .fleet
+                .nodes()
+                .iter()
+                .find(|x| x.id == n)
+                .map(|node| node.gpus().iter().map(|g| g.id).collect())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Schedules a capped-exponential-backoff retry for a request whose
+    /// worker died, or drops it (→ abandoned at finalize) once the retry
+    /// budget is exhausted.
+    pub fn schedule_retry(&mut self, req: u64, sched: &mut Scheduler<Event>) {
+        let attempt = self.chaos.bump_retry(req);
+        if attempt > self.chaos.spec.max_retries {
+            self.chaos.retries_exhausted += 1;
+            return;
+        }
+        let delay_ms = self.chaos.spec.backoff_ms(attempt);
+        self.chaos.request_retries += 1;
+        ffs_obs::record(|| ffs_obs::ObsEvent::RequestRetried {
+            req,
+            attempt,
+            delay_ms,
+        });
+        sched.after(SimDuration::from_millis(delay_ms), Event::Retry(req));
     }
 
     // ------------------------------------------------------------------
@@ -855,6 +1032,11 @@ impl World for Engine {
                     instance.in_transfer -= 1;
                     instance.stage_queues[stage].push_back(req);
                     core.try_start_stage(inst, stage, now, sched);
+                } else if core.chaos.was_killed(inst.0) {
+                    // The instance died mid-transfer (fault injection).
+                    // In-transfer requests are tracked only as a count, so
+                    // this arrival is the recovery point: retry the request.
+                    core.schedule_retry(req, sched);
                 } else {
                     debug_assert!(false, "transfer completed on a retired instance");
                 }
@@ -864,7 +1046,12 @@ impl World for Engine {
                     Some((f, r)) => (f, r),
                     None => return,
                 };
-                debug_assert_eq!(expected, req);
+                if expected != req {
+                    // Stale load-done: the slot was killed and rebound
+                    // between scheduling and delivery (fault injection).
+                    debug_assert!(core.chaos.fired, "mismatched load on fault-free run");
+                    return;
+                }
                 let s = core.pool.slot_mut(slot);
                 s.loading = None;
                 s.resident = Some(f);
@@ -872,7 +1059,12 @@ impl World for Engine {
             }
             Event::SharedDone { slot, req } => {
                 let s = core.pool.slot_mut(slot);
-                debug_assert_eq!(s.busy_with, Some(req));
+                if s.busy_with != Some(req) {
+                    // Stale completion for a request already drained off a
+                    // failed slot (fault injection): the retry path owns it.
+                    debug_assert!(core.chaos.fired, "mismatched completion on fault-free run");
+                    return;
+                }
                 s.busy_with = None;
                 s.mark_idle(now);
                 let slice = s.slice.id;
@@ -893,6 +1085,16 @@ impl World for Engine {
                 let _ = policies.shared.dispatch_slot(core, slot, now, sched);
             }
             Event::ScaleTick => {
+                // Arm the chaos timeline on the first tick (one branch per
+                // tick thereafter; a disabled spec starts armed, so
+                // fault-free runs never enter this block).
+                if !core.chaos.armed {
+                    core.chaos.armed = true;
+                    for i in 0..core.chaos.timeline.len() {
+                        let (t_us, target) = core.chaos.timeline[i];
+                        sched.at(SimTime::from_micros(t_us), Event::Fault(target));
+                    }
+                }
                 core.begin_tick(now);
                 policies
                     .autoscaler
@@ -916,6 +1118,161 @@ impl World for Engine {
                 core.schedule_next_tick(now, sched);
             }
             Event::KeepAlive(_) => { /* handled by the tick sweep */ }
+            Event::Fault(target) => {
+                core.chaos.fired = true;
+                let slices = core.fault_slices(target);
+                if slices.is_empty() {
+                    // Everything in range is already down (overlapping
+                    // fault) — and the matching Repair will be a no-op too.
+                    return;
+                }
+                let mut orphans: Vec<u64> = Vec::new();
+                let mut killed_funcs: Vec<FuncId> = Vec::new();
+                for sid in slices {
+                    // Whoever holds the slice dies with it: an exclusive
+                    // (possibly pipelined) instance loses all its stages, a
+                    // shared slot is drained and tombstoned. An earlier
+                    // iteration may have already killed a pipelined
+                    // instance spanning this slice; then only the fleet
+                    // state is updated.
+                    let owner = core.instances.keys().find(|id| {
+                        core.instances[id]
+                            .plan
+                            .stages
+                            .iter()
+                            .any(|s| s.slice == sid)
+                    });
+                    if let Some(id) = owner {
+                        killed_funcs.push(core.instances[&id].func);
+                        orphans.extend(core.fail_instance(id, now));
+                    } else if let Some(slot) = core
+                        .pool
+                        .slots()
+                        .iter()
+                        .position(|s| !s.dead && s.slice.id == sid)
+                    {
+                        orphans.extend(core.fail_shared_slot(slot, now));
+                    }
+                    if core.fleet.fail_slice(sid).is_ok() {
+                        core.chaos.slice_failures += 1;
+                        ffs_obs::record(|| ffs_obs::ObsEvent::SliceFailed { slice: sref(sid) });
+                    }
+                }
+                if !matches!(target, FaultTarget::Slice(_)) {
+                    for g in core.fault_gpus(target) {
+                        core.chaos.gpu_failures += 1;
+                        ffs_obs::record(|| ffs_obs::ObsEvent::GpuFailed { gpu: g.0 });
+                    }
+                }
+                // Free slices that failed also change the placement
+                // signature (fail_instance/fail_shared_slot already
+                // invalidate, but not this case).
+                core.plan_cache.invalidate();
+                sched.after(
+                    SimDuration::from_secs_f64(core.chaos.spec.recovery_secs),
+                    Event::Repair(target),
+                );
+                // Rebuild: each function that lost an instance replans
+                // against the surviving free slices (best-ranked partition
+                // that still fits — the §5.2 planner, via the signature-
+                // keyed plan cache).
+                killed_funcs.sort_unstable();
+                killed_funcs.dedup();
+                for f in killed_funcs {
+                    if let Some((plan, node)) = policies.placer.place(core, f) {
+                        let stages = plan.stages.len() as u32;
+                        let id = core.launch(f, plan, node, now, sched);
+                        core.ka[f] = core.ka[f].next_traced(Transition::UtilizationHigh, f as u32);
+                        core.chaos.pipeline_rebuilds += 1;
+                        ffs_obs::record(|| ffs_obs::ObsEvent::PipelineRebuilt {
+                            func: f as u32,
+                            inst: id.0,
+                            stages,
+                        });
+                    }
+                }
+                for req in orphans {
+                    core.schedule_retry(req, sched);
+                }
+            }
+            Event::Repair(target) => {
+                // Repair is GPU-granular, like real MIG reconfiguration:
+                // every GPU of the target with at least one still-failed
+                // slice is repartitioned through the NVML mirror (charging
+                // the real RECONFIGURE_SECS), then its slices re-enter
+                // placement at Recover time. A repair that finds nothing
+                // failed (an overlapping fault's earlier recovery already
+                // handled it) charges nothing.
+                let mut any = false;
+                for g in core.fault_gpus(target) {
+                    let has_failed = core
+                        .fleet
+                        .gpu(g)
+                        .map(|gpu| gpu.slices().iter().any(|s| s.is_failed()))
+                        .unwrap_or(false);
+                    if !has_failed {
+                        continue;
+                    }
+                    any = true;
+                    if let Some(nvml) = core.chaos.nvml.as_mut() {
+                        let local = g.0 as usize % core.cfg.gpus_per_node;
+                        let layout = core.cfg.scheme.layout_for(local).clone();
+                        match nvml.repartition(g.0, layout) {
+                            Ok(secs) => debug_assert_eq!(secs, RECONFIGURE_SECS),
+                            Err(e) => debug_assert!(false, "chaos repartition failed: {e:?}"),
+                        }
+                    }
+                }
+                if any {
+                    sched.after(
+                        SimDuration::from_secs(RECONFIGURE_SECS),
+                        Event::Recover(target),
+                    );
+                }
+            }
+            Event::Recover(target) => {
+                // GPU-granular, matching Repair: repartitioning recreated
+                // every slice on the GPU, so all of its failed slices come
+                // back together (recovery coalescing across overlapping
+                // faults — see docs/RESILIENCE.md).
+                let mut any = false;
+                for g in core.fault_gpus(target) {
+                    let failed: Vec<SliceId> = match core.fleet.gpu(g) {
+                        Ok(gpu) => gpu
+                            .slices()
+                            .iter()
+                            .filter(|s| s.is_failed())
+                            .map(|s| s.id)
+                            .collect(),
+                        Err(_) => continue,
+                    };
+                    for sid in failed {
+                        if core.fleet.recover_slice(sid).is_ok() {
+                            core.chaos.slice_recoveries += 1;
+                            any = true;
+                            ffs_obs::record(|| ffs_obs::ObsEvent::SliceRecovered {
+                                slice: sref(sid),
+                            });
+                        }
+                    }
+                }
+                if any {
+                    core.plan_cache.invalidate();
+                }
+            }
+            Event::Retry(req) => {
+                // The request re-enters the controller from stage 0; work
+                // it completed on the dead worker is lost (its exec/load
+                // accumulators keep the wasted time, so latency reflects
+                // the failure).
+                let f = core.requests[req as usize].func;
+                core.note_arrival(f);
+                core.last_use[f] = now;
+                core.pending[f].push_back(req);
+                policies
+                    .router
+                    .dispatch(core, &*policies.shared, f, now, sched);
+            }
         }
     }
 }
@@ -936,6 +1293,14 @@ impl Platform for Engine {
         for r in unfinished {
             self.core.hub.abandon(&r);
         }
+        // Satellite: interval-clamp regression guard. A fault-free run has
+        // no out-of-order interval closes, so every `saturating_since`
+        // clamp the cost tracker counted indicates a bookkeeping bug.
+        debug_assert!(
+            self.core.chaos.enabled || self.core.hub.cost.clamps() == 0,
+            "fault-free run clamped {} cost intervals",
+            self.core.hub.cost.clamps()
+        );
     }
 
     fn take_hub(&mut self) -> MetricsHub {
@@ -957,5 +1322,17 @@ impl Platform for Engine {
             .next()
             .map(|(_, g)| g.slices().len())
             .unwrap_or(0)
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        let c = &self.core.chaos;
+        FaultStats {
+            slice_failures: c.slice_failures,
+            gpu_failures: c.gpu_failures,
+            retries: c.request_retries,
+            retries_exhausted: c.retries_exhausted,
+            rebuilds: c.pipeline_rebuilds,
+            recoveries: c.slice_recoveries,
+        }
     }
 }

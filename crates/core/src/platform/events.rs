@@ -1,5 +1,7 @@
 //! The event alphabet shared by all simulated platforms.
 
+use crate::chaos::FaultTarget;
+
 /// Identifier of a launched instance (monotone counter).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct InstanceId(pub u64);
@@ -52,6 +54,15 @@ pub enum Event {
     ScaleTick,
     /// Keep-alive expiry check for function `f`'s time-sharing lineage.
     KeepAlive(usize),
+    /// A fault fires against the target (chaos timeline).
+    Fault(FaultTarget),
+    /// Repair begins for a previously-failed target (reconfiguration
+    /// starts; the target is still out of service).
+    Repair(FaultTarget),
+    /// A repaired target's slices re-enter placement.
+    Recover(FaultTarget),
+    /// Request `req` re-enters the controller after a fault-driven backoff.
+    Retry(u64),
 }
 
 impl Event {
@@ -66,6 +77,10 @@ impl Event {
             Event::SharedDone { .. } => "shared_done",
             Event::ScaleTick => "scale_tick",
             Event::KeepAlive(_) => "keep_alive",
+            Event::Fault(_) => "fault",
+            Event::Repair(_) => "repair",
+            Event::Recover(_) => "recover",
+            Event::Retry(_) => "retry",
         }
     }
 }

@@ -19,4 +19,4 @@ pub use policy::{
     Autoscaler, Migrator, NoMigrator, NoSharedPool, Placer, PolicyBundle, Router, SharedPoolPolicy,
 };
 pub use request::{RequestState, ServePath};
-pub use runner::{run_platform, Platform, RunOutput};
+pub use runner::{run_platform, FaultStats, Platform, RunOutput};

@@ -173,7 +173,13 @@ pub fn route_to_instance(
     now: SimTime,
     sched: &mut Scheduler<Event>,
 ) {
-    let inst = core.instances.get_mut(&id).expect("live instance");
+    // Routers only pass ids they just read from `instances_of`, and nothing
+    // retires an instance between the read and this call; stay total anyway
+    // so a policy bug degrades to a dropped route, not a crash.
+    let Some(inst) = core.instances.get_mut(&id) else {
+        debug_assert!(false, "routed to a retired instance");
+        return;
+    };
     inst.stage_queues[0].push_back(req);
     inst.last_used = now;
     core.try_start_stage(id, 0, now, sched);

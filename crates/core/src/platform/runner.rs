@@ -27,6 +27,29 @@ pub trait Platform: World<Event = Event> {
 
     /// Slices per GPU (for Figure 5 percentages).
     fn slices_per_gpu(&self) -> usize;
+
+    /// Fault-injection counters for the run (zero when chaos is disabled
+    /// or the platform does not support it).
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats::default()
+    }
+}
+
+/// Counters summarising a run's injected faults and recovery actions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Slices failed (each failed slice counts once per fault event).
+    pub slice_failures: u64,
+    /// Whole-GPU (XID-style) failures reported.
+    pub gpu_failures: u64,
+    /// Requests re-scheduled after their worker died.
+    pub retries: u64,
+    /// Requests dropped after exhausting the retry budget.
+    pub retries_exhausted: u64,
+    /// Pipelined/monolithic instances rebuilt after a fault.
+    pub rebuilds: u64,
+    /// Slices restored to service.
+    pub recoveries: u64,
 }
 
 /// Everything a run produces.
@@ -46,6 +69,8 @@ pub struct RunOutput {
     pub duration: SimDuration,
     /// Slices per GPU (for occupancy percentages).
     pub slices_per_gpu: usize,
+    /// Fault-injection counters (all zero on a fault-free run).
+    pub faults: FaultStats,
 }
 
 impl RunOutput {
@@ -90,6 +115,7 @@ pub fn run_platform<P: Platform>(platform: &mut P, trace: &Trace) -> RunOutput {
         sim_secs: end.saturating_since(SimTime::ZERO).as_secs_f64(),
     });
     let slices_per_gpu = platform.slices_per_gpu();
+    let faults = platform.fault_stats();
     let hub = platform.take_hub();
     RunOutput {
         log: hub.log,
@@ -99,5 +125,6 @@ pub fn run_platform<P: Platform>(platform: &mut P, trace: &Trace) -> RunOutput {
         required_gpcs: hub.required_gpcs.curve(),
         duration: end.saturating_since(SimTime::ZERO),
         slices_per_gpu,
+        faults,
     }
 }

@@ -35,6 +35,11 @@ pub struct SharedSlot {
     pub lru: VecDeque<FuncId>,
     /// Last time the slot did useful work.
     pub last_used: SimTime,
+    /// Tombstone: the backing slice failed (fault injection). Dead slots
+    /// are never removed from the pool vector — `Vec::remove` would shift
+    /// the indices referenced by in-flight `SharedDone` / `SharedLoadDone`
+    /// events — and are skipped by `bind` / `empty_fitting` / shrink.
+    pub dead: bool,
     busy_since: Option<SimTime>,
     busy_accum: SimDuration,
 }
@@ -51,6 +56,7 @@ impl SharedSlot {
             queue: VecDeque::new(),
             lru: VecDeque::new(),
             last_used: now,
+            dead: false,
             busy_since: None,
             busy_accum: SimDuration::ZERO,
         }
@@ -169,7 +175,7 @@ impl SharedPool {
     pub fn empty_fitting(&self, mem_gb: f64) -> Option<usize> {
         self.slots
             .iter()
-            .position(|s| s.bound.is_empty() && s.slice.profile.fits_memory(mem_gb))
+            .position(|s| !s.dead && s.bound.is_empty() && s.slice.profile.fits_memory(mem_gb))
     }
 
     /// Binds function `f` (memory footprint `mem_gb`) to the fittest slot:
@@ -181,7 +187,7 @@ impl SharedPool {
             .slots
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.slice.profile.fits_memory(mem_gb))
+            .filter(|(_, s)| !s.dead && s.slice.profile.fits_memory(mem_gb))
             .min_by_key(|(i, s)| (s.bound.len(), *i))
             .map(|(i, _)| i)?;
         self.slots[idx].bound.push(f);

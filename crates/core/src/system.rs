@@ -211,17 +211,22 @@ impl SharedPoolPolicy for FluidSharedPool {
         for (f, mem) in grow_for {
             let _ = grow_pool(core, f, mem, now);
         }
-        // Shrink: empty unbound slots release their slices.
+        // Shrink: empty unbound slots release their slices. Dead
+        // (fault-tombstoned) slots are skipped — their slice is already
+        // released and their pool index must stay stable for in-flight
+        // shared events.
         let mut idx = 0;
         while idx < core.pool.len() {
             let slot = core.pool.slot(idx);
-            if slot.bound.is_empty() && slot.is_free() && slot.queue.is_empty() {
+            if !slot.dead && slot.bound.is_empty() && slot.is_free() && slot.queue.is_empty() {
                 let slice = core.pool.remove_slot(idx);
-                core.fleet
-                    .release(slice.id)
-                    .expect("allocated shared slice");
+                if core.fleet.release(slice.id).is_ok() {
+                    core.hub.slice_released(now, slice.id);
+                } else {
+                    // Unreachable: a live pool slot owns its allocation.
+                    debug_assert!(false, "shared slice was not allocated");
+                }
                 core.plan_cache.invalidate();
-                core.hub.slice_released(now, slice.id);
                 core.sched_log.pool_shrinks += 1;
                 ffs_obs::record(|| ffs_obs::ObsEvent::PoolShrink {
                     slice: sref(slice.id),
@@ -239,7 +244,12 @@ fn grow_pool(core: &mut EngineCore, f: FuncId, mem: f64, now: SimTime) -> Option
     // Smallest slice that fits, deterministic by id.
     candidates.sort_by_key(|s| (s.profile, s.id));
     let pick = *candidates.first()?;
-    core.fleet.allocate(pick.id).expect("slice was free");
+    if core.fleet.allocate(pick.id).is_err() {
+        // Unreachable in practice (the free list was just computed), but a
+        // stale pick must not take down the run: just skip growing.
+        debug_assert!(false, "free-listed slice was not allocatable");
+        return None;
+    }
     core.plan_cache.invalidate();
     core.hub.slice_allocated(now, pick.id, pick.profile.gpcs());
     core.sched_log.pool_grows += 1;
@@ -326,8 +336,12 @@ impl Autoscaler for FluidAutoscaler {
             );
             for &id in &ids {
                 let window = core.cfg.scale_tick;
+                let Some(inst) = core.instances.get_mut(&id) else {
+                    // The id list was snapshotted above; nothing in this
+                    // loop retires other instances, but stay total.
+                    continue;
+                };
                 let (util, empty, throughput, idle_for) = {
-                    let inst = core.instances.get_mut(&id).expect("live");
                     let idle_for = now.saturating_since(inst.last_used);
                     (
                         inst.take_utilization(now, window),
@@ -497,7 +511,9 @@ impl Migrator for FluidMigrator {
             .map(|i| i.id)
             .collect();
         for id in candidates {
-            let f = core.instances.get(&id).expect("live").func;
+            let Some(f) = core.instances.get(&id).map(|i| i.func) else {
+                continue;
+            };
             // A monolithic plan on currently free slices? (Always the
             // ranked planner: monolithic ranks first regardless.) Probed
             // through the incremental node signature; the slice list is
@@ -528,10 +544,11 @@ impl Migrator for FluidMigrator {
                     func: f as u32,
                     drained: id.0,
                 });
-                let inst = core.instances.get_mut(&id).expect("live");
-                inst.phase = crate::instance::Phase::Draining;
-                if inst.is_empty() {
-                    core.retire_instance(id, now);
+                if let Some(inst) = core.instances.get_mut(&id) {
+                    inst.phase = crate::instance::Phase::Draining;
+                    if inst.is_empty() {
+                        core.retire_instance(id, now);
+                    }
                 }
                 // One migration per tick keeps churn bounded.
                 break;
@@ -717,6 +734,10 @@ impl Platform for FluidFaaSSystem {
 
     fn slices_per_gpu(&self) -> usize {
         self.engine.slices_per_gpu()
+    }
+
+    fn fault_stats(&self) -> crate::platform::FaultStats {
+        self.engine.fault_stats()
     }
 }
 

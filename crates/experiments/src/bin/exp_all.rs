@@ -68,8 +68,18 @@ fn main() {
         "== Ablations ==\n{}",
         ffs_experiments::ablation::render(&ffs_experiments::ablation::run(secs, seed))
     );
+    let resilience = ffs_experiments::resilience::run(secs, seed);
+    println!(
+        "== Resilience ==\n{}",
+        ffs_experiments::resilience::render(&resilience)
+    );
+    println!(
+        "fault_free_metric_clamps={}",
+        resilience.fault_free_metric_clamps
+    );
 
-    let report = parallel::bench_report(started.elapsed().as_secs_f64());
+    let mut report = parallel::bench_report(started.elapsed().as_secs_f64());
+    report.resilience = Some(ffs_experiments::resilience::summarize(&resilience));
     eprintln!(
         "harness: {} runs in {:.1}s wall ({:.2} runs/s, {:.1}s simulated busy, {} threads)",
         report.runs, report.total_secs, report.runs_per_sec, report.busy_secs, report.threads

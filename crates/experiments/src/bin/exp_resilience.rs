@@ -1,0 +1,19 @@
+//! Resilience sweep: SLO attainment and goodput vs slice-failure MTBF,
+//! for all three systems, driven by the deterministic `ffs-chaos` layer.
+//!
+//! The trailing `fault_free_metric_clamps=<n>` line is a CI contract: the
+//! `chaos-smoke` job asserts it is 0 (fault-free runs never clamp a
+//! metric interval) and that two runs of this binary are byte-identical.
+use ffs_experiments::runner::{experiment_secs, experiment_seed};
+
+fn main() {
+    ffs_experiments::init_trace_cli();
+    let secs = experiment_secs();
+    let seed = experiment_seed();
+    println!(
+        "Resilience — SLO attainment and goodput vs fault rate ({secs}s traces, seed {seed})\n"
+    );
+    let res = ffs_experiments::resilience::run(secs, seed);
+    println!("{}", ffs_experiments::resilience::render(&res));
+    println!("fault_free_metric_clamps={}", res.fault_free_metric_clamps);
+}

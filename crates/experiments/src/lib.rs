@@ -19,6 +19,7 @@
 //! | [`table6`] | Table 6 — normalized GPU time and MIG time |
 //! | [`ablation`] | design-choice ablations (CV ranking, time sharing, migration) |
 //! | [`sensitivity`] | SLO-scale sweep and seed-sweep statistics |
+//! | [`resilience`] | SLO attainment and goodput vs fault rate (MTBF sweep) |
 
 pub mod ablation;
 pub mod fig10;
@@ -31,6 +32,7 @@ pub mod fig9;
 pub mod latency;
 pub mod parallel;
 pub mod report;
+pub mod resilience;
 pub mod runner;
 pub mod sensitivity;
 pub mod table2;

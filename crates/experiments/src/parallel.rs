@@ -121,6 +121,9 @@ pub struct BenchReport {
     pub plan_cache_hits: u64,
     /// FluidFaaS launch-plan cache misses accumulated across all runs.
     pub plan_cache_misses: u64,
+    /// Resilience-sweep summary, when the section ran one
+    /// (`exp_all` / `exp_resilience` set it; other binaries leave `None`).
+    pub resilience: Option<crate::resilience::ResilienceSummary>,
 }
 
 impl BenchReport {
@@ -158,13 +161,26 @@ pub fn bench_report(total_secs: f64) -> BenchReport {
         },
         plan_cache_hits,
         plan_cache_misses,
+        resilience: None,
     }
 }
 
 /// Writes the report as JSON.
 pub fn write_bench_json(path: &Path, report: &BenchReport) -> std::io::Result<()> {
+    let resilience = match &report.resilience {
+        Some(r) => format!(
+            ",\n  \"resilience\": {{\n    \"fault_free_metric_clamps\": {},\n    \"slice_failures\": {},\n    \"retries\": {},\n    \"recoveries\": {},\n    \"fluid_attainment_fault_free\": {:.4},\n    \"fluid_attainment_worst\": {:.4}\n  }}",
+            r.fault_free_metric_clamps,
+            r.slice_failures,
+            r.retries,
+            r.recoveries,
+            r.fluid_attainment_fault_free,
+            r.fluid_attainment_worst,
+        ),
+        None => String::new(),
+    };
     let json = format!(
-        "{{\n  \"total_secs\": {:.3},\n  \"runs\": {},\n  \"runs_per_sec\": {:.3},\n  \"busy_secs\": {:.3},\n  \"threads\": {},\n  \"events\": {},\n  \"events_per_sec\": {:.0},\n  \"plan_cache_hits\": {},\n  \"plan_cache_misses\": {},\n  \"plan_cache_hit_rate\": {:.4}\n}}\n",
+        "{{\n  \"total_secs\": {:.3},\n  \"runs\": {},\n  \"runs_per_sec\": {:.3},\n  \"busy_secs\": {:.3},\n  \"threads\": {},\n  \"events\": {},\n  \"events_per_sec\": {:.0},\n  \"plan_cache_hits\": {},\n  \"plan_cache_misses\": {},\n  \"plan_cache_hit_rate\": {:.4}{}\n}}\n",
         report.total_secs,
         report.runs,
         report.runs_per_sec,
@@ -175,6 +191,7 @@ pub fn write_bench_json(path: &Path, report: &BenchReport) -> std::io::Result<()
         report.plan_cache_hits,
         report.plan_cache_misses,
         report.plan_cache_hit_rate(),
+        resilience,
     );
     std::fs::write(path, json)
 }

@@ -1,0 +1,243 @@
+//! Resilience experiment: SLO attainment and goodput vs fault rate.
+//!
+//! Sweeps slice-failure MTBF (fault-free, then increasingly harsh
+//! regimes) across all three systems on the Medium workload. Faults are
+//! injected by `ffs-chaos` (`fluidfaas::FaultSpec`), so every arm is a
+//! pure function of `(run seed, FaultSpec)` — the sweep is bit-identical
+//! across runs and thread counts.
+//!
+//! The fault-free arms run first, in their own matrix, so the process-wide
+//! metric-clamp counter delta observed around them is attributable: a
+//! fault-free run must not clamp a single metric interval (the CI
+//! `chaos-smoke` job asserts the `fault_free_metric_clamps=0` line this
+//! module's binary prints).
+
+use ffs_metrics::TextTable;
+use ffs_trace::WorkloadClass;
+use fluidfaas::{FaultSpec, FfsConfig};
+
+use crate::parallel::run_matrix;
+use crate::runner::{run_system, shared_workload_trace, SystemKind};
+
+/// The swept mean-time-between-failures values (seconds), harshest last.
+pub const MTBF_SWEEP: [f64; 4] = [600.0, 300.0, 120.0, 60.0];
+
+/// One cell of the resilience table.
+#[derive(Clone, Debug)]
+pub struct ResilienceRow {
+    /// The system.
+    pub system: SystemKind,
+    /// Slice-failure MTBF in seconds; `None` is the fault-free arm.
+    pub mtbf_secs: Option<f64>,
+    /// Fraction of requests completed within their SLO.
+    pub slo_attainment: f64,
+    /// SLO-compliant completions per second (goodput).
+    pub goodput_rps: f64,
+    /// Fault-driven request retries issued.
+    pub retries: u64,
+    /// Slices failed over the run.
+    pub slice_failures: u64,
+    /// Slices recovered back into placement.
+    pub recoveries: u64,
+}
+
+/// The sweep's rows plus the clamp-counter delta over the fault-free arms.
+#[derive(Clone, Debug)]
+pub struct ResilienceResult {
+    /// All rows, fault-free arms first, then by ascending harshness.
+    pub rows: Vec<ResilienceRow>,
+    /// Metric-interval clamps counted while the fault-free arms ran
+    /// (must be zero; see module docs).
+    pub fault_free_metric_clamps: u64,
+}
+
+/// The compact summary `BENCH_harness.json` records.
+#[derive(Clone, Copy, Debug)]
+pub struct ResilienceSummary {
+    /// Clamp-counter delta over the fault-free arms (must be 0).
+    pub fault_free_metric_clamps: u64,
+    /// Total slice failures injected across all faulted arms.
+    pub slice_failures: u64,
+    /// Total fault-driven retries across all faulted arms.
+    pub retries: u64,
+    /// Total slice recoveries across all faulted arms.
+    pub recoveries: u64,
+    /// FluidFaaS SLO attainment on the fault-free arm.
+    pub fluid_attainment_fault_free: f64,
+    /// FluidFaaS SLO attainment at the harshest MTBF.
+    pub fluid_attainment_worst: f64,
+}
+
+fn row(
+    system: SystemKind,
+    mtbf_secs: Option<f64>,
+    out: &fluidfaas::platform::RunOutput,
+) -> ResilienceRow {
+    let hits = out.log.records().iter().filter(|r| r.slo_hit()).count();
+    let duration = out.duration.as_secs_f64().max(1e-9);
+    ResilienceRow {
+        system,
+        mtbf_secs,
+        slo_attainment: out.log.slo_hit_rate(),
+        goodput_rps: hits as f64 / duration,
+        retries: out.faults.retries,
+        slice_failures: out.faults.slice_failures,
+        recoveries: out.faults.recoveries,
+    }
+}
+
+/// Runs the sweep: fault-free arms first (clamp-counter delta captured
+/// around them), then every (MTBF, system) arm.
+pub fn run(duration_secs: f64, seed: u64) -> ResilienceResult {
+    let trace = shared_workload_trace(WorkloadClass::Medium, duration_secs, seed);
+
+    let clamps_before = ffs_obs::metric_clamps();
+    let baseline = run_matrix(&SystemKind::ALL, |&system| {
+        run_system(
+            system,
+            FfsConfig::paper_default(WorkloadClass::Medium),
+            &trace,
+        )
+    });
+    let fault_free_metric_clamps = ffs_obs::metric_clamps() - clamps_before;
+
+    let specs: Vec<(f64, SystemKind)> = MTBF_SWEEP
+        .into_iter()
+        .flat_map(|m| SystemKind::ALL.into_iter().map(move |s| (m, s)))
+        .collect();
+    let faulted = run_matrix(&specs, |&(mtbf, system)| {
+        let mut cfg = FfsConfig::paper_default(WorkloadClass::Medium);
+        // The fault seed is derived from the run seed, not equal to it, so
+        // trace randomness and fault randomness stay independent streams.
+        cfg.faults = FaultSpec::slice_faults(seed ^ 0xFA17_5EED, mtbf);
+        run_system(system, cfg, &trace)
+    });
+
+    let mut rows = Vec::new();
+    for (&system, out) in SystemKind::ALL.iter().zip(&baseline) {
+        rows.push(row(system, None, out));
+    }
+    for (&(mtbf, system), out) in specs.iter().zip(&faulted) {
+        rows.push(row(system, Some(mtbf), out));
+    }
+    ResilienceResult {
+        rows,
+        fault_free_metric_clamps,
+    }
+}
+
+/// Renders the sweep: one row per MTBF arm, attainment and goodput per
+/// system.
+pub fn render(res: &ResilienceResult) -> String {
+    let mut t = TextTable::new(&[
+        "mtbf_secs",
+        "INFless slo",
+        "ESG slo",
+        "FluidFaaS slo",
+        "INFless goodput",
+        "ESG goodput",
+        "FluidFaaS goodput",
+        "Fluid retries",
+        "Fluid failures",
+        "Fluid recoveries",
+    ]);
+    let arms: Vec<Option<f64>> = std::iter::once(None)
+        .chain(MTBF_SWEEP.into_iter().map(Some))
+        .collect();
+    for arm in arms {
+        let get = |sys: SystemKind| -> Option<&ResilienceRow> {
+            res.rows
+                .iter()
+                .find(|r| r.system == sys && r.mtbf_secs == arm)
+        };
+        let slo = |sys| {
+            get(sys)
+                .map(|r| format!("{:.3}", r.slo_attainment))
+                .unwrap_or_else(|| "-".into())
+        };
+        let goodput = |sys| {
+            get(sys)
+                .map(|r| format!("{:.2}", r.goodput_rps))
+                .unwrap_or_else(|| "-".into())
+        };
+        let fluid = get(SystemKind::FluidFaaS);
+        t.row(&[
+            arm.map(|m| format!("{m:.0}"))
+                .unwrap_or_else(|| "inf".into()),
+            slo(SystemKind::Infless),
+            slo(SystemKind::Esg),
+            slo(SystemKind::FluidFaaS),
+            goodput(SystemKind::Infless),
+            goodput(SystemKind::Esg),
+            goodput(SystemKind::FluidFaaS),
+            fluid
+                .map(|r| r.retries.to_string())
+                .unwrap_or_else(|| "-".into()),
+            fluid
+                .map(|r| r.slice_failures.to_string())
+                .unwrap_or_else(|| "-".into()),
+            fluid
+                .map(|r| r.recoveries.to_string())
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    t.render()
+}
+
+/// Collapses a result into the summary `BENCH_harness.json` records.
+pub fn summarize(res: &ResilienceResult) -> ResilienceSummary {
+    let fluid_at = |arm: Option<f64>| {
+        res.rows
+            .iter()
+            .find(|r| r.system == SystemKind::FluidFaaS && r.mtbf_secs == arm)
+            .map(|r| r.slo_attainment)
+            .unwrap_or(0.0)
+    };
+    let faulted = res.rows.iter().filter(|r| r.mtbf_secs.is_some());
+    ResilienceSummary {
+        fault_free_metric_clamps: res.fault_free_metric_clamps,
+        slice_failures: faulted.clone().map(|r| r.slice_failures).sum(),
+        retries: faulted.clone().map(|r| r.retries).sum(),
+        recoveries: faulted.map(|r| r.recoveries).sum(),
+        fluid_attainment_fault_free: fluid_at(None),
+        fluid_attainment_worst: fluid_at(Some(MTBF_SWEEP[MTBF_SWEEP.len() - 1])),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shapes_hold() {
+        let res = run(60.0, 3);
+        assert_eq!(res.rows.len(), 3 + MTBF_SWEEP.len() * 3);
+        assert_eq!(res.fault_free_metric_clamps, 0, "fault-free arms clamped");
+        // Fault-free arms report zero fault activity.
+        for r in res.rows.iter().filter(|r| r.mtbf_secs.is_none()) {
+            assert_eq!((r.retries, r.slice_failures, r.recoveries), (0, 0, 0));
+        }
+        // The harshest regime actually injects faults into FluidFaaS.
+        let worst = res
+            .rows
+            .iter()
+            .find(|r| r.system == SystemKind::FluidFaaS && r.mtbf_secs == Some(60.0))
+            .expect("harshest fluid arm");
+        assert!(worst.slice_failures > 0);
+        let summary = summarize(&res);
+        assert!(summary.slice_failures > 0);
+        assert!(summary.fluid_attainment_fault_free >= summary.fluid_attainment_worst - 0.05);
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let a = run(30.0, 5);
+        let b = run(30.0, 5);
+        for (x, y) in a.rows.iter().zip(&b.rows) {
+            assert_eq!(x.slo_attainment.to_bits(), y.slo_attainment.to_bits());
+            assert_eq!(x.goodput_rps.to_bits(), y.goodput_rps.to_bits());
+            assert_eq!(x.retries, y.retries);
+            assert_eq!(x.slice_failures, y.slice_failures);
+        }
+    }
+}

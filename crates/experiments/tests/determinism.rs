@@ -209,3 +209,52 @@ fn engine_output_matches_pre_refactor_golden() {
 fn ablation_arms_match_pre_refactor_golden() {
     assert_eq!(render_ablation_golden(), ABLATION_GOLDEN);
 }
+
+// ---------------------------------------------------------------------
+// Fault-injection determinism: with `ffs-chaos` armed, output is a pure
+// function of (run seed, FaultSpec) — not of wall clock, thread count, or
+// ambient state.
+// ---------------------------------------------------------------------
+
+/// Renders one faulted run of every system to an exact byte string,
+/// including the fault counters (which a fault-free run would zero out).
+fn render_faulted(fault_seed: u64, mtbf_secs: f64) -> String {
+    use ffs_experiments::runner::{run_system, shared_workload_trace};
+    let trace = shared_workload_trace(WorkloadClass::Medium, SECS, SEED);
+    let mut s = String::new();
+    for system in SystemKind::ALL {
+        let mut cfg = fluidfaas::FfsConfig::paper_default(WorkloadClass::Medium);
+        cfg.faults = fluidfaas::FaultSpec::slice_faults(fault_seed, mtbf_secs);
+        let out = run_system(system, cfg, &trace);
+        s.push_str(&format!(
+            "{} hit={:016x} thr={:016x} gpu={:016x} fail={} retry={} rec={}\n",
+            system.name(),
+            out.log.slo_hit_rate().to_bits(),
+            out.throughput_rps().to_bits(),
+            out.cost.total_gpu_time_secs().to_bits(),
+            out.faults.slice_failures,
+            out.faults.retries,
+            out.faults.recoveries,
+        ));
+    }
+    s
+}
+
+/// With faults armed, repeated runs with the same (run seed, FaultSpec)
+/// must be bit-identical, and a different fault seed must actually change
+/// the outcome (the spec is live, not ignored).
+#[test]
+fn faulted_output_is_a_pure_function_of_seed_and_spec() {
+    let a = render_faulted(9, 45.0);
+    let b = render_faulted(9, 45.0);
+    assert_eq!(
+        a, b,
+        "same (seed, FaultSpec) must reproduce bit-identically"
+    );
+    assert!(
+        a.contains("fail="),
+        "render must include fault counters: {a}"
+    );
+    let c = render_faulted(10, 45.0);
+    assert_ne!(a, c, "a different fault seed must change the outcome");
+}

@@ -43,6 +43,8 @@ pub struct CostTracker {
     /// [`slot`].
     active_since: Vec<Option<SimTime>>,
     active_total: Vec<SimDuration>,
+    /// Negative intervals clamped to zero (see [`CostTracker::clamps`]).
+    clamps: u64,
 }
 
 /// Finalised cost report.
@@ -115,7 +117,29 @@ impl CostTracker {
             occupied_gpc_secs: vec![0.0; num_gpus],
             active_since: vec![None; num_gpus * SLICE_STRIDE],
             active_total: vec![SimDuration::ZERO; num_gpus],
+            clamps: 0,
         }
+    }
+
+    /// Negative intervals this tracker clamped to zero (an interval's end
+    /// preceded its start). Always zero in a fault-free run — a nonzero
+    /// count there indicates an event-ordering bug, so the engine
+    /// `debug_assert!`s on it; fault injection legitimately clamps when
+    /// failures cut intervals short.
+    pub fn clamps(&self) -> u64 {
+        self.clamps
+    }
+
+    /// Measures `end - start` saturating at zero, counting the clamp (both
+    /// locally and via the process-wide `ffs_obs::metric_clamps` counter)
+    /// when the interval is negative instead of silently masking it.
+    #[inline]
+    fn interval(&mut self, end: SimTime, start: SimTime) -> SimDuration {
+        if end < start {
+            self.clamps += 1;
+            ffs_obs::note_metric_clamp();
+        }
+        end.saturating_since(start)
     }
 
     /// Records that a slice with `gpcs` compute units was allocated to an
@@ -144,7 +168,7 @@ impl CostTracker {
             .get_mut(slot(key))
             .and_then(Option::take)
         {
-            let d = t.saturating_since(since);
+            let d = self.interval(t, since);
             self.occupied_total[gpu] += d;
             self.occupied_gpc_secs[gpu] += d.as_secs_f64() * gpcs as f64;
         } else {
@@ -156,7 +180,8 @@ impl CostTracker {
         self.alloc_count[gpu] -= 1;
         if self.alloc_count[gpu] == 0 {
             if let Some(since) = self.gpu_busy_since[gpu].take() {
-                self.gpu_time[gpu] += t.saturating_since(since);
+                let d = self.interval(t, since);
+                self.gpu_time[gpu] += d;
             }
         }
     }
@@ -176,7 +201,8 @@ impl CostTracker {
     /// already idle.
     pub fn slice_idle(&mut self, t: SimTime, key: SliceKey) {
         if let Some(since) = self.active_since.get_mut(slot(key)).and_then(Option::take) {
-            self.active_total[key.0 as usize] += t.saturating_since(since);
+            let d = self.interval(t, since);
+            self.active_total[key.0 as usize] += d;
         }
     }
 
@@ -184,22 +210,26 @@ impl CostTracker {
     pub fn finalize(mut self, end: SimTime) -> CostReport {
         for i in 0..self.active_since.len() {
             if let Some(since) = self.active_since[i].take() {
-                self.active_total[i / SLICE_STRIDE] += end.saturating_since(since);
+                let d = self.interval(end, since);
+                self.active_total[i / SLICE_STRIDE] += d;
             }
         }
         for i in 0..self.occupied_since.len() {
             if let Some((since, gpcs)) = self.occupied_since[i].take() {
                 let gpu = i / SLICE_STRIDE;
-                let d = end.saturating_since(since);
+                let d = self.interval(end, since);
                 self.occupied_total[gpu] += d;
                 self.occupied_gpc_secs[gpu] += d.as_secs_f64() * gpcs as f64;
             }
         }
         for gpu in 0..self.num_gpus {
             if let Some(since) = self.gpu_busy_since[gpu].take() {
-                self.gpu_time[gpu] += end.saturating_since(since);
+                let d = self.interval(end, since);
+                self.gpu_time[gpu] += d;
             }
         }
+        let start = self.start;
+        let window = self.interval(end, start);
         CostReport {
             gpu_time_secs: self.gpu_time.iter().map(|d| d.as_secs_f64()).collect(),
             occupied_secs: self
@@ -209,7 +239,7 @@ impl CostTracker {
                 .collect(),
             occupied_gpc_secs: self.occupied_gpc_secs.clone(),
             active_secs: self.active_total.iter().map(|d| d.as_secs_f64()).collect(),
-            window_secs: end.saturating_since(self.start).as_secs_f64(),
+            window_secs: window.as_secs_f64(),
         }
     }
 }
@@ -291,6 +321,31 @@ mod tests {
         c.slice_released(t(10), (0, 0));
         let r = c.finalize(t(10));
         assert!((r.active_secs[0] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_intervals_are_counted_not_masked() {
+        let mut c = CostTracker::new(1, t(0));
+        c.slice_allocated(t(10), (0, 0), 1);
+        c.slice_active(t(12), (0, 0));
+        assert_eq!(c.clamps(), 0);
+        // An out-of-order release: end precedes both open starts.
+        c.slice_released(t(5), (0, 0));
+        assert_eq!(c.clamps(), 3, "occupied + active + gpu-busy clamps counted");
+        let before = c.clamps();
+        let r = c.finalize(t(20));
+        assert!((r.occupied_secs[0] - 0.0).abs() < 1e-9);
+        assert!(before >= 2);
+    }
+
+    #[test]
+    fn well_ordered_runs_report_zero_clamps() {
+        let mut c = CostTracker::new(1, t(0));
+        c.slice_allocated(t(0), (0, 0), 1);
+        c.slice_active(t(1), (0, 0));
+        c.slice_idle(t(2), (0, 0));
+        c.slice_released(t(3), (0, 0));
+        assert_eq!(c.clamps(), 0);
     }
 
     #[test]

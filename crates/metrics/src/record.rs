@@ -71,8 +71,17 @@ impl RequestLog {
         Self::default()
     }
 
-    /// Appends a record.
+    /// Appends a record. A completion that precedes its own arrival is an
+    /// event-ordering bug: `latency_ms` would silently clamp it to zero, so
+    /// it is counted against the process-wide metric-clamp counter here
+    /// (once per record, not once per latency query).
     pub fn push(&mut self, r: RequestRecord) {
+        if let Some(c) = r.completed {
+            if c < r.arrival {
+                debug_assert!(false, "request {} completed before it arrived", r.id);
+                ffs_obs::note_metric_clamp();
+            }
+        }
         self.records.push(r);
     }
 

@@ -40,6 +40,10 @@ pub enum MigError {
     SliceBusy(SliceId),
     /// The slice is not currently allocated.
     SliceNotAllocated(SliceId),
+    /// The slice is failed (fault-injected) and cannot be allocated.
+    SliceFailed(SliceId),
+    /// Recovery was attempted on a slice that is not failed.
+    SliceNotFailed(SliceId),
     /// Reconfiguration was attempted while slices are allocated.
     GpuBusy {
         /// Number of still-allocated slices.
@@ -79,6 +83,8 @@ impl fmt::Display for MigError {
             MigError::NoSuchSlice(id) => write!(f, "no such MIG slice: {id:?}"),
             MigError::SliceBusy(id) => write!(f, "MIG slice {id:?} is already allocated"),
             MigError::SliceNotAllocated(id) => write!(f, "MIG slice {id:?} is not allocated"),
+            MigError::SliceFailed(id) => write!(f, "MIG slice {id:?} is failed"),
+            MigError::SliceNotFailed(id) => write!(f, "MIG slice {id:?} is not failed"),
             MigError::GpuBusy { allocated } => {
                 write!(f, "cannot reconfigure: {allocated} slices still allocated")
             }

@@ -97,10 +97,7 @@ pub struct Fleet {
 /// Position of `p` in `SliceProfile::ALL` (the canonical count order).
 #[inline]
 fn profile_index(p: SliceProfile) -> usize {
-    SliceProfile::ALL
-        .iter()
-        .position(|&q| q == p)
-        .expect("profile is in ALL")
+    p.index()
 }
 
 /// A free slice visible to a scheduler, with its location and profile.
@@ -274,6 +271,26 @@ impl Fleet {
         ffs_obs::record(|| ffs_obs::ObsEvent::SliceReleased {
             slice: ffs_obs::SliceRef::new(id.gpu.0, id.index),
         });
+        Ok(())
+    }
+
+    /// Marks a free slice as failed (fault injection): it leaves the free
+    /// set — and the incremental `node_signature` — until recovered. The
+    /// caller must release any allocation on the slice first.
+    pub fn fail_slice(&mut self, id: SliceId) -> Result<(), MigError> {
+        let node = self.node_of_gpu(id.gpu)?;
+        let profile = self.profile_of(id)?;
+        self.gpu_mut(id.gpu)?.fail(id)?;
+        self.free_counts[node][profile_index(profile)] -= 1;
+        Ok(())
+    }
+
+    /// Returns a failed slice to the free set (and the signature).
+    pub fn recover_slice(&mut self, id: SliceId) -> Result<(), MigError> {
+        let node = self.node_of_gpu(id.gpu)?;
+        let profile = self.profile_of(id)?;
+        self.gpu_mut(id.gpu)?.recover(id)?;
+        self.free_counts[node][profile_index(profile)] += 1;
         Ok(())
     }
 
@@ -462,6 +479,30 @@ mod tests {
             f.node_signature(NodeId(0)),
             recomputed_signature(&f, NodeId(0))
         );
+    }
+
+    #[test]
+    fn fail_and_recover_track_the_signature() {
+        let mut f = Fleet::paper_default();
+        let free = f.free_slices(Some(NodeId(0)));
+        let before = f.node_signature(NodeId(0));
+        f.fail_slice(free[0].id).unwrap();
+        assert_eq!(
+            f.node_signature(NodeId(0)),
+            recomputed_signature(&f, NodeId(0))
+        );
+        assert_ne!(f.node_signature(NodeId(0)), before);
+        assert!(
+            f.allocate(free[0].id).is_err(),
+            "failed slice unallocatable"
+        );
+        f.recover_slice(free[0].id).unwrap();
+        assert_eq!(f.node_signature(NodeId(0)), before);
+        // Failing an allocated slice is rejected and changes nothing.
+        f.allocate(free[1].id).unwrap();
+        let mid = f.node_signature(NodeId(0));
+        assert!(f.fail_slice(free[1].id).is_err());
+        assert_eq!(f.node_signature(NodeId(0)), mid);
     }
 
     #[test]

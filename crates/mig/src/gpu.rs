@@ -37,12 +37,19 @@ pub struct MigSlice {
     /// Start compute slot of the placement.
     pub start_slot: u8,
     allocated: bool,
+    failed: bool,
 }
 
 impl MigSlice {
     /// True if the slice is currently allocated to an instance.
     pub fn is_allocated(&self) -> bool {
         self.allocated
+    }
+
+    /// True if the slice is failed (fault-injected) and unavailable for
+    /// allocation until recovered.
+    pub fn is_failed(&self) -> bool {
+        self.failed
     }
 }
 
@@ -78,6 +85,7 @@ impl Gpu {
                 profile: p.profile,
                 start_slot: p.start,
                 allocated: false,
+                failed: false,
             })
             .collect()
     }
@@ -102,9 +110,9 @@ impl Gpu {
             .ok_or(MigError::NoSuchSlice(id))
     }
 
-    /// Slices not currently allocated.
+    /// Slices not currently allocated (and not failed).
     pub fn free_slices(&self) -> impl Iterator<Item = &MigSlice> {
-        self.slices.iter().filter(|s| !s.allocated)
+        self.slices.iter().filter(|s| !s.allocated && !s.failed)
     }
 
     /// Number of allocated slices.
@@ -136,10 +144,47 @@ impl Gpu {
             .slices
             .get_mut(id.index as usize)
             .ok_or(MigError::NoSuchSlice(id))?;
+        if slice.failed {
+            return Err(MigError::SliceFailed(id));
+        }
         if slice.allocated {
             return Err(MigError::SliceBusy(id));
         }
         slice.allocated = true;
+        Ok(())
+    }
+
+    /// Marks a free slice as failed (fault injection). The caller releases
+    /// any allocation first; failing an allocated slice is rejected so
+    /// accounting can never leak a held slice.
+    pub fn fail(&mut self, id: SliceId) -> Result<(), MigError> {
+        if id.gpu != self.id {
+            return Err(MigError::NoSuchSlice(id));
+        }
+        let slice = self
+            .slices
+            .get_mut(id.index as usize)
+            .ok_or(MigError::NoSuchSlice(id))?;
+        if slice.allocated {
+            return Err(MigError::SliceBusy(id));
+        }
+        slice.failed = true;
+        Ok(())
+    }
+
+    /// Returns a failed slice to service.
+    pub fn recover(&mut self, id: SliceId) -> Result<(), MigError> {
+        if id.gpu != self.id {
+            return Err(MigError::NoSuchSlice(id));
+        }
+        let slice = self
+            .slices
+            .get_mut(id.index as usize)
+            .ok_or(MigError::NoSuchSlice(id))?;
+        if !slice.failed {
+            return Err(MigError::SliceNotFailed(id));
+        }
+        slice.failed = false;
         Ok(())
     }
 
@@ -210,6 +255,21 @@ mod tests {
         g.release(id).unwrap();
         assert_eq!(g.release(id), Err(MigError::SliceNotAllocated(id)));
         assert!(!g.any_allocated());
+    }
+
+    #[test]
+    fn failed_slice_leaves_and_reenters_the_free_set() {
+        let mut g = gpu();
+        let id = SliceId::new(GpuId(0), 2);
+        g.fail(id).unwrap();
+        assert_eq!(g.free_slices().count(), 2);
+        assert_eq!(g.allocate(id), Err(MigError::SliceFailed(id)));
+        assert!(g.fail(SliceId::new(GpuId(9), 0)).is_err());
+        g.recover(id).unwrap();
+        assert_eq!(g.recover(id), Err(MigError::SliceNotFailed(id)));
+        assert_eq!(g.free_slices().count(), 3);
+        g.allocate(id).unwrap();
+        assert_eq!(g.fail(id), Err(MigError::SliceBusy(id)), "release first");
     }
 
     #[test]

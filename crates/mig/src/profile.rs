@@ -33,6 +33,21 @@ impl SliceProfile {
         SliceProfile::G7_80,
     ];
 
+    /// This profile's position in [`SliceProfile::ALL`] (smallest-first).
+    ///
+    /// Infallible by construction: the match is exhaustive over the enum,
+    /// so callers indexing per-profile arrays never need a fallible
+    /// `ALL.iter().position(..)` search.
+    pub const fn index(self) -> usize {
+        match self {
+            SliceProfile::G1_10 => 0,
+            SliceProfile::G2_20 => 1,
+            SliceProfile::G3_40 => 2,
+            SliceProfile::G4_40 => 3,
+            SliceProfile::G7_80 => 4,
+        }
+    }
+
     /// Number of graphics processing clusters (compute slices).
     pub const fn gpcs(self) -> u32 {
         match self {
@@ -181,6 +196,13 @@ mod tests {
         let mut all = SliceProfile::ALL;
         all.sort();
         assert_eq!(all, SliceProfile::ALL);
+    }
+
+    #[test]
+    fn index_matches_position_in_all() {
+        for (i, p) in SliceProfile::ALL.into_iter().enumerate() {
+            assert_eq!(p.index(), i, "{p}");
+        }
     }
 
     #[test]

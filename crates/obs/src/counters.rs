@@ -48,6 +48,16 @@ pub struct Counters {
     pub queue_depth_last: u64,
     /// Maximum sampled scheduler queue depth.
     pub queue_depth_max: u64,
+    /// MIG slice failures injected.
+    pub slice_failures: u64,
+    /// Whole-GPU failures injected.
+    pub gpu_failures: u64,
+    /// Requests re-queued for retry after their instance died.
+    pub request_retries: u64,
+    /// Pipelines rebuilt on surviving slices after a failure.
+    pub pipeline_rebuilds: u64,
+    /// Failed slices recovered back into placement.
+    pub slice_recoveries: u64,
 }
 
 impl Counters {
@@ -86,6 +96,11 @@ impl Counters {
                 self.queue_depth_last = *pending;
                 self.queue_depth_max = self.queue_depth_max.max(*pending);
             }
+            ObsEvent::SliceFailed { .. } => self.slice_failures += 1,
+            ObsEvent::GpuFailed { .. } => self.gpu_failures += 1,
+            ObsEvent::RequestRetried { .. } => self.request_retries += 1,
+            ObsEvent::PipelineRebuilt { .. } => self.pipeline_rebuilds += 1,
+            ObsEvent::SliceRecovered { .. } => self.slice_recoveries += 1,
             ObsEvent::RunStart { .. }
             | ObsEvent::RunEnd { .. }
             | ObsEvent::SliceAllocated { .. }
@@ -109,7 +124,10 @@ impl Counters {
                 "\"keepalive_transitions\":{},\"instances_launched\":{},",
                 "\"instances_retired\":{},\"migrations\":{},",
                 "\"mig_reconfigs\":{},\"pool_grows\":{},\"pool_shrinks\":{},",
-                "\"queue_depth_last\":{},\"queue_depth_max\":{}}}"
+                "\"queue_depth_last\":{},\"queue_depth_max\":{},",
+                "\"slice_failures\":{},\"gpu_failures\":{},",
+                "\"request_retries\":{},\"pipeline_rebuilds\":{},",
+                "\"slice_recoveries\":{}}}"
             ),
             self.requests_arrived,
             self.requests_dispatched,
@@ -130,6 +148,11 @@ impl Counters {
             self.pool_shrinks,
             self.queue_depth_last,
             self.queue_depth_max,
+            self.slice_failures,
+            self.gpu_failures,
+            self.request_retries,
+            self.pipeline_rebuilds,
+            self.slice_recoveries,
         )
     }
 }

@@ -337,6 +337,43 @@ pub enum ObsEvent {
         /// Seconds the reconfiguration took.
         secs: u64,
     },
+    /// A MIG slice failed (fault injection): instances on it are killed and
+    /// the slice leaves placement until recovered.
+    SliceFailed {
+        /// The failed slice.
+        slice: SliceRef,
+    },
+    /// A whole GPU failed (XID-style): every slice on it fails at once.
+    GpuFailed {
+        /// The failed GPU.
+        gpu: u16,
+    },
+    /// An in-flight request was re-queued for retry after its serving
+    /// instance died, with capped exponential backoff.
+    RequestRetried {
+        /// Trace-wide request id.
+        req: u64,
+        /// Retry attempt number (1 = first retry).
+        attempt: u32,
+        /// Backoff delay before re-dispatch.
+        delay_ms: u64,
+    },
+    /// A pipelined function was rebuilt from the best-ranked partition
+    /// that fits the surviving slices after a failure.
+    PipelineRebuilt {
+        /// Function index.
+        func: u32,
+        /// The replacement instance.
+        inst: u64,
+        /// Stage count of the rebuilt plan.
+        stages: u32,
+    },
+    /// A failed slice finished its repair + reconfiguration and re-entered
+    /// placement.
+    SliceRecovered {
+        /// The recovered slice.
+        slice: SliceRef,
+    },
     /// Sampled scheduler queue depth (emitted by the engine hook).
     QueueDepth {
         /// Pending events in the simulation queue.
@@ -413,6 +450,11 @@ impl ObsEvent {
             ObsEvent::PoolGrow { .. } => "pool_grow",
             ObsEvent::PoolShrink { .. } => "pool_shrink",
             ObsEvent::MigReconfig { .. } => "mig_reconfig",
+            ObsEvent::SliceFailed { .. } => "slice_failed",
+            ObsEvent::GpuFailed { .. } => "gpu_failed",
+            ObsEvent::RequestRetried { .. } => "request_retried",
+            ObsEvent::PipelineRebuilt { .. } => "pipeline_rebuilt",
+            ObsEvent::SliceRecovered { .. } => "slice_recovered",
             ObsEvent::QueueDepth { .. } => "queue_depth",
             ObsEvent::ExecutorSubmit { .. } => "executor_submit",
             ObsEvent::ExecutorComplete { .. } => "executor_complete",
@@ -566,6 +608,29 @@ impl ObsEvent {
             }
             ObsEvent::MigReconfig { gpu, secs } => {
                 s.push_str(&format!("\"gpu\":{gpu},\"secs\":{secs}"));
+            }
+            ObsEvent::SliceFailed { slice } => {
+                s.push_str(&format!("\"gpu\":{},\"slice\":{}", slice.gpu, slice.index));
+            }
+            ObsEvent::GpuFailed { gpu } => {
+                s.push_str(&format!("\"gpu\":{gpu}"));
+            }
+            ObsEvent::RequestRetried {
+                req,
+                attempt,
+                delay_ms,
+            } => {
+                s.push_str(&format!(
+                    "\"req\":{req},\"attempt\":{attempt},\"delay_ms\":{delay_ms}"
+                ));
+            }
+            ObsEvent::PipelineRebuilt { func, inst, stages } => {
+                s.push_str(&format!(
+                    "\"func\":{func},\"inst\":{inst},\"stages\":{stages}"
+                ));
+            }
+            ObsEvent::SliceRecovered { slice } => {
+                s.push_str(&format!("\"gpu\":{},\"slice\":{}", slice.gpu, slice.index));
             }
             ObsEvent::QueueDepth { pending } => {
                 s.push_str(&format!("\"pending\":{pending}"));

@@ -163,6 +163,24 @@ pub fn arrival_saturations() -> u64 {
     ARRIVAL_SATURATIONS.load(Ordering::Relaxed)
 }
 
+/// Process-wide count of negative-interval clamps in the metrics layer
+/// (`saturating_since` on an interval whose end precedes its start). A
+/// nonzero count in a fault-free run indicates an event-ordering bug;
+/// fault-injected runs legitimately clamp when failures cut intervals
+/// short. Unconditional, like [`schedule_clamps`].
+static METRIC_CLAMPS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Counts one negative-interval clamp (called by `ffs-metrics`).
+#[inline]
+pub fn note_metric_clamp() {
+    METRIC_CLAMPS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total metric-interval clamps observed in this process.
+pub fn metric_clamps() -> u64 {
+    METRIC_CLAMPS.load(Ordering::Relaxed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -108,6 +108,97 @@ fn chain_spec(ev: u32) -> Option<(u64, u32)> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Fault-injection program: cancellation via tombstones + requeue.
+//
+// The platform's chaos layer cannot delete events already inside the
+// timer wheel; it tombstones the dead target and requeues the work as a
+// fresh event (see `fluidfaas::platform::engine`). These tests pin the
+// scheduler-level contract that pattern relies on: a tombstone set
+// consulted at delivery time, applied identically over the wheel and the
+// reference heap, yields identical logs, clocks and pending counts.
+// ---------------------------------------------------------------------
+
+/// Canceller ids: `CANCEL_BASE + v` tombstones victim `v` and requeues it.
+const CANCEL_BASE: u32 = 10_000;
+/// Requeued-copy ids.
+const REQUEUE_BASE: u32 = 20_000;
+/// Log marker for a victim delivered after its tombstone (skipped work).
+const SKIP_BASE: u32 = 30_000;
+/// Backoff before a requeued copy runs (µs); off the strata in
+/// `arb_time` so requeues interleave with unrelated events.
+const REQUEUE_DELAY: u64 = 257;
+
+/// One delivery under the tombstone protocol, shared verbatim by both
+/// schedulers. Returns a follow-up `(delay, id)` to schedule, if any.
+fn chaos_step(
+    now: u64,
+    ev: u32,
+    tomb: &mut std::collections::HashSet<u32>,
+    log: &mut Vec<(u64, u32)>,
+) -> Option<(u64, u32)> {
+    if (CANCEL_BASE..REQUEUE_BASE).contains(&ev) {
+        let victim = ev - CANCEL_BASE;
+        log.push((now, ev));
+        // First cancellation wins; a duplicate canceller is a no-op (the
+        // engine never requeues the same dead instance's work twice).
+        if tomb.insert(victim) {
+            return Some((REQUEUE_DELAY, REQUEUE_BASE + victim));
+        }
+        None
+    } else if ev >= REQUEUE_BASE {
+        log.push((now, ev));
+        None
+    } else if tomb.contains(&ev) {
+        // A tombstoned victim still *arrives* (the wheel has no delete);
+        // the handler records it as skipped and does no work.
+        log.push((now, SKIP_BASE + ev));
+        None
+    } else {
+        log.push((now, ev));
+        None
+    }
+}
+
+struct ChaosWorld {
+    log: Vec<(u64, u32)>,
+    tomb: std::collections::HashSet<u32>,
+}
+
+impl World for ChaosWorld {
+    type Event = u32;
+    fn handle(&mut self, now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+        if let Some((delta, next)) = chaos_step(now.as_micros(), ev, &mut self.tomb, &mut self.log)
+        {
+            sched.after(SimDuration::from_micros(delta), next);
+        }
+    }
+}
+
+/// Reference `run_until` under the tombstone protocol.
+fn ref_run_chaos(
+    r: &mut RefScheduler,
+    until: u64,
+    tomb: &mut std::collections::HashSet<u32>,
+    log: &mut Vec<(u64, u32)>,
+) -> StopReason {
+    loop {
+        match r.heap.peek() {
+            None => return StopReason::QueueEmpty,
+            Some(top) if top.at >= until => {
+                r.now = until;
+                return StopReason::DeadlineReached;
+            }
+            Some(_) => {}
+        }
+        let sch = r.heap.pop().expect("peeked non-empty");
+        r.now = sch.at;
+        if let Some((delta, next)) = chaos_step(sch.at, sch.ev, tomb, log) {
+            r.at(sch.at + delta, next);
+        }
+    }
+}
+
 struct WheelWorld {
     log: Vec<(u64, u32)>,
 }
@@ -241,5 +332,50 @@ proptest! {
         run_until(&mut a_world, &mut a, SimTime::MAX);
         run_until(&mut b_world, &mut b, SimTime::MAX);
         prop_assert_eq!(&a_world.log, &b_world.log);
+    }
+
+    /// Tombstone cancellation + requeue under fault injection: victims,
+    /// cancellers (which tombstone a victim and requeue a copy), and
+    /// post-tombstone deliveries (skipped) execute identically on the
+    /// wheel and the reference heap, across a mid-run deadline.
+    #[test]
+    fn tombstone_cancellation_matches_reference(
+        victims in proptest::collection::vec(arb_time(), 1..24),
+        cancels in proptest::collection::vec((arb_time(), 0usize..24), 0..12),
+        mid in arb_time(),
+    ) {
+        let mut world = ChaosWorld { log: vec![], tomb: Default::default() };
+        let mut wheel = Scheduler::new();
+        let mut reference = RefScheduler::default();
+        let mut ref_tomb = std::collections::HashSet::new();
+        let mut ref_log = Vec::new();
+        for (i, &t) in victims.iter().enumerate() {
+            wheel.at(SimTime::from_micros(t), i as u32);
+            reference.at(t, i as u32);
+        }
+        for &(t, k) in &cancels {
+            // Cancellers may land before, at, or after their victim's
+            // delivery time — all three orders must agree.
+            let id = CANCEL_BASE + (k % victims.len()) as u32;
+            wheel.at(SimTime::from_micros(t), id);
+            reference.at(t, id);
+        }
+        // Stop mid-run: pending counts must agree while tombstoned
+        // victims and requeued copies are still in flight.
+        let ws = run_until(&mut world, &mut wheel, SimTime::from_micros(mid));
+        let rs = ref_run_chaos(&mut reference, mid, &mut ref_tomb, &mut ref_log);
+        prop_assert_eq!(ws, rs);
+        prop_assert_eq!(&world.log, &ref_log);
+        prop_assert_eq!(wheel.now().as_micros(), reference.now);
+        prop_assert_eq!(wheel.pending(), reference.heap.len());
+        let ws = run_until(&mut world, &mut wheel, SimTime::MAX);
+        let rs = ref_run_chaos(&mut reference, u64::MAX, &mut ref_tomb, &mut ref_log);
+        prop_assert_eq!(ws, rs);
+        prop_assert_eq!(&world.log, &ref_log);
+        prop_assert_eq!(&world.tomb, &ref_tomb);
+        prop_assert_eq!(wheel.pending(), 0);
+        // Every cancelled victim produced exactly one requeued copy.
+        let requeues = world.log.iter().filter(|(_, e)| *e >= REQUEUE_BASE && *e < SKIP_BASE).count();
+        prop_assert_eq!(requeues, world.tomb.len());
     }
 }
