@@ -74,11 +74,12 @@ impl Router for BaselineRouter {
                 BaselineKind::Esg => lowest_latency_instance(core, f, slo),
                 // FIFO: first instance (by id) with capacity. The
                 // per-function index is ascending by id, matching the
-                // full-map scan it replaces.
+                // full-map scan it replaces; the admission bound against
+                // `slo` is precomputed in the slab's hot columns.
                 BaselineKind::Infless => core.instances_of[f]
                     .iter()
                     .copied()
-                    .find(|id| core.instances[id].has_capacity(slo)),
+                    .find(|&id| core.instances.has_admission_capacity(id)),
             };
             let Some(id) = chosen else { break };
             route_to_instance(core, id, req, now, sched);

@@ -1,18 +1,25 @@
 //! Microbenchmarks of the simulation hot path: the timer-wheel scheduler
-//! against the binary heap it replaced, the incremental plan-cache
-//! signature against recomputing it from the free-slice list, and an
-//! end-to-end run that exercises every hot-path change at once.
+//! against the binary heap it replaced, batch slot drain against the
+//! per-event loop it replaced, SoA column scans against record scans, the
+//! incremental plan-cache signature against recomputing it from the
+//! free-slice list, and an end-to-end run that exercises every hot-path
+//! change at once.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::BinaryHeap;
 use std::hint::black_box;
 
-use ffs_mig::{Fleet, NodeId};
+use ffs_mig::{Fleet, GpuId, NodeId, SliceId, SliceProfile};
+use ffs_pipeline::plan::StagePlan;
+use ffs_pipeline::{DeploymentPlan, InstanceEstimate};
 use ffs_profile::{App, FunctionProfile, PerfModel, Variant};
-use ffs_sim::{run_until, Scheduler, SimTime, World};
+use ffs_sim::{run_until, run_until_stepwise, Scheduler, SimTime, World};
 use ffs_trace::{AzureTraceConfig, WorkloadClass};
+use fluidfaas::instance::{Instance, Phase, StageTimings};
 use fluidfaas::plancache::{slice_signature, PlanCache};
+use fluidfaas::platform::events::InstanceId;
 use fluidfaas::platform::runner::run_platform;
+use fluidfaas::platform::slab::InstanceSlab;
 use fluidfaas::{FfsConfig, FluidFaaSSystem};
 
 // ---------------------------------------------------------------------
@@ -129,6 +136,171 @@ fn bench_scheduler_push_pop(c: &mut Criterion) {
 }
 
 // ---------------------------------------------------------------------
+// Batch slot drain vs per-event drain
+// ---------------------------------------------------------------------
+
+/// Follow-up deltas quantized to a 1 ms grid with 128 distinct values:
+/// a standing population of 1k events collapses onto ~128 future slots,
+/// so L0 slots hold multi-event batches — the shape the batched loop is
+/// built for (simultaneous arrivals, same-tick completions).
+fn bursty_delta(rng: &mut u64) -> u64 {
+    (1 + xorshift(rng) % 128) * 1_000
+}
+
+struct BurstChurn {
+    remaining: usize,
+    rng: u64,
+}
+
+impl World for BurstChurn {
+    type Event = u32;
+    fn handle(&mut self, _t: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            let d = bursty_delta(&mut self.rng);
+            sched.after(ffs_sim::SimDuration::from_micros(d), ev);
+        }
+    }
+}
+
+/// The batched drive loop (`run_until`: one clock update, one deadline
+/// check, one obs flush per same-timestamp batch) against the per-event
+/// loop it replaced (`run_until_stepwise`). Identical programs, identical
+/// delivery order — the property tests pin that — so the delta is pure
+/// loop overhead.
+fn bench_batch_drain(c: &mut Criterion) {
+    // Seeds on the same 1 ms grid as the follow-up deltas, so every event
+    // the program ever schedules shares a timestamp with ~7 others.
+    let seeds: Vec<u64> = {
+        let mut x = SEED;
+        (0..PENDING)
+            .map(|_| (xorshift(&mut x) % 128) * 1_000)
+            .collect()
+    };
+    let mut g = c.benchmark_group("drain_bursty_1k_pending");
+    g.bench_function("batched", |b| {
+        b.iter(|| {
+            let mut w = BurstChurn {
+                remaining: CHURN_OPS,
+                rng: SEED,
+            };
+            let mut s: Scheduler<u32> = Scheduler::new();
+            for (i, &t) in seeds.iter().enumerate() {
+                s.at(SimTime::from_micros(t), i as u32);
+            }
+            run_until(&mut w, &mut s, SimTime::MAX);
+            black_box(s.now())
+        })
+    });
+    g.bench_function("per_event", |b| {
+        b.iter(|| {
+            let mut w = BurstChurn {
+                remaining: CHURN_OPS,
+                rng: SEED,
+            };
+            let mut s: Scheduler<u32> = Scheduler::new();
+            for (i, &t) in seeds.iter().enumerate() {
+                s.at(SimTime::from_micros(t), i as u32);
+            }
+            run_until_stepwise(&mut w, &mut s, SimTime::MAX);
+            black_box(s.now())
+        })
+    });
+    g.finish();
+}
+
+// ---------------------------------------------------------------------
+// SoA column scan vs slab record scan
+// ---------------------------------------------------------------------
+
+/// A slab of `n` ready single-stage instances with varied latency
+/// estimates and occupancies — the shape of the routing scan.
+fn scan_slab(n: u64) -> InstanceSlab {
+    let mut slab = InstanceSlab::new();
+    let mut rng = SEED;
+    for id in 0..n {
+        let nodes = vec![ffs_dag::NodeId(0)];
+        let plan = DeploymentPlan {
+            partition: ffs_dag::PipelinePartition::new(vec![nodes.clone()]),
+            stages: vec![StagePlan {
+                nodes,
+                slice: SliceId::new(GpuId((id / 7) as u16), (id % 7) as u8),
+                profile: SliceProfile::G1_10,
+                mem_gb: 1.0,
+            }],
+            cv: 0.0,
+        };
+        let jitter = (xorshift(&mut rng) % 64) as f64;
+        let inst = Instance::new(
+            InstanceId(id),
+            0,
+            plan,
+            InstanceEstimate {
+                latency_ms: 20.0 + jitter,
+                bottleneck_ms: 10.0,
+                throughput_rps: 100.0,
+            },
+            StageTimings::zero(1),
+            NodeId(0),
+            SimTime::ZERO,
+            SimTime::ZERO,
+        );
+        slab.insert(InstanceId(id), inst, 100.0);
+        slab.set_phase(&InstanceId(id), Phase::Ready);
+        // A third of the fleet sits at its admission bound.
+        if id % 3 == 0 {
+            for _ in 0..10 {
+                slab.note_admitted(InstanceId(id));
+                slab.get_mut(&InstanceId(id)).unwrap().stage_queues[0].push_back(0);
+            }
+        }
+    }
+    slab
+}
+
+/// The lowest-latency routing scan (admission filter + latency argmin),
+/// on the SoA hot columns against the instance records they mirror. The
+/// record path drags each instance's plans, queues and timing tables
+/// through the cache to read three scalars.
+fn bench_soa_scan(c: &mut Criterion) {
+    const FLEET: u64 = 256;
+    let slab = scan_slab(FLEET);
+    let slo_ms = 100.0;
+    let mut g = c.benchmark_group("routing_scan_256_instances");
+    g.bench_function("soa_columns", |b| {
+        b.iter(|| {
+            let mut best: Option<(InstanceId, f64)> = None;
+            for id in (0..FLEET).map(InstanceId) {
+                if !slab.has_admission_capacity(id) {
+                    continue;
+                }
+                let lat = slab.latency_ms_of(id);
+                if best.is_none_or(|(_, b)| lat < b) {
+                    best = Some((id, lat));
+                }
+            }
+            black_box(best)
+        })
+    });
+    g.bench_function("slab_records", |b| {
+        b.iter(|| {
+            let mut best: Option<(InstanceId, f64)> = None;
+            for inst in slab.values() {
+                if !inst.has_capacity(slo_ms) {
+                    continue;
+                }
+                let lat = inst.est.latency_ms;
+                if best.is_none_or(|(_, b)| lat < b) {
+                    best = Some((inst.id, lat));
+                }
+            }
+            black_box(best)
+        })
+    });
+    g.finish();
+}
+
+// ---------------------------------------------------------------------
 // Plan-cache hit: incremental signature vs recomputed signature
 // ---------------------------------------------------------------------
 
@@ -187,6 +359,8 @@ fn bench_end_to_end(c: &mut Criterion) {
 criterion_group!(
     hotpath,
     bench_scheduler_push_pop,
+    bench_batch_drain,
+    bench_soa_scan,
     bench_plan_cache_hit,
     bench_end_to_end
 );

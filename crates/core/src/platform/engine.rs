@@ -33,7 +33,7 @@ use super::hub::MetricsHub;
 use super::policy::PolicyBundle;
 use super::request::RequestState;
 use super::runner::{FaultStats, Platform};
-use super::slab::InstanceSlab;
+use super::slab::{InstanceSlab, PhaseTag};
 
 /// Maximum instance launches per function per scale tick (burst ramp
 /// limit shared by every autoscaler policy).
@@ -189,7 +189,13 @@ impl EngineCore {
         // abandoned); sizing the log up front keeps the completion path
         // allocation-free.
         hub.log.reserve(trace.invocations.len());
-        let requests = build_requests(&catalog, trace)?;
+        // Request table and instance slab come from the thread's run arena
+        // (warm capacity after the first run); both go back on drop.
+        let mut requests = super::arena::take_request_buffer();
+        if let Err(e) = build_requests_into(&catalog, trace, &mut requests) {
+            super::arena::store_request_buffer(requests);
+            return Err(e);
+        }
         let n = catalog.len();
         let horizon = SimTime::ZERO + trace.duration + cfg.drain;
         // Utilization samples land once per tick through the whole run;
@@ -244,7 +250,7 @@ impl EngineCore {
             fleet,
             hub,
             requests,
-            instances: InstanceSlab::new(),
+            instances: super::arena::take_slab(),
             next_instance: 1,
             pool: SharedPool::new(),
             ka: vec![KeepAliveState::Cold; n],
@@ -409,12 +415,14 @@ impl EngineCore {
         }
         let f = inst.func;
         let slice = inst.plan.stages[stage].slice;
+        let gpcs = inst.plan.stages[stage].profile.gpcs();
         let mono = inst.plan.is_monolithic();
         // Stage timing constants were computed once at launch; the
         // per-request path copies two floats instead of cloning the stage's
         // node list and re-walking the profile tables.
         let exec_ms = inst.timings.exec_ms[stage];
         let handoff_ms = inst.timings.handoff_ms[stage];
+        self.instances.note_stage_started(id, gpcs);
         self.requests[req as usize].exec_ms += exec_ms;
         self.requests[req as usize].transfer_ms += handoff_ms;
         self.hub.slice_active(now, slice);
@@ -465,6 +473,7 @@ impl EngineCore {
         inst.stage_busy[stage] = None;
         inst.last_used = now;
         let slice = inst.plan.stages[stage].slice;
+        let gpcs = inst.plan.stages[stage].profile.gpcs();
         let last = stage + 1 == inst.plan.num_stages();
         let f = inst.func;
         // Boundary-transfer time was precomputed at launch (unused when
@@ -494,6 +503,10 @@ impl EngineCore {
                 },
             );
         }
+        // Hot columns: the stage's GPCs freed; on the final stage the
+        // request left the instance (a mid-pipeline request moves from
+        // stage-busy to in-transfer, leaving occupancy unchanged).
+        self.instances.note_stage_finished(id, gpcs, last);
         // Keep the stage fed, then refill from the function backlog.
         self.try_start_stage(id, stage, now, sched);
         if let Some(inst) = self.instances.get_mut(&id) {
@@ -607,6 +620,7 @@ impl EngineCore {
         self.instances.insert(
             id,
             Instance::new(id, f, plan, est, timings, node, now, ready_at),
+            self.catalog.slo_ms(f),
         );
         // Ids are assigned monotonically, so pushing keeps the
         // per-function index in ascending-id (== BTreeMap) order.
@@ -837,14 +851,11 @@ impl EngineCore {
     }
 
     fn record_utilization(&mut self, now: SimTime) {
-        let mut busy_gpcs = 0u32;
-        for inst in self.instances.values() {
-            for (i, b) in inst.stage_busy.iter().enumerate() {
-                if b.is_some() {
-                    busy_gpcs += inst.plan.stages[i].profile.gpcs();
-                }
-            }
-        }
+        // The exclusive-instance side is an incremental column sum: stage
+        // start/finish keep `busy_gpcs` current, so the per-tick cost is one
+        // integer pass instead of walking every instance's stage arrays.
+        self.instances.debug_assert_hot_consistent();
+        let mut busy_gpcs = self.instances.busy_gpcs_total() as u32;
         for slot in self.pool.slots() {
             if slot.busy_with.is_some() || slot.loading.is_some() {
                 busy_gpcs += slot.slice.profile.gpcs();
@@ -869,9 +880,8 @@ impl EngineCore {
     pub fn capacity_rps(&self, f: FuncId) -> f64 {
         self.instances_of[f]
             .iter()
-            .map(|id| &self.instances[id])
-            .filter(|i| i.phase != Phase::Draining)
-            .map(|i| i.est.throughput_rps)
+            .filter(|&&id| self.instances.phase_tag(id) != PhaseTag::Draining)
+            .map(|&id| self.instances.throughput_rps_of(id))
             .sum()
     }
 
@@ -905,10 +915,9 @@ impl EngineCore {
         // scratch vector.
         let mut live_sum = 0.0;
         let mut live_count = 0u32;
-        for id in &self.instances_of[f] {
-            let i = &self.instances[id];
-            if i.phase != Phase::Draining {
-                live_sum += i.est.throughput_rps;
+        for &id in &self.instances_of[f] {
+            if self.instances.phase_tag(id) != PhaseTag::Draining {
+                live_sum += self.instances.throughput_rps_of(id);
                 live_count += 1;
             }
         }
@@ -951,20 +960,32 @@ pub(crate) fn mono_split(
     (exec, handoff)
 }
 
-fn build_requests(
+/// Fills `out` (a recycled arena buffer) with one request record per
+/// invocation — identical contents to a freshly collected table.
+fn build_requests_into(
     catalog: &FunctionCatalog,
     trace: &Trace,
-) -> Result<Vec<RequestState>, EngineError> {
-    trace
-        .invocations
-        .iter()
-        .map(|inv| {
-            let f = catalog
-                .func_of(inv.app)
-                .ok_or(EngineError::UnknownApp(inv.app))?;
-            Ok(RequestState::new(inv.id, f, inv.arrival, catalog.slo_ms(f)))
-        })
-        .collect()
+    out: &mut Vec<RequestState>,
+) -> Result<(), EngineError> {
+    debug_assert!(out.is_empty());
+    out.reserve(trace.invocations.len());
+    for inv in &trace.invocations {
+        let f = catalog
+            .func_of(inv.app)
+            .ok_or(EngineError::UnknownApp(inv.app))?;
+        out.push(RequestState::new(inv.id, f, inv.arrival, catalog.slo_ms(f)));
+    }
+    Ok(())
+}
+
+impl Drop for EngineCore {
+    /// Returns the arena-borrowed containers to the thread's pool so the
+    /// next run starts with warm capacity (O(1) teardown: the containers
+    /// are cleared, not freed).
+    fn drop(&mut self) {
+        super::arena::store_request_buffer(std::mem::take(&mut self.requests));
+        super::arena::store_slab(std::mem::take(&mut self.instances));
+    }
 }
 
 /// The event loop: engine state plus the policy bundle that steers it.
@@ -1006,13 +1027,11 @@ impl World for Engine {
                     .dispatch(core, &*policies.shared, f, now, sched);
             }
             Event::InstanceReady(id) => {
-                let f = match core.instances.get_mut(&id) {
-                    Some(inst) => {
-                        inst.phase = Phase::Ready;
-                        inst.func
-                    }
+                let f = match core.instances.get(&id) {
+                    Some(inst) => inst.func,
                     None => return,
                 };
+                core.instances.set_phase(&id, Phase::Ready);
                 policies
                     .router
                     .dispatch(core, &*policies.shared, f, now, sched);

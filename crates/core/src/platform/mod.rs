@@ -2,6 +2,7 @@
 //! the function catalog, request bookkeeping, the metrics hub, the trace
 //! runner, and the policy-driven event-loop engine every platform runs on.
 
+pub mod arena;
 pub mod catalog;
 pub mod engine;
 pub mod events;

@@ -17,11 +17,10 @@ use ffs_mig::NodeId;
 use ffs_pipeline::DeploymentPlan;
 use ffs_sim::{Scheduler, SimTime};
 
-use crate::instance::Phase;
-
 use super::catalog::FuncId;
 use super::engine::EngineCore;
 use super::events::{Event, InstanceId};
+use super::slab::PhaseTag;
 
 /// Request routing (§5.3): drains a function's backlog onto instances and,
 /// per policy, overflows to the time-sharing pool.
@@ -182,24 +181,29 @@ pub fn route_to_instance(
     };
     inst.stage_queues[0].push_back(req);
     inst.last_used = now;
+    core.instances.note_admitted(id);
     core.try_start_stage(id, 0, now, sched);
 }
 
 /// The lowest-latency instance of `f` with admission capacity (the
 /// deadline-aware chooser shared by FluidFaaS and ESG routing).
-pub fn lowest_latency_instance(core: &EngineCore, f: FuncId, slo_ms: f64) -> Option<InstanceId> {
+///
+/// `_slo_ms` documents the admission bound's input; the bound itself is
+/// precomputed per instance (SLO and bottleneck are both fixed at launch),
+/// so the scan reads the slab's hot columns only.
+pub fn lowest_latency_instance(core: &EngineCore, f: FuncId, _slo_ms: f64) -> Option<InstanceId> {
     // The per-function id index is ascending, matching the full-map scan
     // it replaces, so strict-< keeps the same first-best tie winner.
     let mut best: Option<(InstanceId, f64)> = None;
-    for id in &core.instances_of[f] {
-        let inst = &core.instances[id];
-        if inst.has_capacity(slo_ms) {
+    for &id in &core.instances_of[f] {
+        if core.instances.has_admission_capacity(id) {
+            let lat = core.instances.latency_ms_of(id);
             let better = match best {
                 None => true,
-                Some((_, lat)) => inst.est.latency_ms < lat,
+                Some((_, best_lat)) => lat < best_lat,
             };
             if better {
-                best = Some((inst.id, inst.est.latency_ms));
+                best = Some((id, lat));
             }
         }
     }
@@ -233,20 +237,21 @@ pub fn exclusive_view(core: &EngineCore, f: FuncId) -> ExclusiveView {
         best_bottleneck_ms: f64::INFINITY,
         best_latency_ms: f64::INFINITY,
     };
-    for id in &core.instances_of[f] {
-        let inst = &core.instances[id];
-        if inst.phase == Phase::Draining {
-            continue;
-        }
-        match inst.phase {
-            Phase::Ready => {
+    // Hot-column scan: the per-instance scalars (phase tag, occupancy,
+    // estimate) live in the slab's SoA columns, so this per-dispatch loop
+    // never touches the full instance records.
+    for &id in &core.instances_of[f] {
+        match core.instances.phase_tag(id) {
+            PhaseTag::Ready => {
                 v.ready += 1;
-                v.occupancy += inst.occupancy();
-                v.best_bottleneck_ms = v.best_bottleneck_ms.min(inst.est.bottleneck_ms);
-                v.best_latency_ms = v.best_latency_ms.min(inst.est.latency_ms);
+                v.occupancy += core.instances.occupancy_of(id) as usize;
+                v.best_bottleneck_ms = v
+                    .best_bottleneck_ms
+                    .min(core.instances.bottleneck_ms_of(id));
+                v.best_latency_ms = v.best_latency_ms.min(core.instances.latency_ms_of(id));
             }
-            Phase::Launching { .. } => v.launching += 1,
-            Phase::Draining => {}
+            PhaseTag::Launching => v.launching += 1,
+            PhaseTag::Draining | PhaseTag::Empty => {}
         }
     }
     v

@@ -96,7 +96,9 @@ pub fn run_platform<P: Platform>(platform: &mut P, trace: &Trace) -> RunOutput {
     // All arrivals go in up front via the sorted bulk path (traces are
     // sorted by arrival), which keeps them out of the scheduler's overflow
     // heap; only dynamically scheduled far-future events pay heap ops.
-    let mut sched: Scheduler<Event> = Scheduler::new();
+    // The scheduler itself comes from the thread's run arena: 8192 wheel
+    // slots are expensive to construct per run and trivial to reset.
+    let mut sched: Scheduler<Event> = super::arena::take_scheduler(trace.invocations.len());
     sched.preload_sorted(
         trace
             .invocations
@@ -117,6 +119,7 @@ pub fn run_platform<P: Platform>(platform: &mut P, trace: &Trace) -> RunOutput {
     let slices_per_gpu = platform.slices_per_gpu();
     let faults = platform.fault_stats();
     let hub = platform.take_hub();
+    super::arena::store_scheduler(sched);
     RunOutput {
         log: hub.log,
         cost: hub.cost.finalize(end),

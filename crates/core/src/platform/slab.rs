@@ -13,15 +13,67 @@
 //! Slots of retired instances stay as `None` tombstones; the vector's
 //! length is the highest id ever live, which stays small (hundreds) for
 //! any realistic run because launches are rate-limited per scale tick.
+//!
+//! ## Hot columns (SoA)
+//!
+//! The scans the per-event hot path performs — admission checks, lowest-
+//! latency routing, capacity/pressure estimates, per-tick busy-GPC sums —
+//! read a handful of scalars per instance. Pulling a whole `Instance`
+//! record (plans, queues, timing tables) through the cache for each is
+//! most of the scan cost, so those scalars live in parallel
+//! structure-of-arrays columns beside the slab:
+//!
+//! * `phase` — lifecycle tag ([`PhaseTag`]; `Empty` marks tombstones),
+//! * `occupancy` — queued + executing + mid-transfer requests,
+//! * `admit_cap` — the SLO admission bound (`floor(slo/bottleneck).max(1)`,
+//!   constant per instance because both inputs are fixed at launch),
+//! * `latency_ms` / `bottleneck_ms` / `throughput_rps` — the routing
+//!   estimate, copied from `est` (immutable after launch),
+//! * `busy_gpcs` — GPCs of the instance's currently executing stages.
+//!
+//! The engine keeps the mutable columns in sync at the few sites where the
+//! underlying quantity changes (admission, stage start/finish, phase
+//! transitions); `debug_assert_hot_consistent` re-derives every column
+//! from the records in debug builds.
 
-use crate::instance::Instance;
+use crate::instance::{Instance, Phase};
 use crate::platform::events::InstanceId;
+
+/// Lifecycle tag of a slab slot, including the empty (tombstone) state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PhaseTag {
+    /// No live instance in this slot.
+    Empty,
+    /// Cold-starting.
+    Launching,
+    /// Serving requests.
+    Ready,
+    /// Draining toward retirement.
+    Draining,
+}
+
+impl PhaseTag {
+    fn of(phase: &Phase) -> PhaseTag {
+        match phase {
+            Phase::Launching { .. } => PhaseTag::Launching,
+            Phase::Ready => PhaseTag::Ready,
+            Phase::Draining => PhaseTag::Draining,
+        }
+    }
+}
 
 /// The engine's live-instance table, indexed by [`InstanceId`].
 #[derive(Default)]
 pub struct InstanceSlab {
     slots: Vec<Option<Instance>>,
     live: usize,
+    phase: Vec<PhaseTag>,
+    occupancy: Vec<u32>,
+    admit_cap: Vec<u32>,
+    latency_ms: Vec<f64>,
+    bottleneck_ms: Vec<f64>,
+    throughput_rps: Vec<f64>,
+    busy_gpcs: Vec<u32>,
 }
 
 impl InstanceSlab {
@@ -52,14 +104,36 @@ impl InstanceSlab {
         self.slots.get_mut(id.0 as usize).and_then(Option::as_mut)
     }
 
-    /// Inserts an instance under `id`. Ids come from the engine's
-    /// monotonic counter, so the slot is always fresh.
-    pub fn insert(&mut self, id: InstanceId, inst: Instance) {
+    /// Inserts an instance under `id`, deriving its hot columns (the
+    /// admission capacity needs the function's SLO, fixed per instance).
+    /// Ids come from the engine's monotonic counter, so the slot is always
+    /// fresh.
+    pub fn insert(&mut self, id: InstanceId, inst: Instance, slo_ms: f64) {
         let idx = id.0 as usize;
         if idx >= self.slots.len() {
             self.slots.resize_with(idx + 1, || None);
+            self.phase.resize(idx + 1, PhaseTag::Empty);
+            self.occupancy.resize(idx + 1, 0);
+            self.admit_cap.resize(idx + 1, 0);
+            self.latency_ms.resize(idx + 1, 0.0);
+            self.bottleneck_ms.resize(idx + 1, 0.0);
+            self.throughput_rps.resize(idx + 1, 0.0);
+            self.busy_gpcs.resize(idx + 1, 0);
         }
         debug_assert!(self.slots[idx].is_none(), "instance id reused");
+        self.phase[idx] = PhaseTag::of(&inst.phase);
+        self.occupancy[idx] = inst.occupancy() as u32;
+        self.admit_cap[idx] = inst.capacity(slo_ms).min(u32::MAX as usize) as u32;
+        self.latency_ms[idx] = inst.est.latency_ms;
+        self.bottleneck_ms[idx] = inst.est.bottleneck_ms;
+        self.throughput_rps[idx] = inst.est.throughput_rps;
+        self.busy_gpcs[idx] = inst
+            .stage_busy
+            .iter()
+            .zip(&inst.plan.stages)
+            .filter(|(b, _)| b.is_some())
+            .map(|(_, s)| s.profile.gpcs())
+            .sum();
         self.slots[idx] = Some(inst);
         self.live += 1;
     }
@@ -68,9 +142,155 @@ impl InstanceSlab {
     pub fn remove(&mut self, id: &InstanceId) -> Option<Instance> {
         let taken = self.slots.get_mut(id.0 as usize).and_then(Option::take);
         if taken.is_some() {
+            let idx = id.0 as usize;
+            self.phase[idx] = PhaseTag::Empty;
+            self.occupancy[idx] = 0;
+            self.admit_cap[idx] = 0;
+            self.latency_ms[idx] = 0.0;
+            self.bottleneck_ms[idx] = 0.0;
+            self.throughput_rps[idx] = 0.0;
+            self.busy_gpcs[idx] = 0;
             self.live -= 1;
         }
         taken
+    }
+
+    /// Sets the instance's lifecycle phase, keeping record and hot column
+    /// in lockstep (the engine's only phase-mutation path).
+    pub fn set_phase(&mut self, id: &InstanceId, phase: Phase) {
+        let idx = id.0 as usize;
+        let inst = self.slots[idx].as_mut().expect("live instance");
+        inst.phase = phase;
+        self.phase[idx] = PhaseTag::of(&phase);
+    }
+
+    /// The lifecycle tag of slot `id` (`Empty` for tombstones / out of
+    /// range).
+    #[inline]
+    pub fn phase_tag(&self, id: InstanceId) -> PhaseTag {
+        self.phase
+            .get(id.0 as usize)
+            .copied()
+            .unwrap_or(PhaseTag::Empty)
+    }
+
+    /// Requests inside instance `id` (queued + executing + mid-transfer).
+    #[inline]
+    pub fn occupancy_of(&self, id: InstanceId) -> u32 {
+        self.occupancy[id.0 as usize]
+    }
+
+    /// The instance's fixed SLO admission bound.
+    #[inline]
+    pub fn admit_cap_of(&self, id: InstanceId) -> u32 {
+        self.admit_cap[id.0 as usize]
+    }
+
+    /// The routing-estimate end-to-end latency of instance `id` (ms).
+    #[inline]
+    pub fn latency_ms_of(&self, id: InstanceId) -> f64 {
+        self.latency_ms[id.0 as usize]
+    }
+
+    /// The routing-estimate bottleneck stage time of instance `id` (ms).
+    #[inline]
+    pub fn bottleneck_ms_of(&self, id: InstanceId) -> f64 {
+        self.bottleneck_ms[id.0 as usize]
+    }
+
+    /// The routing-estimate throughput of instance `id` (rps).
+    #[inline]
+    pub fn throughput_rps_of(&self, id: InstanceId) -> f64 {
+        self.throughput_rps[id.0 as usize]
+    }
+
+    /// True when `id` is ready and below its admission bound — the SoA
+    /// equivalent of [`Instance::has_capacity`] with the function's SLO.
+    #[inline]
+    pub fn has_admission_capacity(&self, id: InstanceId) -> bool {
+        let idx = id.0 as usize;
+        self.phase[idx] == PhaseTag::Ready && self.occupancy[idx] < self.admit_cap[idx]
+    }
+
+    /// A request entered instance `id` (queued at stage 0).
+    #[inline]
+    pub fn note_admitted(&mut self, id: InstanceId) {
+        self.occupancy[id.0 as usize] += 1;
+    }
+
+    /// A stage of instance `id` started executing, occupying `gpcs` GPCs.
+    #[inline]
+    pub fn note_stage_started(&mut self, id: InstanceId, gpcs: u32) {
+        self.busy_gpcs[id.0 as usize] += gpcs;
+    }
+
+    /// A stage of instance `id` finished; `departed` when the request left
+    /// the instance (final stage).
+    #[inline]
+    pub fn note_stage_finished(&mut self, id: InstanceId, gpcs: u32, departed: bool) {
+        let idx = id.0 as usize;
+        self.busy_gpcs[idx] -= gpcs;
+        if departed {
+            self.occupancy[idx] -= 1;
+        }
+    }
+
+    /// Sum of busy GPCs over every live instance — the per-tick
+    /// utilization scan reduced to one integer-column pass.
+    pub fn busy_gpcs_total(&self) -> u64 {
+        self.busy_gpcs.iter().map(|&g| g as u64).sum()
+    }
+
+    /// Re-derives every hot column from the instance records and asserts
+    /// they match; debug builds call this from the per-tick path so any
+    /// missed update site fails fast.
+    pub fn debug_assert_hot_consistent(&self) {
+        if cfg!(debug_assertions) {
+            for (idx, slot) in self.slots.iter().enumerate() {
+                match slot {
+                    None => debug_assert_eq!(self.phase[idx], PhaseTag::Empty),
+                    Some(inst) => {
+                        debug_assert_eq!(self.phase[idx], PhaseTag::of(&inst.phase));
+                        debug_assert_eq!(self.occupancy[idx], inst.occupancy() as u32);
+                        let busy: u32 = inst
+                            .stage_busy
+                            .iter()
+                            .zip(&inst.plan.stages)
+                            .filter(|(b, _)| b.is_some())
+                            .map(|(_, s)| s.profile.gpcs())
+                            .sum();
+                        debug_assert_eq!(self.busy_gpcs[idx], busy);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops every instance but keeps all backing capacity, returning the
+    /// slab to its empty state for arena reuse.
+    pub fn clear_for_reuse(&mut self) {
+        self.slots.clear();
+        self.phase.clear();
+        self.occupancy.clear();
+        self.admit_cap.clear();
+        self.latency_ms.clear();
+        self.bottleneck_ms.clear();
+        self.throughput_rps.clear();
+        self.busy_gpcs.clear();
+        self.live = 0;
+    }
+
+    /// Total retained slot capacity across the spine and hot columns (the
+    /// arena-growth test asserts this stays flat after warm-up).
+    pub fn retained_capacity(&self) -> usize {
+        self.slots.capacity()
+            + self.phase.capacity()
+            + self.occupancy.capacity()
+            + self.admit_cap.capacity()
+            + self.latency_ms.capacity()
+            + self.bottleneck_ms.capacity()
+            + self.throughput_rps.capacity()
+            + self.busy_gpcs.capacity()
     }
 
     /// Live instance ids, ascending.
@@ -149,8 +369,8 @@ mod tests {
     fn insert_get_remove_roundtrip() {
         let mut slab = InstanceSlab::new();
         assert!(slab.is_empty());
-        slab.insert(InstanceId(3), inst(3));
-        slab.insert(InstanceId(1), inst(1));
+        slab.insert(InstanceId(3), inst(3), 100.0);
+        slab.insert(InstanceId(1), inst(1), 100.0);
         assert_eq!(slab.len(), 2);
         assert_eq!(slab.get(&InstanceId(3)).unwrap().id, InstanceId(3));
         assert!(slab.get(&InstanceId(2)).is_none());
@@ -163,12 +383,64 @@ mod tests {
     fn iteration_is_ascending_by_id() {
         let mut slab = InstanceSlab::new();
         for id in [5u64, 2, 9, 1] {
-            slab.insert(InstanceId(id), inst(id));
+            slab.insert(InstanceId(id), inst(id), 100.0);
         }
         slab.remove(&InstanceId(2));
         let ids: Vec<u64> = slab.keys().map(|i| i.0).collect();
         assert_eq!(ids, vec![1, 5, 9]);
         let vals: Vec<u64> = slab.values().map(|i| i.id.0).collect();
         assert_eq!(vals, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn hot_columns_track_lifecycle_and_load() {
+        let mut slab = InstanceSlab::new();
+        let id = InstanceId(2);
+        slab.insert(id, inst(2), 100.0);
+        // inst() launches with bottleneck 1.0ms → cap floor(100/1) = 100.
+        assert_eq!(slab.phase_tag(id), PhaseTag::Launching);
+        assert_eq!(slab.admit_cap_of(id), 100);
+        assert_eq!(slab.occupancy_of(id), 0);
+        assert!(!slab.has_admission_capacity(id), "not ready yet");
+
+        slab.set_phase(&id, Phase::Ready);
+        assert_eq!(slab.phase_tag(id), PhaseTag::Ready);
+        assert!(slab.get(&id).unwrap().is_ready(), "record stays in sync");
+        assert!(slab.has_admission_capacity(id));
+
+        slab.note_admitted(id);
+        slab.get_mut(&id).unwrap().stage_queues[0].push_back(7);
+        assert_eq!(slab.occupancy_of(id), 1);
+        slab.get_mut(&id).unwrap().stage_queues[0].pop_front();
+        slab.get_mut(&id).unwrap().stage_busy[0] = Some(7);
+        slab.note_stage_started(id, 1);
+        assert_eq!(slab.busy_gpcs_total(), 1);
+        slab.debug_assert_hot_consistent();
+        slab.get_mut(&id).unwrap().stage_busy[0] = None;
+        slab.note_stage_finished(id, 1, true);
+        assert_eq!(slab.occupancy_of(id), 0);
+        assert_eq!(slab.busy_gpcs_total(), 0);
+        slab.debug_assert_hot_consistent();
+
+        slab.remove(&id);
+        assert_eq!(slab.phase_tag(id), PhaseTag::Empty);
+        assert_eq!(slab.phase_tag(InstanceId(99)), PhaseTag::Empty);
+    }
+
+    #[test]
+    fn clear_for_reuse_keeps_capacity() {
+        let mut slab = InstanceSlab::new();
+        for id in 0..16u64 {
+            slab.insert(InstanceId(id), inst(id), 100.0);
+        }
+        let cap = slab.retained_capacity();
+        assert!(cap > 0);
+        slab.clear_for_reuse();
+        assert!(slab.is_empty());
+        assert_eq!(slab.retained_capacity(), cap);
+        // Reusable: fresh inserts behave normally.
+        slab.insert(InstanceId(0), inst(0), 100.0);
+        assert_eq!(slab.len(), 1);
+        slab.debug_assert_hot_consistent();
     }
 }

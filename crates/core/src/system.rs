@@ -544,9 +544,10 @@ impl Migrator for FluidMigrator {
                     func: f as u32,
                     drained: id.0,
                 });
-                if let Some(inst) = core.instances.get_mut(&id) {
-                    inst.phase = crate::instance::Phase::Draining;
-                    if inst.is_empty() {
+                if core.instances.get(&id).is_some() {
+                    core.instances
+                        .set_phase(&id, crate::instance::Phase::Draining);
+                    if core.instances[&id].is_empty() {
                         core.retire_instance(id, now);
                     }
                 }

@@ -15,8 +15,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use ffs_profile::App;
 use ffs_sim::{run_until, Scheduler, SimTime};
-use ffs_trace::{AzureTraceConfig, WorkloadClass};
+use ffs_trace::{AzureTraceConfig, Trace, WorkloadClass};
+use fluidfaas::platform::arena::{arena_stats, pooled_capacity};
 use fluidfaas::platform::events::Event;
+use fluidfaas::platform::run_platform;
 use fluidfaas::{FfsConfig, FluidFaaSSystem};
 
 /// Allocation events observed while the current thread is in a measured
@@ -112,5 +114,49 @@ fn steady_state_events_do_not_allocate() {
     assert_eq!(
         allocs, 0,
         "steady-state event handling must not allocate ({executed} events executed)"
+    );
+}
+
+/// After one warm-up run per thread, the run arena reaches a fixed point:
+/// every later run on the thread takes all three container families
+/// (scheduler, request buffer, instance slab) from the pool, and the
+/// pooled capacity stops growing. This is the property that makes
+/// `run_matrix` teardown O(1) amortised — repeat runs neither construct
+/// nor grow the big per-run containers.
+#[test]
+fn arena_reaches_zero_growth_after_warmup() {
+    let trace = AzureTraceConfig::steady(vec![App::ImageClassification], 8.0, 20.0, 17).generate();
+    let one_run = |trace: &Trace| {
+        let cfg = FfsConfig::test_small(WorkloadClass::Light);
+        let mut sys = FluidFaaSSystem::new(cfg, trace);
+        run_platform(&mut sys, trace)
+    };
+
+    // Warm-up: the first run constructs (or grows) the thread's containers
+    // and parks them in the pool on teardown.
+    let baseline = one_run(&trace).log.len();
+
+    let stats_warm = arena_stats();
+    let cap_warm = pooled_capacity();
+
+    const REPEATS: u64 = 3;
+    for _ in 0..REPEATS {
+        assert_eq!(one_run(&trace).log.len(), baseline, "reuse must be inert");
+    }
+
+    let stats_end = arena_stats();
+    let cap_end = pooled_capacity();
+    assert_eq!(
+        stats_end.fresh, stats_warm.fresh,
+        "a warmed thread must construct no fresh containers"
+    );
+    assert_eq!(
+        stats_end.reused,
+        stats_warm.reused + 3 * REPEATS,
+        "each run must recycle its scheduler, request buffer and slab"
+    );
+    assert_eq!(
+        cap_end, cap_warm,
+        "pooled capacity must be flat once the thread has seen its biggest run"
     );
 }

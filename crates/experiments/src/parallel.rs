@@ -14,10 +14,65 @@
 
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 static TOTAL_RUNS: AtomicU64 = AtomicU64::new(0);
 static BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Per-worker-slot totals across every `run_matrix` call so far. Slot `i`
+/// aggregates worker `i` of each parallel section (the sequential path is
+/// slot 0), exposing per-worker skew: with an atomic work index, a slot
+/// that reports far fewer events/s than its peers points at stragglers or
+/// an unlucky spec mix, not at harness overhead.
+static PER_THREAD: Mutex<Vec<ThreadLoad>> = Mutex::new(Vec::new());
+
+/// What one worker slot did, accumulated across sections.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ThreadLoad {
+    /// Simulation runs this slot executed.
+    pub runs: u64,
+    /// Simulation events this slot executed (thread-local counter deltas).
+    pub events: u64,
+    /// Wall-clock the slot spent inside its work loop, in nanoseconds.
+    pub busy_nanos: u64,
+}
+
+impl ThreadLoad {
+    /// Busy time in seconds.
+    pub fn busy_secs(&self) -> f64 {
+        self.busy_nanos as f64 / 1e9
+    }
+
+    /// Events per second of this slot's own busy time.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.busy_nanos == 0 {
+            0.0
+        } else {
+            self.events as f64 / self.busy_secs()
+        }
+    }
+}
+
+/// Folds one worker stint into its slot's running totals.
+fn note_thread(slot: usize, runs: u64, events: u64, busy_nanos: u64) {
+    let mut loads = PER_THREAD.lock().expect("per-thread counters poisoned");
+    if loads.len() <= slot {
+        loads.resize(slot + 1, ThreadLoad::default());
+    }
+    let t = &mut loads[slot];
+    t.runs += runs;
+    t.events += events;
+    t.busy_nanos += busy_nanos;
+}
+
+/// Snapshot of the per-worker-slot totals so far.
+pub fn thread_loads() -> Vec<ThreadLoad> {
+    PER_THREAD
+        .lock()
+        .expect("per-thread counters poisoned")
+        .clone()
+}
 
 /// Worker count: `FFS_EXP_THREADS` if set (minimum 1), else the machine's
 /// available parallelism.
@@ -61,14 +116,27 @@ where
     };
     let workers = workers.clamp(1, specs.len().max(1));
     if workers == 1 {
-        return specs.iter().map(timed).collect();
+        let events_before = ffs_sim::thread_executed_events();
+        let start = Instant::now();
+        let out: Vec<R> = specs.iter().map(timed).collect();
+        note_thread(
+            0,
+            specs.len() as u64,
+            ffs_sim::thread_executed_events() - events_before,
+            start.elapsed().as_nanos() as u64,
+        );
+        return out;
     }
     let next = AtomicUsize::new(0);
     let mut indexed: Vec<(usize, R)> = Vec::with_capacity(specs.len());
     std::thread::scope(|scope| {
+        let next = &next;
+        let timed = &timed;
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|slot| {
+                scope.spawn(move || {
+                    let events_before = ffs_sim::thread_executed_events();
+                    let start = Instant::now();
                     let mut produced = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -77,6 +145,12 @@ where
                         }
                         produced.push((i, timed(&specs[i])));
                     }
+                    note_thread(
+                        slot,
+                        produced.len() as u64,
+                        ffs_sim::thread_executed_events() - events_before,
+                        start.elapsed().as_nanos() as u64,
+                    );
                     produced
                 })
             })
@@ -124,6 +198,9 @@ pub struct BenchReport {
     /// Resilience-sweep summary, when the section ran one
     /// (`exp_all` / `exp_resilience` set it; other binaries leave `None`).
     pub resilience: Option<crate::resilience::ResilienceSummary>,
+    /// Per-worker-slot totals (slot 0 is the sequential path), for spotting
+    /// per-worker skew in the parallel harness.
+    pub per_thread: Vec<ThreadLoad>,
 }
 
 impl BenchReport {
@@ -162,6 +239,7 @@ pub fn bench_report(total_secs: f64) -> BenchReport {
         plan_cache_hits,
         plan_cache_misses,
         resilience: None,
+        per_thread: thread_loads(),
     }
 }
 
@@ -179,8 +257,14 @@ pub fn write_bench_json(path: &Path, report: &BenchReport) -> std::io::Result<()
         ),
         None => String::new(),
     };
+    let per_thread = report
+        .per_thread
+        .iter()
+        .map(|t| format!("{:.0}", t.events_per_sec()))
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
-        "{{\n  \"total_secs\": {:.3},\n  \"runs\": {},\n  \"runs_per_sec\": {:.3},\n  \"busy_secs\": {:.3},\n  \"threads\": {},\n  \"events\": {},\n  \"events_per_sec\": {:.0},\n  \"plan_cache_hits\": {},\n  \"plan_cache_misses\": {},\n  \"plan_cache_hit_rate\": {:.4}{}\n}}\n",
+        "{{\n  \"total_secs\": {:.3},\n  \"runs\": {},\n  \"runs_per_sec\": {:.3},\n  \"busy_secs\": {:.3},\n  \"threads\": {},\n  \"events\": {},\n  \"events_per_sec\": {:.0},\n  \"events_per_sec_per_thread\": [{}],\n  \"plan_cache_hits\": {},\n  \"plan_cache_misses\": {},\n  \"plan_cache_hit_rate\": {:.4}{}\n}}\n",
         report.total_secs,
         report.runs,
         report.runs_per_sec,
@@ -188,6 +272,7 @@ pub fn write_bench_json(path: &Path, report: &BenchReport) -> std::io::Result<()
         report.threads,
         report.events,
         report.events_per_sec,
+        per_thread,
         report.plan_cache_hits,
         report.plan_cache_misses,
         report.plan_cache_hit_rate(),
@@ -215,6 +300,20 @@ mod tests {
         assert!(run_matrix_with_threads(&none, 8, |&x| x).is_empty());
         let one = [41u32];
         assert_eq!(run_matrix_with_threads(&one, 8, |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn per_thread_loads_cover_every_run() {
+        let before: u64 = thread_loads().iter().map(|t| t.runs).sum();
+        let specs: Vec<u32> = (0..12).collect();
+        let _ = run_matrix_with_threads(&specs, 3, |&x| x);
+        let _ = run_matrix_with_threads(&specs, 1, |&x| x);
+        let loads = thread_loads();
+        let after: u64 = loads.iter().map(|t| t.runs).sum();
+        // `>=`: sibling tests drive the same process-wide counters.
+        assert!(after >= before + 24, "every run lands in some slot");
+        assert!(loads.len() >= 3, "three parallel slots plus sequential");
+        assert!(loads.iter().all(|t| t.busy_nanos > 0 || t.runs == 0));
     }
 
     #[test]

@@ -62,6 +62,38 @@ fn repeated_same_seed_runs_agree() {
     assert_eq!(render_matrix(4), render_matrix(4));
 }
 
+/// The run arena recycles schedulers, request buffers and instance slabs
+/// across runs on a worker thread. Reuse must be invisible: a warm-arena
+/// sequential sweep (every container recycled) and parallel sweeps at
+/// 2/4 workers (fresh worker threads, different reuse interleavings) must
+/// all be byte-identical to the first, cold-arena sweep.
+#[test]
+fn arena_reuse_is_bit_neutral_across_worker_counts() {
+    let cold = render_matrix(1);
+    let before = fluidfaas::platform::arena::arena_stats();
+    let warm = render_matrix(1);
+    let after = fluidfaas::platform::arena::arena_stats();
+    assert!(
+        after.reused >= before.reused + 6,
+        "a warm sequential sweep must recycle its containers \
+         (reused {} -> {})",
+        before.reused,
+        after.reused
+    );
+    assert_eq!(
+        after.fresh, before.fresh,
+        "warm sweep must construct nothing"
+    );
+    assert_eq!(cold, warm, "arena reuse changed sequential output");
+    for workers in [2, 4] {
+        assert_eq!(
+            cold,
+            render_matrix(workers),
+            "arena reuse changed output at {workers} workers"
+        );
+    }
+}
+
 /// Renders one sequential sweep, optionally with `ffs-obs` tracing live on
 /// this thread (enabled flag + installed recorder). Float metrics go in as
 /// raw bit patterns, as above.

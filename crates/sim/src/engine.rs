@@ -21,6 +21,7 @@
 //! bit-for-bit — see `tests/proptest_scheduler.rs` for the equivalence
 //! property and `docs/ARCHITECTURE.md` for the ordering proof sketch.
 
+use std::cell::Cell;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
@@ -40,9 +41,29 @@ pub trait World {
 /// all threads); the benchmark harness derives `events_per_sec` from it.
 static EXECUTED_EVENTS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    /// Per-thread slice of [`EXECUTED_EVENTS`], so a parallel harness can
+    /// attribute events to the worker that executed them.
+    static THREAD_EXECUTED: Cell<u64> = const { Cell::new(0) };
+}
+
 /// Total events executed through [`run_until`] in this process so far.
 pub fn process_executed_events() -> u64 {
     EXECUTED_EVENTS.load(AtomicOrdering::Relaxed)
+}
+
+/// Events executed through [`run_until`] on the *calling thread* so far.
+/// Workers snapshot this around their run loop to report per-thread skew.
+pub fn thread_executed_events() -> u64 {
+    THREAD_EXECUTED.with(|c| c.get())
+}
+
+#[inline]
+fn note_executed(n: u64) {
+    if n > 0 {
+        EXECUTED_EVENTS.fetch_add(n, AtomicOrdering::Relaxed);
+        THREAD_EXECUTED.with(|c| c.set(c.get() + n));
+    }
 }
 
 struct Scheduled<E> {
@@ -194,6 +215,41 @@ impl<E> Scheduler<E> {
             far: BinaryHeap::with_capacity(cap),
             stream: VecDeque::new(),
         }
+    }
+
+    /// Returns the scheduler to its freshly constructed state while keeping
+    /// every container's grown capacity: occupied wheel slots are cleared
+    /// bitmap-first (O(live), not O(4096)), cursors and counters reset to
+    /// zero. A pooled scheduler reset this way is indistinguishable from a
+    /// new one — same `seq` stream, same cursor positions — so reuse across
+    /// runs is bit-exact (the arena-reuse determinism test pins this down).
+    pub fn reset(&mut self) {
+        while let Some(s) = self.l0_bits.first() {
+            self.l0[s].clear();
+            self.l0_bits.clear(s);
+        }
+        while let Some(b) = self.l1_bits.first() {
+            self.l1[b].clear();
+            self.l1_bits.clear(b);
+        }
+        self.far.clear();
+        self.stream.clear();
+        self.now = SimTime::ZERO;
+        self.seq = 0;
+        self.executed = 0;
+        self.pending = 0;
+        self.clamps = 0;
+        self.l0_window = 0;
+        self.epoch = 0;
+    }
+
+    /// Total element capacity retained across the scheduler's containers.
+    /// The arena-growth test asserts this stays flat once a pooled
+    /// scheduler has seen its peak load.
+    pub fn retained_capacity(&self) -> usize {
+        let l0: usize = self.l0.iter().map(|q| q.capacity()).sum();
+        let l1: usize = self.l1.iter().map(|b| b.capacity()).sum();
+        l0 + l1 + self.far.capacity() + self.stream.capacity()
     }
 
     /// Bulk-loads a time-sorted batch of events (e.g. a trace's arrivals)
@@ -352,20 +408,41 @@ impl<E> Scheduler<E> {
     }
 
     /// Pops the earliest event, advancing cursors and cascading as needed.
-    /// Cascades happen only here — between an advance and the next insert
-    /// opportunity — which is what keeps per-timestamp FIFO order intact:
-    /// every event an advance moves downward was scheduled (smaller seq)
-    /// before any event inserted after the advance.
     fn pop_next(&mut self) -> Option<(u64, E)> {
+        let s = self.advance_to_l0()?;
+        let q = &mut self.l0[s];
+        let ev = q.pop_front().expect("occupied slot");
+        if q.is_empty() {
+            self.l0_bits.clear(s);
+        }
+        self.pending -= 1;
+        Some(((self.l0_window << LEVEL_BITS) | s as u64, ev))
+    }
+
+    /// Advances to the earliest pending timestamp and returns it with the
+    /// number of events queued there — the batch (one L0 slot = one
+    /// timestamp, FIFO = seq order). The caller drains exactly that many
+    /// events with [`Scheduler::pop_next`] (each is O(1): the slot stays
+    /// the bitmap's first until its counted events are gone, since
+    /// handlers can only push at `t >= now`). Events pushed at the same
+    /// timestamp mid-batch append *behind* the counted ones with larger
+    /// seqs and form the next batch — exactly single-step order.
+    fn front_batch(&mut self) -> Option<(u64, usize)> {
+        let s = self.advance_to_l0()?;
+        Some(((self.l0_window << LEVEL_BITS) | s as u64, self.l0[s].len()))
+    }
+
+    /// Advances cursors (cascading L1 buckets / the far containers) until
+    /// the earliest pending event sits in L0; returns its slot index, or
+    /// `None` if nothing is pending. Cascades happen only here — between an
+    /// advance and the next insert opportunity — which is what keeps
+    /// per-timestamp FIFO order intact: every event an advance moves
+    /// downward was scheduled (smaller seq) before any event inserted after
+    /// the advance.
+    fn advance_to_l0(&mut self) -> Option<usize> {
         loop {
             if let Some(s) = self.l0_bits.first() {
-                let q = &mut self.l0[s];
-                let ev = q.pop_front().expect("occupied slot");
-                if q.is_empty() {
-                    self.l0_bits.clear(s);
-                }
-                self.pending -= 1;
-                return Some(((self.l0_window << LEVEL_BITS) | s as u64, ev));
+                return Some(s);
             }
             if let Some(b) = self.l1_bits.first() {
                 // Advance the L0 window to this bucket and cascade it.
@@ -422,13 +499,26 @@ pub enum StopReason {
     DeadlineReached,
 }
 
-/// Runs the world until the queue empties or the clock reaches `until`.
+/// Runs the world until the queue empties or the clock reaches `until`,
+/// draining the wheel a *batch* (one L0 slot = one timestamp) at a time.
 ///
 /// Events scheduled exactly at `until` are *not* executed, so consecutive
 /// calls with increasing deadlines partition time unambiguously. Deadlines
 /// across calls on one scheduler must be non-decreasing: the wheel's
 /// window/epoch cursors only move forward, so rewinding the clock would
 /// let later pushes land behind them.
+///
+/// Batch drain is bit-exact with the single-step loop
+/// ([`run_until_stepwise`], kept as the executable reference):
+/// an L0 slot holds exactly one timestamp in FIFO (= seq) order; handlers
+/// can only schedule at `t >= now` (past times clamp to `now`), so events
+/// pushed mid-batch at the batch's own timestamp append behind the batch's
+/// counted events with larger seqs and are taken as the *next* batch
+/// before the frontier moves — `(time, insertion-seq)` order is preserved
+/// exactly. The win is amortisation: one deadline probe, one clock update,
+/// and one obs flush per timestamp instead of per event, while each
+/// counted pop stays O(1) (the slot remains the bitmap's first until its
+/// counted events are gone).
 pub fn run_until<W: World>(
     world: &mut W,
     sched: &mut Scheduler<W::Event>,
@@ -439,10 +529,57 @@ pub fn run_until<W: World>(
         "run_until deadlines must be non-decreasing"
     );
     let executed_at_entry = sched.executed;
+    let until_us = until.as_micros();
     let reason = loop {
         // Probe first: advancing cursors for (or popping and re-queueing) a
         // boundary event would reorder it behind same-timestamp peers (a
         // bug the engine's property tests guard against).
+        match sched.next_time() {
+            None => break StopReason::QueueEmpty,
+            Some(t) if t >= until_us => {
+                sched.now = until;
+                break StopReason::DeadlineReached;
+            }
+            Some(_) => {}
+        }
+        let (at_us, n) = sched.front_batch().expect("probed non-empty");
+        let at = SimTime::from_micros(at_us);
+        sched.now = at;
+        sched.executed += n as u64;
+        // Observability hook, once per batch: publish the sim clock to the
+        // thread-local ambient time (so time-unaware crates can stamp
+        // events) and offer a queue-depth sample (of what remains beyond
+        // this batch). Pure observation — world state is untouched, so
+        // execution is byte-identical with tracing on or off.
+        if ffs_obs::enabled() {
+            ffs_obs::set_now_us(at_us);
+            ffs_obs::sample_queue_depth(at_us, (sched.pending - n) as u64);
+        }
+        for _ in 0..n {
+            let (_t, ev) = sched.pop_next().expect("counted batch event");
+            debug_assert_eq!(_t, at_us, "batch events share one timestamp");
+            world.handle(at, ev, sched);
+        }
+    };
+    note_executed(sched.executed - executed_at_entry);
+    reason
+}
+
+/// The one-event-at-a-time reference loop [`run_until`] batched. Kept
+/// public so the batch-equivalence property test and the hotpath benches
+/// can compare against it; semantics (stop conditions, clock, counters)
+/// are identical, only the drain granularity differs.
+pub fn run_until_stepwise<W: World>(
+    world: &mut W,
+    sched: &mut Scheduler<W::Event>,
+    until: SimTime,
+) -> StopReason {
+    debug_assert!(
+        until >= sched.now,
+        "run_until deadlines must be non-decreasing"
+    );
+    let executed_at_entry = sched.executed;
+    let reason = loop {
         match sched.next_time() {
             None => break StopReason::QueueEmpty,
             Some(t) if t >= until.as_micros() => {
@@ -455,17 +592,13 @@ pub fn run_until<W: World>(
         let at = SimTime::from_micros(at_us);
         sched.now = at;
         sched.executed += 1;
-        // Observability hook: publish the sim clock to the thread-local
-        // ambient time (so time-unaware crates can stamp events) and offer a
-        // queue-depth sample. Pure observation — world state is untouched, so
-        // execution is byte-identical with tracing on or off.
         if ffs_obs::enabled() {
             ffs_obs::set_now_us(at_us);
             ffs_obs::sample_queue_depth(at_us, sched.pending as u64);
         }
         world.handle(at, ev, sched);
     };
-    EXECUTED_EVENTS.fetch_add(sched.executed - executed_at_entry, AtomicOrdering::Relaxed);
+    note_executed(sched.executed - executed_at_entry);
     reason
 }
 
@@ -680,6 +813,60 @@ mod tests {
     fn preload_rejects_unsorted_input() {
         let mut s: Scheduler<u32> = Scheduler::new();
         s.preload_sorted(vec![(SimTime::from_secs(2), 0), (SimTime::from_secs(1), 1)]);
+    }
+
+    #[test]
+    fn batch_and_stepwise_drains_agree() {
+        // The Recorder chains events (same-instant pushes mid-batch and a
+        // far-future push), exercising the refreshed-slot re-take path.
+        let seed_times = [2u64, 1, 2, 1_000_000, 1_000_000];
+        let drive = |batched: bool| {
+            let mut w = Recorder { log: vec![] };
+            let mut s = Scheduler::new();
+            for (i, &us) in seed_times.iter().enumerate() {
+                s.at(
+                    SimTime::from_micros(us),
+                    if i == 1 { 1 } else { i as u32 + 20 },
+                );
+            }
+            let r = if batched {
+                run_until(&mut w, &mut s, SimTime::MAX)
+            } else {
+                run_until_stepwise(&mut w, &mut s, SimTime::MAX)
+            };
+            (w.log, r, s.executed(), s.pending(), s.now())
+        };
+        assert_eq!(drive(true), drive(false));
+    }
+
+    #[test]
+    fn reset_restores_fresh_scheduler_semantics() {
+        let mut w = Recorder { log: vec![] };
+        let mut s = Scheduler::new();
+        s.at(SimTime::from_secs(1), 1);
+        s.at(SimTime::from_secs(100), 2); // left pending past the deadline
+        run_until(&mut w, &mut s, SimTime::from_secs(50));
+        assert!(s.pending() > 0);
+        let cap = s.retained_capacity();
+
+        s.reset();
+        assert_eq!(s.pending(), 0);
+        assert_eq!(s.executed(), 0);
+        assert_eq!(s.now(), SimTime::ZERO);
+        assert_eq!(s.retained_capacity(), cap, "reset must keep capacity");
+
+        // A reset scheduler accepts preload again (requires seq == 0) and
+        // replays identically to a fresh one.
+        let replay = |s: &mut Scheduler<u32>| {
+            s.preload_sorted([(SimTime::from_micros(7), 5), (SimTime::from_secs(30), 6)]);
+            s.at(SimTime::from_micros(7), 7);
+            let mut w = Recorder { log: vec![] };
+            run_until(&mut w, s, SimTime::MAX);
+            w.log
+        };
+        let reused = replay(&mut s);
+        let fresh = replay(&mut Scheduler::new());
+        assert_eq!(reused, fresh);
     }
 
     #[test]

@@ -46,7 +46,10 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use engine::{process_executed_events, run_until, Scheduler, StopReason, World};
+pub use engine::{
+    process_executed_events, run_until, run_until_stepwise, thread_executed_events, Scheduler,
+    StopReason, World,
+};
 pub use rng::SimRng;
 pub use stats::{OnlineStats, TimeWeightedMean};
 pub use time::{SimDuration, SimTime};
