@@ -131,6 +131,7 @@ impl PlanCache {
         signature: u64,
         fill: impl FnOnce() -> Vec<FreeSlice>,
     ) -> Option<DeploymentPlan> {
+        let _lookup = ffs_telemetry::span(ffs_telemetry::Phase::PlanCacheLookup);
         let key = (f, node, ranked, signature);
         if let Some(cached) = self.map.get(&key) {
             self.hits += 1;
@@ -187,6 +188,7 @@ impl PlanCache {
         signature: u64,
         fill: impl FnOnce() -> Vec<FreeSlice>,
     ) -> bool {
+        let _lookup = ffs_telemetry::span(ffs_telemetry::Phase::PlanCacheLookup);
         let key = (f, node, true, signature);
         if let Some(cached) = self.map.get(&key) {
             self.hits += 1;

@@ -18,6 +18,7 @@ use ffs_mig::gpu::RECONFIGURE_SECS;
 use ffs_mig::{Fleet, GpuId, MigError, NodeId, SliceId, SliceProfile};
 use ffs_pipeline::{estimate, DeploymentPlan};
 use ffs_sim::{Scheduler, SimDuration, SimTime, World};
+use ffs_telemetry::{span, Phase as TelemetryPhase};
 use ffs_trace::Trace;
 
 use crate::chaos::{ChaosState, FaultTarget, FleetShape};
@@ -182,6 +183,7 @@ pub(crate) fn profile_index(p: SliceProfile) -> usize {
 impl EngineCore {
     /// Builds the engine state for a config and the trace it will serve.
     pub fn try_new(cfg: FfsConfig, trace: &Trace) -> Result<Self, EngineError> {
+        let _setup = span(TelemetryPhase::EngineSetup);
         let catalog = FunctionCatalog::for_workload(cfg.workload, cfg.slo_scale, &cfg.perf);
         let fleet = Fleet::new(cfg.nodes, cfg.gpus_per_node, &cfg.scheme)?;
         let mut hub = MetricsHub::new(&catalog, fleet.gpu_count(), SimDuration::from_secs(1));
@@ -1022,6 +1024,7 @@ impl World for Engine {
                 core.last_use[f] = now;
                 policies.autoscaler.on_arrival(core, f);
                 core.pending[f].push_back(id);
+                let _rt = span(TelemetryPhase::RoutingScan);
                 policies
                     .router
                     .dispatch(core, &*policies.shared, f, now, sched);
@@ -1032,14 +1035,18 @@ impl World for Engine {
                     None => return,
                 };
                 core.instances.set_phase(&id, Phase::Ready);
-                policies
-                    .router
-                    .dispatch(core, &*policies.shared, f, now, sched);
+                {
+                    let _rt = span(TelemetryPhase::RoutingScan);
+                    policies
+                        .router
+                        .dispatch(core, &*policies.shared, f, now, sched);
+                }
                 // Kick any queued work (requests routed while launching).
                 core.try_start_stage(id, 0, now, sched);
             }
             Event::StageDone { inst, stage, req } => {
                 if let Some(f) = core.on_stage_done(inst, stage, req, now, sched) {
+                    let _rt = span(TelemetryPhase::RoutingScan);
                     policies
                         .router
                         .dispatch(core, &*policies.shared, f, now, sched);
@@ -1098,12 +1105,14 @@ impl World for Engine {
                     state.func
                 };
                 core.last_use[f] = now;
+                let _rt = span(TelemetryPhase::RoutingScan);
                 policies
                     .router
                     .dispatch(core, &*policies.shared, f, now, sched);
                 let _ = policies.shared.dispatch_slot(core, slot, now, sched);
             }
             Event::ScaleTick => {
+                let _tick = span(TelemetryPhase::AutoscalerTick);
                 // Arm the chaos timeline on the first tick (one branch per
                 // tick thereafter; a disabled spec starts armed, so
                 // fault-free runs never enter this block).
@@ -1115,22 +1124,28 @@ impl World for Engine {
                     }
                 }
                 core.begin_tick(now);
-                policies
-                    .autoscaler
-                    .scale(core, &*policies.placer, now, sched);
-                policies.shared.maintain(core, now);
-                policies.autoscaler.keep_alive(core, now);
-                policies
-                    .migrator
-                    .migrate(core, &*policies.placer, now, sched);
+                {
+                    let _policy = span(TelemetryPhase::PolicyCall);
+                    policies
+                        .autoscaler
+                        .scale(core, &*policies.placer, now, sched);
+                    policies.shared.maintain(core, now);
+                    policies.autoscaler.keep_alive(core, now);
+                    policies
+                        .migrator
+                        .migrate(core, &*policies.placer, now, sched);
+                }
                 // Retry anything stuck in the backlog. Only active
                 // functions can have one (ascending order, as before);
                 // dispatching an empty backlog is a no-op.
-                for i in 0..core.active_funcs.len() {
-                    let f = core.active_funcs[i];
-                    policies
-                        .router
-                        .dispatch(core, &*policies.shared, f, now, sched);
+                {
+                    let _rt = span(TelemetryPhase::RoutingScan);
+                    for i in 0..core.active_funcs.len() {
+                        let f = core.active_funcs[i];
+                        policies
+                            .router
+                            .dispatch(core, &*policies.shared, f, now, sched);
+                    }
                 }
                 // Functions whose state fully decayed leave the active set.
                 core.sweep_inactive();
@@ -1288,6 +1303,7 @@ impl World for Engine {
                 core.note_arrival(f);
                 core.last_use[f] = now;
                 core.pending[f].push_back(req);
+                let _rt = span(TelemetryPhase::RoutingScan);
                 policies
                     .router
                     .dispatch(core, &*policies.shared, f, now, sched);

@@ -98,6 +98,7 @@ pub fn run_platform<P: Platform>(platform: &mut P, trace: &Trace) -> RunOutput {
     // heap; only dynamically scheduled far-future events pay heap ops.
     // The scheduler itself comes from the thread's run arena: 8192 wheel
     // slots are expensive to construct per run and trivial to reset.
+    let setup = ffs_telemetry::span(ffs_telemetry::Phase::EngineSetup);
     let mut sched: Scheduler<Event> = super::arena::take_scheduler(trace.invocations.len());
     sched.preload_sorted(
         trace
@@ -111,7 +112,11 @@ pub fn run_platform<P: Platform>(platform: &mut P, trace: &Trace) -> RunOutput {
         invocations: trace.invocations.len() as u64,
         gpus: platform.num_gpus() as u32,
     });
+    drop(setup);
     run_until(platform, &mut sched, end);
+    // Everything after the event loop is metrics folding: finalization,
+    // hub surrender, report assembly.
+    let _fold = ffs_telemetry::span(ffs_telemetry::Phase::ObsFold);
     platform.finalize(end);
     ffs_obs::record_at(end.as_micros(), || ffs_obs::ObsEvent::RunEnd {
         sim_secs: end.saturating_since(SimTime::ZERO).as_secs_f64(),

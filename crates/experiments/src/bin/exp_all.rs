@@ -94,6 +94,14 @@ fn main() {
         report.plan_cache_misses,
         report.plan_cache_hit_rate() * 100.0
     );
+    eprintln!(
+        "harness: arena {} fresh / {} reused ({:.1}% reuse), {} pooled elements",
+        report.arena.fresh,
+        report.arena.reused,
+        report.arena.reuse_rate() * 100.0,
+        report.arena.pooled_capacity
+    );
+    eprint!("harness: {}", parallel::render_phase_table(&report));
     let clamps = ffs_obs::schedule_clamps();
     if clamps > 0 {
         eprintln!("harness: WARNING: {clamps} past-time schedules were clamped to now");
@@ -106,4 +114,20 @@ fn main() {
         Ok(()) => eprintln!("harness: wrote BENCH_harness.json"),
         Err(e) => eprintln!("harness: could not write BENCH_harness.json: {e}"),
     }
+    match ffs_telemetry::write_prometheus_file(Path::new("telemetry.prom")) {
+        Ok(()) => eprintln!("harness: wrote telemetry.prom"),
+        Err(e) => eprintln!("harness: could not write telemetry.prom: {e}"),
+    }
+    match write_folded(Path::new("telemetry.folded")) {
+        Ok(()) => eprintln!("harness: wrote telemetry.folded (flamegraph.pl / inferno input)"),
+        Err(e) => eprintln!("harness: could not write telemetry.folded: {e}"),
+    }
+}
+
+/// Writes the collapsed-stack profile for flamegraph tooling.
+fn write_folded(path: &Path) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    ffs_telemetry::write_collapsed(&mut f, &ffs_telemetry::snapshot())?;
+    f.flush()
 }

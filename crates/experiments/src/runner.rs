@@ -25,6 +25,7 @@ pub fn shared_workload_trace(workload: WorkloadClass, duration_secs: f64, seed: 
     let key = (workload, duration_secs.to_bits(), seed, false);
     let mut cache = trace_cache().lock().expect("trace cache");
     Arc::clone(cache.entry(key).or_insert_with(|| {
+        let _synth = ffs_telemetry::span(ffs_telemetry::Phase::TraceSynth);
         Arc::new(AzureTraceConfig::for_workload(workload, duration_secs, seed).generate())
     }))
 }
@@ -38,11 +39,10 @@ pub fn shared_saturating_trace(
 ) -> Arc<Trace> {
     let key = (workload, duration_secs.to_bits(), seed, true);
     let mut cache = trace_cache().lock().expect("trace cache");
-    Arc::clone(
-        cache
-            .entry(key)
-            .or_insert_with(|| Arc::new(generate_saturating(workload, duration_secs, seed))),
-    )
+    Arc::clone(cache.entry(key).or_insert_with(|| {
+        let _synth = ffs_telemetry::span(ffs_telemetry::Phase::TraceSynth);
+        Arc::new(generate_saturating(workload, duration_secs, seed))
+    }))
 }
 
 /// The three systems the paper evaluates.

@@ -16,7 +16,6 @@
 //! runs into disjoint buffers.
 
 use std::collections::HashMap;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::{Mutex, Once, OnceLock};
 
@@ -99,6 +98,7 @@ impl Drop for RunTrace {
         let Some(rec) = ffs_obs::uninstall() else {
             return;
         };
+        let _fold = ffs_telemetry::span(ffs_telemetry::Phase::ObsFold);
         let recording = rec.drain();
         if recording.events.is_empty() {
             return;
@@ -110,15 +110,13 @@ impl Drop for RunTrace {
     }
 }
 
-fn export(dir: &Path, tag: &str, recording: &ffs_obs::Recording) -> std::io::Result<()> {
-    let jsonl = dir.join(format!("{tag}.jsonl"));
-    let mut w = std::io::BufWriter::new(std::fs::File::create(&jsonl)?);
-    ffs_obs::write_jsonl(&mut w, recording)?;
-    w.flush()?;
-    let chrome = dir.join(format!("{tag}.chrome.json"));
-    let mut w = std::io::BufWriter::new(std::fs::File::create(&chrome)?);
-    ffs_obs::write_chrome_trace(&mut w, recording)?;
-    w.flush()
+fn export(
+    dir: &Path,
+    tag: &str,
+    recording: &ffs_obs::Recording,
+) -> Result<(), ffs_obs::ExportError> {
+    ffs_obs::export_jsonl(&dir.join(format!("{tag}.jsonl")), recording)?;
+    ffs_obs::export_chrome_trace(&dir.join(format!("{tag}.chrome.json")), recording)
 }
 
 #[cfg(test)]

@@ -143,6 +143,26 @@ fn tracing_does_not_perturb_simulation_output() {
     assert_eq!(off, on, "tracing on/off must be byte-identical");
 }
 
+/// The phase profiler only ever *reads* clocks — it feeds nothing back
+/// into the simulation, so a profiled sweep is bit-identical to an
+/// unprofiled one (and the profiled sweep really does profile: the merged
+/// snapshot gains spans).
+#[test]
+fn telemetry_does_not_perturb_simulation_output() {
+    ffs_telemetry::set_enabled(false);
+    let off = render_matrix(1);
+    ffs_telemetry::set_enabled(true);
+    let calls_before: u64 = ffs_telemetry::snapshot().calls.iter().sum();
+    let on = render_matrix(1);
+    ffs_telemetry::flush_thread();
+    let calls_after: u64 = ffs_telemetry::snapshot().calls.iter().sum();
+    assert_eq!(off, on, "telemetry on/off must be byte-identical");
+    assert!(
+        calls_after > calls_before,
+        "the profiled sweep must record spans ({calls_before} -> {calls_after})"
+    );
+}
+
 // ---------------------------------------------------------------------
 // Golden captures taken at the pre-refactor commit (monolithic
 // `FluidFaaSSystem` + `MonolithicSystem` event loops). The engine/policy

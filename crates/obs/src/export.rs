@@ -9,11 +9,97 @@
 //! depth as a counter track.
 
 use std::collections::{BTreeSet, HashMap};
-use std::io::{self, Write};
+use std::fmt;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
 
 use crate::counters::Counters;
 use crate::event::{ObsEvent, SliceRef};
 use crate::recorder::{Recording, Stamped};
+
+/// What went wrong writing a trace artifact, and where. The writer-generic
+/// `write_*` functions below return plain [`io::Result`]; the path-based
+/// exporters wrap their failures in this type so callers can report the
+/// offending file without string-matching.
+#[derive(Debug)]
+pub enum ExportError {
+    /// The output file could not be created.
+    Create {
+        /// The path that failed to open.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// Writing or flushing the artifact failed mid-stream.
+    Write {
+        /// The path being written.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+}
+
+impl ExportError {
+    /// The path of the artifact that failed.
+    pub fn path(&self) -> &Path {
+        match self {
+            ExportError::Create { path, .. } | ExportError::Write { path, .. } => path,
+        }
+    }
+}
+
+impl fmt::Display for ExportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExportError::Create { path, source } => {
+                write!(f, "cannot create {}: {source}", path.display())
+            }
+            ExportError::Write { path, source } => {
+                write!(f, "cannot write {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExportError::Create { source, .. } | ExportError::Write { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Runs one buffered export to `path`: creates the file, hands the
+/// `BufWriter` to `body`, flushes. Every step maps into a typed
+/// [`ExportError`] carrying the path.
+fn export_to_path(
+    path: &Path,
+    body: impl FnOnce(&mut BufWriter<std::fs::File>) -> io::Result<()>,
+) -> Result<(), ExportError> {
+    let file = std::fs::File::create(path).map_err(|source| ExportError::Create {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    let mut w = BufWriter::new(file);
+    body(&mut w)
+        .and_then(|()| w.flush())
+        .map_err(|source| ExportError::Write {
+            path: path.to_path_buf(),
+            source,
+        })
+}
+
+/// Writes a recording as JSON lines to `path` (buffered; see
+/// [`write_jsonl`] for the format).
+pub fn export_jsonl(path: &Path, rec: &Recording) -> Result<(), ExportError> {
+    export_to_path(path, |w| write_jsonl(w, rec))
+}
+
+/// Writes a recording in Chrome trace-event format to `path` (buffered;
+/// see [`write_chrome_trace`] for the mapping).
+pub fn export_chrome_trace(path: &Path, rec: &Recording) -> Result<(), ExportError> {
+    export_to_path(path, |w| write_chrome_trace(w, rec))
+}
 
 /// Writes a recording as JSON lines: one event object per line, followed by
 /// a final `counters` summary line.
@@ -312,6 +398,36 @@ mod tests {
         write_chrome_trace(&mut buf, &rec).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("\"truncated\":true"), "{text}");
+    }
+
+    #[test]
+    fn path_exporters_report_the_failing_path() {
+        let rec = sample_recording();
+        let missing = Path::new("/nonexistent-ffs-obs-test-dir/trace.jsonl");
+        let err = export_jsonl(missing, &rec).expect_err("directory does not exist");
+        assert_eq!(err.path(), missing);
+        assert!(matches!(err, ExportError::Create { .. }), "{err:?}");
+        assert!(err.to_string().contains("/nonexistent-ffs-obs-test-dir"));
+        let err = export_chrome_trace(missing, &rec).expect_err("directory does not exist");
+        assert!(matches!(err, ExportError::Create { .. }), "{err:?}");
+        use std::error::Error;
+        assert!(err.source().is_some(), "underlying io::Error is preserved");
+    }
+
+    #[test]
+    fn path_exporters_round_trip() {
+        let rec = sample_recording();
+        let dir = std::env::temp_dir().join("ffs_obs_export_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl = dir.join("t.jsonl");
+        export_jsonl(&jsonl, &rec).unwrap();
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        assert_eq!(text.lines().count(), rec.events.len() + 1);
+        let chrome = dir.join("t.chrome.json");
+        export_chrome_trace(&chrome, &rec).unwrap();
+        let text = std::fs::read_to_string(&chrome).unwrap();
+        assert!(text.starts_with('{') && text.ends_with('}'));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

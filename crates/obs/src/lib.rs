@@ -34,7 +34,10 @@ pub use event::{
     escape_json, EvictionReason, KaCause, KaState, ObsEvent, RejectReason, RejectedCandidate,
     ServePathKind, SliceRef,
 };
-pub use export::{format_counter_summary, write_chrome_trace, write_jsonl};
+pub use export::{
+    export_chrome_trace, export_jsonl, format_counter_summary, write_chrome_trace, write_jsonl,
+    ExportError,
+};
 pub use recorder::{Recorder, Recording, Stamped, DEFAULT_CAPACITY};
 
 use std::cell::{Cell, RefCell};

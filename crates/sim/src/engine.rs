@@ -58,6 +58,21 @@ pub fn thread_executed_events() -> u64 {
     THREAD_EXECUTED.with(|c| c.get())
 }
 
+/// Batch-size distribution (events per drained timestamp), published to
+/// the telemetry registry. The handle is cached in a `OnceLock` so the
+/// per-batch cost is one load; the one-time registration happens outside
+/// any measured zero-allocation window (during warm-up).
+fn batch_events_hist() -> &'static ffs_telemetry::Log2Histogram {
+    static HIST: std::sync::OnceLock<&'static ffs_telemetry::Log2Histogram> =
+        std::sync::OnceLock::new();
+    HIST.get_or_init(|| {
+        ffs_telemetry::histogram(
+            "ffs_sim_batch_events",
+            "Events drained per timestamp batch by run_until",
+        )
+    })
+}
+
 #[inline]
 fn note_executed(n: u64) {
     if n > 0 {
@@ -528,6 +543,12 @@ pub fn run_until<W: World>(
         until >= sched.now,
         "run_until deadlines must be non-decreasing"
     );
+    // Profile the wheel machinery (probe / cursor / batch extraction) as
+    // WheelDrain self-time; the per-batch BatchDispatch child below
+    // subtracts handler time out of it. One guard per call, one per
+    // batch — never per event.
+    let _drain = ffs_telemetry::span(ffs_telemetry::Phase::WheelDrain);
+    let telemetry = ffs_telemetry::enabled();
     let executed_at_entry = sched.executed;
     let until_us = until.as_micros();
     let reason = loop {
@@ -555,6 +576,10 @@ pub fn run_until<W: World>(
             ffs_obs::set_now_us(at_us);
             ffs_obs::sample_queue_depth(at_us, (sched.pending - n) as u64);
         }
+        if telemetry {
+            batch_events_hist().record(n as u64);
+        }
+        let _batch = ffs_telemetry::span(ffs_telemetry::Phase::BatchDispatch);
         for _ in 0..n {
             let (_t, ev) = sched.pop_next().expect("counted batch event");
             debug_assert_eq!(_t, at_us, "batch events share one timestamp");

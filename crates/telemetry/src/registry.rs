@@ -1,0 +1,385 @@
+//! The static metrics registry: named counters, gauges and mergeable
+//! log2-bucket histograms.
+//!
+//! Handles are `&'static` — registered once (leaked), then updated with
+//! relaxed atomics, so hot paths hold a handle in a `OnceLock` and never
+//! touch the registry lock again. Names follow the Prometheus
+//! convention: `ffs_<area>_<what>[_<unit>][_total]`, snake_case, with
+//! the `_total` suffix reserved for counters.
+//!
+//! Histograms use power-of-two buckets (`[2^(b-1), 2^b)`), which makes
+//! shard merging a plain element-wise add — the property `ffs-metrics`'s
+//! evaluation-grade `LogHistogram` (5% buckets) shares, and the two are
+//! bridged by `LogHistogram::to_log2` for export through this registry.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket count of [`Log2Histogram`]: one bucket per bit length of a
+/// `u64`, plus bucket 0 for the value zero.
+pub const LOG2_BUCKETS: usize = 65;
+
+/// A fixed-size, lock-free, mergeable histogram with power-of-two
+/// buckets: bucket `b > 0` holds values of bit length `b`, i.e. the
+/// range `[2^(b-1), 2^b)`; bucket 0 holds exactly zero. Coarser than
+/// `ffs-metrics::LogHistogram` (whose 5% buckets score the paper's SLO
+/// figures) but updatable from any thread without a lock and mergeable
+/// by element-wise addition — the shape an online scrape wants.
+#[derive(Debug)]
+pub struct Log2Histogram {
+    buckets: [AtomicU64; LOG2_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Log2Histogram {
+            buckets: [const { AtomicU64::new(0) }; LOG2_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index `v` lands in (its bit length).
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// The inclusive upper bound of bucket `b` (`2^b − 1`), or `None`
+    /// for the last bucket (`+Inf` in exposition).
+    pub fn bucket_le(b: usize) -> Option<u64> {
+        if b + 1 >= LOG2_BUCKETS {
+            None
+        } else {
+            Some((1u64 << b) - 1)
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records `n` occurrences of `v` at once (bulk folds, e.g. the
+    /// `LogHistogram::to_log2` bridge projecting pre-bucketed counts).
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[Self::bucket_of(v)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(v.saturating_mul(n), Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values (saturation-free for realistic totals).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded values; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Snapshot of the raw bucket counts.
+    pub fn bucket_counts(&self) -> [u64; LOG2_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Folds another histogram in: element-wise bucket addition (the
+    /// sharded-aggregation path).
+    pub fn merge(&self, other: &Log2Histogram) {
+        for i in 0..LOG2_BUCKETS {
+            let n = other.buckets[i].load(Ordering::Relaxed);
+            if n > 0 {
+                self.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+    }
+}
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Log2Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A set of named metrics. Most code uses the process-wide
+/// [`default_registry`] via the free functions [`counter`] / [`gauge`] /
+/// [`histogram`]; tests build private registries so exposition goldens
+/// see only their own metrics.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<&'static str, (&'static str, Metric)>>,
+}
+
+fn assert_valid_name(name: &str) {
+    let mut chars = name.chars();
+    let head_ok = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+    assert!(
+        head_ok && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+        "invalid metric name {name:?}: must match [a-zA-Z_:][a-zA-Z0-9_:]*"
+    );
+}
+
+impl Registry {
+    /// An empty registry.
+    pub const fn new() -> Self {
+        Registry {
+            inner: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    /// Panics if `name` is already registered as a different type.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> &'static Counter {
+        assert_valid_name(name);
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        let (_, metric) = map
+            .entry(name)
+            .or_insert_with(|| (help, Metric::Counter(Box::leak(Box::new(Counter::new())))));
+        match metric {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    /// Panics if `name` is already registered as a different type.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> &'static Gauge {
+        assert_valid_name(name);
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        let (_, metric) = map
+            .entry(name)
+            .or_insert_with(|| (help, Metric::Gauge(Box::leak(Box::new(Gauge::new())))));
+        match metric {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    /// Panics if `name` is already registered as a different type.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> &'static Log2Histogram {
+        assert_valid_name(name);
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        let (_, metric) = map.entry(name).or_insert_with(|| {
+            (
+                help,
+                Metric::Histogram(Box::leak(Box::new(Log2Histogram::new()))),
+            )
+        });
+        match metric {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Renders every registered metric in Prometheus text exposition
+    /// format, names in lexicographic order.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let map = self.inner.lock().expect("metrics registry poisoned");
+        let mut out = String::new();
+        for (name, (help, metric)) in map.iter() {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {}", metric.kind());
+            match metric {
+                Metric::Counter(c) => {
+                    let _ = writeln!(out, "{name} {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = writeln!(out, "{name} {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let counts = h.bucket_counts();
+                    let mut cumulative = 0u64;
+                    for (b, &n) in counts.iter().enumerate() {
+                        if n == 0 {
+                            continue;
+                        }
+                        cumulative += n;
+                        if let Some(le) = Log2Histogram::bucket_le(b) {
+                            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                        }
+                    }
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+                    let _ = writeln!(out, "{name}_sum {}", h.sum());
+                    let _ = writeln!(out, "{name}_count {}", h.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The process-wide registry.
+pub fn default_registry() -> &'static Registry {
+    static REGISTRY: Registry = Registry::new();
+    &REGISTRY
+}
+
+/// [`Registry::counter`] on the [`default_registry`].
+pub fn counter(name: &'static str, help: &'static str) -> &'static Counter {
+    default_registry().counter(name, help)
+}
+
+/// [`Registry::gauge`] on the [`default_registry`].
+pub fn gauge(name: &'static str, help: &'static str) -> &'static Gauge {
+    default_registry().gauge(name, help)
+}
+
+/// [`Registry::histogram`] on the [`default_registry`].
+pub fn histogram(name: &'static str, help: &'static str) -> &'static Log2Histogram {
+    default_registry().histogram(name, help)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once() {
+        let r = Registry::new();
+        let c = r.counter("ffs_test_total", "a counter");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("ffs_test_total", "ignored dup help").get(), 5);
+        let g = r.gauge("ffs_test_gauge", "a gauge");
+        g.set(17);
+        assert_eq!(r.gauge("ffs_test_gauge", "").get(), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_confusion_panics() {
+        let r = Registry::new();
+        let _ = r.counter("ffs_twice", "counter first");
+        let _ = r.gauge("ffs_twice", "gauge second");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_names_are_rejected() {
+        let r = Registry::new();
+        let _ = r.counter("ffs bad name", "spaces are not allowed");
+    }
+
+    #[test]
+    fn log2_buckets_partition_by_bit_length() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Log2Histogram::bucket_le(0), Some(0));
+        assert_eq!(Log2Histogram::bucket_le(2), Some(3));
+        assert_eq!(Log2Histogram::bucket_le(64), None);
+    }
+
+    #[test]
+    fn histogram_merge_is_elementwise() {
+        let a = Log2Histogram::new();
+        let b = Log2Histogram::new();
+        for v in [0, 1, 5, 1000] {
+            a.record(v);
+        }
+        for v in [5, 7, 1 << 40] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 7);
+        assert_eq!(a.sum(), 1 + 5 + 1000 + 5 + 7 + (1u64 << 40));
+        let counts = a.bucket_counts();
+        assert_eq!(counts[Log2Histogram::bucket_of(5)], 3); // 5, 5, 7
+        assert_eq!(counts[Log2Histogram::bucket_of(1 << 40)], 1);
+    }
+}

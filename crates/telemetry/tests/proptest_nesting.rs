@@ -1,0 +1,120 @@
+//! Property test: the profiler's self-time accounting telescopes.
+//!
+//! For an arbitrary tree of nested spans under one root guard, the sum
+//! of every phase's *self*-time must equal the root span's wall time
+//! (each parent is charged `elapsed − children`, so the child terms
+//! cancel pairwise up the tree). If a span's time were double-counted
+//! or lost, phase shares could no longer be compared against the
+//! harness's `busy_secs` — the invariant the CI coverage gate relies on.
+//!
+//! The merged profile is process-global, so every test here serializes
+//! on one lock and resets the profiler before measuring.
+
+use std::sync::Mutex;
+
+use ffs_telemetry::{clock, span, Phase, PhaseGuard, PHASE_COUNT};
+use proptest::prelude::*;
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// Spin until at least `n` cycles elapsed (real work under the timer).
+fn burn(n: u64) {
+    let t0 = clock::now_cycles();
+    while clock::now_cycles().saturating_sub(t0) < n {
+        std::hint::spin_loop();
+    }
+}
+
+/// Interprets `prog` as a tree of spans under an already-open root:
+/// `op % 3 == 2` pops the innermost open span, anything else pushes a
+/// span of phase `op % PHASE_COUNT` (depth-capped so the profiler never
+/// overflows). Returns how many spans were opened per phase.
+fn run_program(prog: &[u8], max_depth: usize) -> [u64; PHASE_COUNT] {
+    let mut opened = [0u64; PHASE_COUNT];
+    let mut stack: Vec<PhaseGuard> = Vec::new();
+    for &op in prog {
+        if op % 3 == 2 {
+            if let Some(g) = stack.pop() {
+                drop(g);
+            }
+        } else if stack.len() < max_depth {
+            let phase = Phase::ALL[op as usize % PHASE_COUNT];
+            stack.push(span(phase));
+            opened[phase as usize] += 1;
+            burn(2_000);
+        } else {
+            burn(1_000);
+        }
+    }
+    while let Some(g) = stack.pop() {
+        drop(g); // innermost first: guards require LIFO drop order
+    }
+    opened
+}
+
+proptest! {
+    /// Sum of self-times over all phases == the root span's wall time
+    /// (within the root guard's own enter/exit bookkeeping, which lies
+    /// just outside its measured window), and per-phase call counts
+    /// match the spans the program actually opened.
+    #[test]
+    fn self_times_telescope_to_root_wall(
+        prog in proptest::collection::vec(0u8..=255u8, 0..24),
+    ) {
+        let _lock = TEST_LOCK.lock().unwrap();
+        ffs_telemetry::set_enabled(true);
+        ffs_telemetry::reset_for_tests();
+
+        let t0 = clock::now_cycles();
+        let opened = {
+            let _root = span(Phase::RunOther);
+            // Root occupies one depth level; cap the tree below the
+            // profiler's limit so no span overflows.
+            run_program(&prog, 6)
+        };
+        let wall = clock::now_cycles().saturating_sub(t0);
+
+        ffs_telemetry::flush_thread();
+        let snap = ffs_telemetry::snapshot();
+        prop_assert_eq!(snap.depth_overflows, 0);
+        for p in Phase::ALL {
+            let want = opened[p as usize] + u64::from(p == Phase::RunOther);
+            prop_assert_eq!(snap.calls[p as usize], want, "phase {}", p.name());
+        }
+
+        let total = snap.total_cycles();
+        // The root's measured window is inside [t0, wall]: its clock
+        // reads happen after enter- and before exit-bookkeeping.
+        prop_assert!(total <= wall, "self sum {} > wall {}", total, wall);
+        prop_assert!(
+            wall - total <= 20_000,
+            "self sum {} leaves {} cycles of wall {} unaccounted",
+            total, wall - total, wall
+        );
+
+        // The per-path table partitions the same cycles.
+        let path_sum: u64 = snap.paths.iter().map(|p| p.cycles).sum();
+        prop_assert_eq!(path_sum + snap.dropped_path_cycles, total);
+    }
+
+    /// Unbalanced programs (more pops than pushes, spans left open at
+    /// the end) never corrupt the accounting: dropped guards outside
+    /// their parents are impossible by construction, and the LIFO drain
+    /// closes the rest.
+    #[test]
+    fn arbitrary_programs_keep_calls_consistent(
+        prog in proptest::collection::vec(0u8..=255u8, 0..64),
+    ) {
+        let _lock = TEST_LOCK.lock().unwrap();
+        ffs_telemetry::set_enabled(true);
+        ffs_telemetry::reset_for_tests();
+        let opened = run_program(&prog, 8);
+        ffs_telemetry::flush_thread();
+        let snap = ffs_telemetry::snapshot();
+        let want: u64 = opened.iter().sum();
+        let got: u64 = snap.calls.iter().sum();
+        prop_assert_eq!(got, want);
+        let path_calls: u64 = snap.paths.iter().map(|p| p.calls).sum();
+        prop_assert_eq!(path_calls, want);
+    }
+}
