@@ -55,6 +55,9 @@ pub use config::{FfsConfig, ScalingPolicy};
 pub use keepalive::{KeepAliveState, Transition};
 pub use platform::engine::{Engine, EngineCore, EngineError};
 pub use platform::policy::PolicyBundle;
+pub use platform::sharded::{
+    run_output_digest, run_sharded, run_sharded_fluid, ShardRunStats, ShardSpec, ShardView,
+};
 pub use system::{
     paper_policies, FluidAutoscaler, FluidFaaSSystem, FluidMigrator, FluidPlacer, FluidRouter,
     FluidSharedPool, SchedulerLog,

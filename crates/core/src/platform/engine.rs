@@ -34,6 +34,7 @@ use super::hub::MetricsHub;
 use super::policy::PolicyBundle;
 use super::request::RequestState;
 use super::runner::{FaultStats, Platform};
+use super::sharded::ShardView;
 use super::slab::{InstanceSlab, PhaseTag};
 
 /// Maximum instance launches per function per scale tick (burst ramp
@@ -172,6 +173,10 @@ pub struct EngineCore {
     pub load_all_ms: Vec<f64>,
     /// Fault-injection state (`ffs-chaos`); inert when faults are disabled.
     pub chaos: ChaosState,
+    /// This core's place in a sharded run (`ShardView::solo()` outside
+    /// one). Policy code may read it to learn about peer shards without
+    /// ever holding a reference to them.
+    pub shard: ShardView,
 }
 
 /// Position of `p` in `SliceProfile::ALL` (the per-profile table order).
@@ -276,6 +281,7 @@ impl EngineCore {
             shared_exec_ms,
             load_all_ms,
             chaos,
+            shard: ShardView::solo(),
         })
     }
 
@@ -1322,7 +1328,7 @@ impl Platform for Engine {
             .core
             .requests
             .iter()
-            .filter(|r| r.completed.is_none())
+            .filter(|r| r.completed.is_none() && !r.moved)
             .cloned()
             .collect();
         for r in unfinished {

@@ -10,6 +10,7 @@ pub mod hub;
 pub mod policy;
 pub mod request;
 pub mod runner;
+pub mod sharded;
 pub mod slab;
 
 pub use catalog::{FuncId, FunctionCatalog};
@@ -21,3 +22,7 @@ pub use policy::{
 };
 pub use request::{RequestState, ServePath};
 pub use runner::{run_platform, FaultStats, Platform, RunOutput};
+pub use sharded::{
+    run_output_digest, run_sharded, run_sharded_fluid, ShardMsg, ShardRunStats, ShardSpec,
+    ShardView,
+};

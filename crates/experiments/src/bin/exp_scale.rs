@@ -1,0 +1,43 @@
+//! Scale sweep: thousand-GPU fleets on the sharded engine, each fleet
+//! run at 1 lane and `FFS_SHARDS` lanes with a digest cross-check.
+//! Writes the harness summary (with a `"scale"` section) to
+//! `BENCH_harness.json`.
+use std::path::Path;
+use std::time::Instant;
+
+use ffs_experiments::parallel;
+use ffs_experiments::runner::experiment_seed;
+use ffs_experiments::scale;
+
+fn main() {
+    ffs_experiments::init_trace_cli();
+    let secs = scale::scale_secs();
+    let seed = experiment_seed();
+    let started = Instant::now();
+    println!(
+        "FluidFaaS scale sweep — sharded engine ({secs}s traces, seed {seed}, {} lanes)\n",
+        parallel::shards()
+    );
+    let summary = scale::run_sweep(secs, seed);
+    println!("== Scale ==\n{}", scale::render(&summary));
+
+    let mut report = parallel::bench_report(started.elapsed().as_secs_f64());
+    report.scale = Some(summary);
+    eprintln!(
+        "harness: {} runs in {:.1}s wall ({:.2} runs/s)",
+        report.runs, report.total_secs, report.runs_per_sec
+    );
+    eprintln!(
+        "harness: {} events executed ({:.0} events/s)",
+        report.events, report.events_per_sec
+    );
+    eprint!("harness: {}", parallel::render_phase_table(&report));
+    match parallel::write_bench_json(Path::new("BENCH_harness.json"), &report) {
+        Ok(()) => eprintln!("harness: wrote BENCH_harness.json"),
+        Err(e) => eprintln!("harness: could not write BENCH_harness.json: {e}"),
+    }
+    if report.scale.as_ref().is_some_and(|s| s.cross_check != "ok") {
+        eprintln!("harness: ERROR: lane-count digest cross-check failed");
+        std::process::exit(1);
+    }
+}

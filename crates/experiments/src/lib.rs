@@ -20,6 +20,7 @@
 //! | [`ablation`] | design-choice ablations (CV ranking, time sharing, migration) |
 //! | [`sensitivity`] | SLO-scale sweep and seed-sweep statistics |
 //! | [`resilience`] | SLO attainment and goodput vs fault rate (MTBF sweep) |
+//! | [`scale`] | sharded-engine scale sweep (16→4096 GPUs, lane-count cross-check) |
 
 pub mod ablation;
 pub mod fig10;
@@ -34,6 +35,7 @@ pub mod parallel;
 pub mod report;
 pub mod resilience;
 pub mod runner;
+pub mod scale;
 pub mod sensitivity;
 pub mod table2;
 pub mod table5;

@@ -112,18 +112,47 @@ pub fn thread_loads() -> Vec<ThreadLoad> {
         .clone()
 }
 
-/// Worker count: `FFS_EXP_THREADS` if set (minimum 1), else the machine's
-/// available parallelism.
+/// Environment variables a bad value has already been warned about, so a
+/// knob consulted on every `run_matrix` call complains exactly once.
+static ENV_WARNED: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Reads a positive integer from the environment. Unset returns `None`
+/// silently; a set-but-unparsable (or zero) value returns `None` after a
+/// one-shot stderr warning naming the variable and the bad value — a
+/// silently ignored `FFS_EXP_THREADS=max` cost real debugging time.
+fn parse_env_count(var: &str) -> Option<usize> {
+    let raw = std::env::var(var).ok()?;
+    match raw.parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => {
+            let mut warned = ENV_WARNED.lock().expect("env warning state poisoned");
+            if !warned.iter().any(|v| v == var) {
+                warned.push(var.to_string());
+                eprintln!(
+                    "harness: WARNING: ignoring unparsable {var}={raw:?}; \
+                     expected a positive integer"
+                );
+            }
+            None
+        }
+    }
+}
+
+/// Worker count: `FFS_EXP_THREADS` if set to a positive integer (with a
+/// one-shot warning for garbage values), else the machine's available
+/// parallelism.
 pub fn threads() -> usize {
-    std::env::var("FFS_EXP_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
+    parse_env_count("FFS_EXP_THREADS").unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Lane count for sharded scale runs: `FFS_SHARDS` if set to a positive
+/// integer (same one-shot warning treatment), else 4.
+pub fn shards() -> usize {
+    parse_env_count("FFS_SHARDS").unwrap_or(4)
 }
 
 /// Runs `f` over every spec on [`threads()`] workers; results come back in
@@ -205,6 +234,29 @@ where
     });
     indexed.sort_by_key(|&(i, _)| i);
     indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Runs one closure under full harness accounting — the `RunOther` root
+/// span, the run/busy counters, and slot 0's thread load — for direct
+/// runs that do not go through [`run_matrix`] (e.g. the sharded scale
+/// sweep, which manages its own lane threads).
+pub fn run_tracked<R>(f: impl FnOnce() -> R) -> R {
+    let events_before = ffs_sim::thread_executed_events();
+    let start = Instant::now();
+    let result = {
+        let _run = ffs_telemetry::span(ffs_telemetry::Phase::RunOther);
+        f()
+    };
+    let elapsed = start.elapsed().as_nanos() as u64;
+    BUSY_NANOS.fetch_add(elapsed, Ordering::Relaxed);
+    TOTAL_RUNS.fetch_add(1, Ordering::Relaxed);
+    note_thread(
+        0,
+        1,
+        ffs_sim::thread_executed_events() - events_before,
+        elapsed,
+    );
+    result
 }
 
 /// Total runs submitted through the harness so far (process-wide).
@@ -303,6 +355,9 @@ pub struct BenchReport {
     /// Resilience-sweep summary, when the section ran one
     /// (`exp_all` / `exp_resilience` set it; other binaries leave `None`).
     pub resilience: Option<crate::resilience::ResilienceSummary>,
+    /// Scale-sweep summary, when the section ran one (`exp_scale` sets
+    /// it; other binaries leave `None`).
+    pub scale: Option<crate::scale::ScaleSummary>,
     /// Per-worker-slot totals (slot 0 is the sequential path), for spotting
     /// per-worker skew in the parallel harness.
     pub per_thread: Vec<ThreadLoad>,
@@ -392,6 +447,7 @@ pub fn bench_report(total_secs: f64) -> BenchReport {
         plan_cache_hits,
         plan_cache_misses,
         resilience: None,
+        scale: None,
         per_thread: thread_loads(),
         arena: arena_report(),
         phases: phase_rows(cycles_per_sec),
@@ -449,6 +505,38 @@ pub fn write_bench_json(path: &Path, report: &BenchReport) -> std::io::Result<()
         ),
         None => String::new(),
     };
+    let scale = match &report.scale {
+        Some(s) => {
+            let rows = s
+                .rows
+                .iter()
+                .map(|r| {
+                    format!(
+                        "      {{ \"gpus\": {}, \"cells\": {}, \"lanes\": {}, \"functions\": {}, \"invocations\": {}, \"events\": {}, \"wall_secs\": {:.3}, \"events_per_sec\": {:.0}, \"runs_per_sec\": {:.3}, \"imbalance\": {:.4}, \"forwards\": {}, \"peak_rss_kb\": {}, \"digest\": \"{:016x}\" }}",
+                        r.gpus,
+                        r.cells,
+                        r.lanes,
+                        r.functions,
+                        r.invocations,
+                        r.events,
+                        r.wall_secs,
+                        r.events_per_sec(),
+                        r.runs_per_sec(),
+                        r.imbalance,
+                        r.forwards,
+                        r.peak_rss_kb,
+                        r.digest,
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!(
+                ",\n  \"scale\": {{\n    \"cross_check\": \"{}\",\n    \"rows\": [\n{}\n    ]\n  }}",
+                s.cross_check, rows,
+            )
+        }
+        None => String::new(),
+    };
     let per_thread = report
         .per_thread
         .iter()
@@ -490,7 +578,7 @@ pub fn write_bench_json(path: &Path, report: &BenchReport) -> std::io::Result<()
         phases,
     );
     let json = format!(
-        "{{\n  \"total_secs\": {:.3},\n  \"runs\": {},\n  \"runs_per_sec\": {:.3},\n  \"busy_secs\": {:.3},\n  \"threads\": {},\n  \"events\": {},\n  \"events_per_sec\": {:.0},\n  \"events_per_sec_per_thread\": [{}],\n  \"plan_cache_hits\": {},\n  \"plan_cache_misses\": {},\n  \"plan_cache_hit_rate\": {:.4},\n  \"arena\": {},\n  \"phase_breakdown\": {}{}\n}}\n",
+        "{{\n  \"total_secs\": {:.3},\n  \"runs\": {},\n  \"runs_per_sec\": {:.3},\n  \"busy_secs\": {:.3},\n  \"threads\": {},\n  \"events\": {},\n  \"events_per_sec\": {:.0},\n  \"events_per_sec_per_thread\": [{}],\n  \"plan_cache_hits\": {},\n  \"plan_cache_misses\": {},\n  \"plan_cache_hit_rate\": {:.4},\n  \"arena\": {},\n  \"phase_breakdown\": {}{}{}\n}}\n",
         report.total_secs,
         report.runs,
         report.runs_per_sec,
@@ -505,6 +593,7 @@ pub fn write_bench_json(path: &Path, report: &BenchReport) -> std::io::Result<()
         arena,
         phase_breakdown,
         resilience,
+        scale,
     );
     std::fs::write(path, json)
 }

@@ -1,0 +1,291 @@
+//! Scale sweep — thousand-GPU fleets on the sharded engine.
+//!
+//! The paper's evaluation stops at 2 nodes × 8 A100s; this module asks
+//! how the simulator itself scales. For each fleet size it synthesizes an
+//! Azure-scale multi-tenant trace ([`ffs_trace::ScaleTraceConfig`]),
+//! partitions the fleet into cells, and runs the sharded engine twice —
+//! once on a single lane and once on `FFS_SHARDS` lanes — cross-checking
+//! that both produce the same [`fluidfaas::run_output_digest`]. Rows
+//! report runs/s, events/s, peak RSS, forwarding volume and per-cell
+//! event imbalance; `exp_scale` folds them into `BENCH_harness.json`
+//! under the `"scale"` key.
+//!
+//! Knobs: `FFS_SCALE_GPUS` (comma-separated fleet sizes, default
+//! `16,256,4096`), `FFS_SCALE_FUNCS` (tenant-function count override),
+//! `FFS_SHARDS` (lane count for the multi-lane arm), `FFS_EXP_SECS`
+//! (trace seconds, default 60 here — the scale fleets are much bigger
+//! than the paper-reproduction runs).
+
+use std::time::Instant;
+
+use ffs_trace::{ScaleTraceConfig, WorkloadClass};
+use fluidfaas::{run_output_digest, run_sharded_fluid, FfsConfig, ShardSpec};
+
+/// One (fleet size × lane count) measurement.
+#[derive(Clone, Debug)]
+pub struct ScaleRow {
+    /// Total GPUs in the fleet.
+    pub gpus: usize,
+    /// Logical cells the fleet was partitioned into.
+    pub cells: usize,
+    /// Lanes (worker threads) that executed the run.
+    pub lanes: usize,
+    /// Tenant functions in the synthesized trace.
+    pub functions: usize,
+    /// Invocations across all cells.
+    pub invocations: u64,
+    /// Simulation events executed across all cells.
+    pub events: u64,
+    /// Requests forwarded between cells at epoch boundaries.
+    pub forwards: u64,
+    /// Wall-clock seconds for this run (excludes trace synthesis).
+    pub wall_secs: f64,
+    /// Max-over-mean of per-cell executed events (1.0 = balanced).
+    pub imbalance: f64,
+    /// Process peak RSS in kB after the run (`VmHWM`; 0 off Linux).
+    pub peak_rss_kb: u64,
+    /// [`run_output_digest`] of the merged output — must agree across
+    /// lane counts for the same fleet.
+    pub digest: u64,
+}
+
+impl ScaleRow {
+    /// Simulation events per wall-clock second of this run.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Full fleet runs per wall-clock second (one run per row).
+    pub fn runs_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            1.0 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The sweep's rows plus the lane-count determinism verdict.
+#[derive(Clone, Debug)]
+pub struct ScaleSummary {
+    /// One row per (fleet size × lane count).
+    pub rows: Vec<ScaleRow>,
+    /// `"ok"` when every fleet size produced one digest across all lane
+    /// counts, `"mismatch"` otherwise (CI gates on this).
+    pub cross_check: String,
+}
+
+/// Fleet sizes to sweep: `FFS_SCALE_GPUS` as a comma-separated list,
+/// default `16,256,4096`.
+pub fn gpu_points() -> Vec<usize> {
+    let parsed = std::env::var("FFS_SCALE_GPUS").ok().and_then(|raw| {
+        raw.split(',')
+            .map(|s| s.trim().parse::<usize>().ok().filter(|&g| g >= 1))
+            .collect::<Option<Vec<_>>>()
+    });
+    parsed.unwrap_or_else(|| vec![16, 256, 4096])
+}
+
+/// Trace seconds for the scale sweep: `FFS_EXP_SECS` if set, else 60
+/// (not [`crate::runner::experiment_secs`]'s 300 — these fleets are two
+/// orders of magnitude larger than the paper's).
+pub fn scale_secs() -> f64 {
+    std::env::var("FFS_EXP_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60.0)
+}
+
+/// Tenant-function count for a fleet: `FFS_SCALE_FUNCS` override, else
+/// 64 functions per GPU with a floor of 1024.
+fn scale_functions(gpus: usize) -> usize {
+    std::env::var("FFS_SCALE_FUNCS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| (gpus * 64).max(1024))
+}
+
+/// Maps a GPU count onto (nodes, gpus_per_node, cells): 8-GPU nodes when
+/// the count divides evenly (the paper's node shape), one big node
+/// otherwise; cells = the largest divisor of the node count ≤ 64, so
+/// `cfg.nodes` is always divisible by the cell count.
+fn fleet_shape(gpus: usize) -> (usize, usize, usize) {
+    let (nodes, gpus_per_node) = if gpus >= 8 && gpus.is_multiple_of(8) {
+        (gpus / 8, 8)
+    } else {
+        (1, gpus)
+    };
+    let cells = (1..=nodes.min(64))
+        .rev()
+        .find(|c| nodes % c == 0)
+        .unwrap_or(1);
+    (nodes, gpus_per_node, cells)
+}
+
+/// Process peak RSS in kB from `/proc/self/status` (`VmHWM`); 0 when the
+/// file is unavailable (non-Linux hosts).
+pub fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix("VmHWM:")
+                    .and_then(|rest| rest.split_whitespace().next())
+                    .and_then(|n| n.parse().ok())
+            })
+        })
+        .unwrap_or(0)
+}
+
+/// Runs one fleet size at each lane count in `lane_arms`, reusing one
+/// synthesized trace across arms. Returns the measured rows; digests are
+/// compared by the caller.
+pub fn run_point(
+    gpus: usize,
+    functions: usize,
+    secs: f64,
+    seed: u64,
+    lane_arms: &[usize],
+) -> Vec<ScaleRow> {
+    let (nodes, gpus_per_node, cells) = fleet_shape(gpus);
+    let mut cfg = FfsConfig::paper_default(WorkloadClass::Medium);
+    cfg.nodes = nodes;
+    cfg.gpus_per_node = gpus_per_node;
+    let total_rps = 3.0 * gpus as f64;
+    let tc = ScaleTraceConfig::new(functions, secs, total_rps, seed);
+    let traces: Vec<_> = {
+        let _synth = ffs_telemetry::span(ffs_telemetry::Phase::TraceSynth);
+        (0..cells).map(|c| tc.cell_trace(c, cells)).collect()
+    };
+    let invocations: u64 = traces
+        .iter()
+        .map(|t| t.trace.invocations.len() as u64)
+        .sum();
+    let mut rows = Vec::with_capacity(lane_arms.len());
+    let mut shared = Some(traces);
+    for (i, &lanes) in lane_arms.iter().enumerate() {
+        // The last arm consumes the shared trace; earlier arms clone it.
+        let arm_traces = if i + 1 == lane_arms.len() {
+            shared.take().expect("scale trace consumed early")
+        } else {
+            shared.as_ref().expect("scale trace consumed early").clone()
+        };
+        let spec = ShardSpec::new(cells, lanes);
+        let start = Instant::now();
+        let (out, stats) =
+            crate::parallel::run_tracked(|| run_sharded_fluid(&cfg, arm_traces, &spec))
+                .expect("sharded scale run failed");
+        let wall_secs = start.elapsed().as_secs_f64();
+        rows.push(ScaleRow {
+            gpus,
+            cells: stats.cells,
+            lanes: stats.lanes,
+            functions,
+            invocations,
+            events: stats.events_total(),
+            forwards: stats.forwards,
+            wall_secs,
+            imbalance: stats.imbalance(),
+            peak_rss_kb: peak_rss_kb(),
+            digest: run_output_digest(&out),
+        });
+    }
+    rows
+}
+
+/// The full sweep: every [`gpu_points`] fleet at 1 lane and at
+/// [`crate::parallel::shards`] lanes, with the per-fleet digest
+/// cross-check folded into [`ScaleSummary::cross_check`].
+pub fn run_sweep(secs: f64, seed: u64) -> ScaleSummary {
+    let mut lane_arms = vec![1];
+    let shards = crate::parallel::shards();
+    if shards != 1 {
+        lane_arms.push(shards);
+    }
+    let mut rows = Vec::new();
+    let mut ok = true;
+    for gpus in gpu_points() {
+        let point = run_point(gpus, scale_functions(gpus), secs, seed, &lane_arms);
+        ok &= point.windows(2).all(|w| w[0].digest == w[1].digest);
+        rows.extend(point);
+    }
+    ScaleSummary {
+        rows,
+        cross_check: if ok { "ok" } else { "mismatch" }.to_string(),
+    }
+}
+
+/// Renders the sweep as a human-readable table.
+pub fn render(summary: &ScaleSummary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "  {:>6} {:>6} {:>6} {:>8} {:>10} {:>12} {:>11} {:>9} {:>7} {:>9} {:>10}  {}\n",
+        "gpus",
+        "cells",
+        "lanes",
+        "funcs",
+        "invocs",
+        "events",
+        "events/s",
+        "wall_s",
+        "imbal",
+        "forwards",
+        "rss_mb",
+        "digest"
+    ));
+    for r in &summary.rows {
+        out.push_str(&format!(
+            "  {:>6} {:>6} {:>6} {:>8} {:>10} {:>12} {:>11.0} {:>9.2} {:>7.2} {:>9} {:>10.1}  {:016x}\n",
+            r.gpus,
+            r.cells,
+            r.lanes,
+            r.functions,
+            r.invocations,
+            r.events,
+            r.events_per_sec(),
+            r.wall_secs,
+            r.imbalance,
+            r.forwards,
+            r.peak_rss_kb as f64 / 1024.0,
+            r.digest,
+        ));
+    }
+    out.push_str(&format!("  cross_check: {}\n", summary.cross_check));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_shape_keeps_nodes_divisible_by_cells() {
+        for gpus in [8, 16, 64, 256, 4096, 24, 7, 1] {
+            let (nodes, gpus_per_node, cells) = fleet_shape(gpus);
+            assert_eq!(nodes * gpus_per_node, gpus);
+            assert_eq!(nodes % cells, 0, "gpus={gpus}");
+            assert!(cells <= 64);
+        }
+    }
+
+    #[test]
+    fn small_point_is_lane_invariant() {
+        let rows = run_point(16, 256, 3.0, 7, &[1, 2]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].digest, rows[1].digest);
+        assert_eq!(rows[0].events, rows[1].events);
+        assert_eq!(rows[0].invocations, rows[1].invocations);
+        assert!(rows[0].invocations > 0);
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_kb() > 0);
+        }
+    }
+}

@@ -186,18 +186,26 @@ impl Trace {
 
     /// Inter-arrival coefficient of variation for one app (burstiness
     /// measure; 1.0 for Poisson, > 1 for bursty traffic).
+    ///
+    /// One streaming pass: gaps feed a Welford accumulator as they are
+    /// encountered, so the scan allocates nothing and stays linear even on
+    /// the million-function scale traces.
     pub fn interarrival_cv(&self, app: App) -> f64 {
-        let times: Vec<f64> = self
-            .invocations
-            .iter()
-            .filter(|i| i.app == app)
-            .map(|i| i.arrival.as_secs_f64())
-            .collect();
-        if times.len() < 3 {
+        let mut gaps = ffs_sim::OnlineStats::new();
+        let mut count = 0usize;
+        let mut prev = 0.0;
+        for i in self.invocations.iter().filter(|i| i.app == app) {
+            let t = i.arrival.as_secs_f64();
+            if count > 0 {
+                gaps.push(t - prev);
+            }
+            prev = t;
+            count += 1;
+        }
+        if count < 3 {
             return 0.0;
         }
-        let gaps: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
-        ffs_sim::stats::coefficient_of_variation(&gaps)
+        gaps.cv()
     }
 
     /// Invocation count per app.

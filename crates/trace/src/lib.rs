@@ -25,10 +25,12 @@
 
 pub mod azure;
 pub mod loader;
+pub mod scale;
 pub mod stats;
 pub mod workload;
 
 pub use azure::{AzureTraceConfig, Trace};
 pub use loader::{parse_csv, to_trace, FunctionRow, LoadError};
+pub use scale::{partition_trace, CellTrace, ScaleTraceConfig};
 pub use stats::{all_stats, app_stats, AppTraceStats};
 pub use workload::{Invocation, WorkloadClass};

@@ -1,8 +1,14 @@
 //! Trace characterisation: the statistics the Azure-trace substitution must
 //! match (DESIGN.md) and the numbers experiment binaries print.
+//!
+//! Both entry points make exactly one pass over the invocation list. The
+//! scale experiments characterise traces with 10⁵–10⁶ functions'
+//! invocations; the earlier filter-per-app implementation re-scanned the
+//! whole trace once per app, which goes quadratic in the number of
+//! distinct streams.
 
 use ffs_profile::App;
-use ffs_sim::stats::coefficient_of_variation;
+use ffs_sim::OnlineStats;
 
 use crate::azure::Trace;
 
@@ -21,47 +27,80 @@ pub struct AppTraceStats {
     pub peak_to_mean: f64,
 }
 
-/// Characterises one app's arrival stream.
-pub fn app_stats(trace: &Trace, app: App) -> AppTraceStats {
-    let times: Vec<f64> = trace
-        .invocations
-        .iter()
-        .filter(|i| i.app == app)
-        .map(|i| i.arrival.as_secs_f64())
-        .collect();
-    let duration = trace.duration.as_secs_f64().max(1e-9);
-    let count = times.len();
-    let mean_rps = count as f64 / duration;
-    let gaps: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
-    let interarrival_cv = if gaps.len() >= 2 {
-        coefficient_of_variation(&gaps)
-    } else {
-        0.0
-    };
-    // Per-second bins.
-    let bins = duration.ceil() as usize;
-    let mut counts = vec![0u32; bins.max(1)];
-    for &t in &times {
-        let b = (t as usize).min(counts.len() - 1);
-        counts[b] += 1;
+/// Streaming accumulator for one app's arrival process.
+struct AppAccum {
+    count: usize,
+    prev: f64,
+    gaps: OnlineStats,
+    /// Per-second arrival bins (last bin absorbs the tail).
+    bins: Vec<u32>,
+}
+
+impl AppAccum {
+    fn new(duration: f64) -> Self {
+        AppAccum {
+            count: 0,
+            prev: 0.0,
+            gaps: OnlineStats::new(),
+            bins: vec![0u32; (duration.ceil() as usize).max(1)],
+        }
     }
-    let peak = counts.iter().copied().max().unwrap_or(0) as f64;
-    let peak_to_mean = if mean_rps > 0.0 { peak / mean_rps } else { 0.0 };
-    AppTraceStats {
-        app,
-        count,
-        mean_rps,
-        interarrival_cv,
-        peak_to_mean,
+
+    fn push(&mut self, t: f64) {
+        if self.count > 0 {
+            self.gaps.push(t - self.prev);
+        }
+        self.prev = t;
+        self.count += 1;
+        let b = (t as usize).min(self.bins.len() - 1);
+        self.bins[b] += 1;
+    }
+
+    fn finish(self, app: App, duration: f64) -> AppTraceStats {
+        let mean_rps = self.count as f64 / duration;
+        // Fewer than two gaps (three arrivals) has no meaningful CV.
+        let interarrival_cv = if self.gaps.count() >= 2 {
+            self.gaps.cv()
+        } else {
+            0.0
+        };
+        let peak = self.bins.iter().copied().max().unwrap_or(0) as f64;
+        let peak_to_mean = if mean_rps > 0.0 { peak / mean_rps } else { 0.0 };
+        AppTraceStats {
+            app,
+            count: self.count,
+            mean_rps,
+            interarrival_cv,
+            peak_to_mean,
+        }
     }
 }
 
-/// Characterises every app present in the trace.
+/// Characterises one app's arrival stream in a single trace pass.
+pub fn app_stats(trace: &Trace, app: App) -> AppTraceStats {
+    let duration = trace.duration.as_secs_f64().max(1e-9);
+    let mut acc = AppAccum::new(duration);
+    for i in trace.invocations.iter().filter(|i| i.app == app) {
+        acc.push(i.arrival.as_secs_f64());
+    }
+    acc.finish(app, duration)
+}
+
+/// Characterises every app present in the trace, in app-index order, with
+/// one pass over the trace regardless of how many apps it carries.
 pub fn all_stats(trace: &Trace) -> Vec<AppTraceStats> {
-    let mut apps: Vec<App> = trace.invocations.iter().map(|i| i.app).collect();
-    apps.sort_by_key(|a| a.index());
-    apps.dedup();
-    apps.into_iter().map(|a| app_stats(trace, a)).collect()
+    let duration = trace.duration.as_secs_f64().max(1e-9);
+    let mut accums: Vec<Option<AppAccum>> = (0..App::ALL.len()).map(|_| None).collect();
+    for i in &trace.invocations {
+        accums[i.app.index()]
+            .get_or_insert_with(|| AppAccum::new(duration))
+            .push(i.arrival.as_secs_f64());
+    }
+    App::ALL
+        .iter()
+        .zip(accums)
+        .filter_map(|(&app, acc)| acc.map(|a| a.finish(app, duration)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -106,5 +145,15 @@ mod tests {
         assert_eq!(s.count, 0);
         assert_eq!(s.mean_rps, 0.0);
         assert_eq!(s.peak_to_mean, 0.0);
+    }
+
+    #[test]
+    fn all_stats_matches_per_app_scan() {
+        let trace = AzureTraceConfig::for_workload(WorkloadClass::Medium, 120.0, 17).generate();
+        for s in all_stats(&trace) {
+            // The fused pass must be bit-equal to the per-app scan (same
+            // pushes in the same order).
+            assert_eq!(s, app_stats(&trace, s.app));
+        }
     }
 }
