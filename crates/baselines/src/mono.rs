@@ -72,14 +72,26 @@ impl Router for BaselineRouter {
             let chosen: Option<InstanceId> = match self.kind {
                 // Deadline-aware: lowest-latency instance with capacity.
                 BaselineKind::Esg => lowest_latency_instance(core, f, slo),
-                // FIFO: first instance (by id) with capacity. The
-                // per-function index is ascending by id, matching the
-                // full-map scan it replaces; the admission bound against
-                // `slo` is precomputed in the slab's hot columns.
-                BaselineKind::Infless => core.instances_of[f]
-                    .iter()
-                    .copied()
-                    .find(|&id| core.instances.has_admission_capacity(id)),
+                // FIFO: first instance (by id) with capacity. The routing
+                // index is exactly the admissible set in ascending id
+                // order, so its head is the same winner the filtered
+                // per-function scan produced (cross-checked in debug).
+                BaselineKind::Infless => {
+                    let head = core
+                        .instances
+                        .admissible_of(f)
+                        .first()
+                        .map(|&idx| InstanceId(idx as u64));
+                    debug_assert_eq!(
+                        head,
+                        core.instances_of[f]
+                            .iter()
+                            .copied()
+                            .find(|&id| core.instances.has_admission_capacity(id)),
+                        "routing index disagrees with the FIFO scan for function {f}"
+                    );
+                    head
+                }
             };
             let Some(id) = chosen else { break };
             route_to_instance(core, id, req, now, sched);

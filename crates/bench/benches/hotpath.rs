@@ -1,9 +1,10 @@
 //! Microbenchmarks of the simulation hot path: the timer-wheel scheduler
 //! against the binary heap it replaced, batch slot drain against the
-//! per-event loop it replaced, SoA column scans against record scans, the
-//! incremental plan-cache signature against recomputing it from the
-//! free-slice list, and an end-to-end run that exercises every hot-path
-//! change at once.
+//! per-event loop it replaced, kind-grouped dispatch against per-event
+//! dispatch, SoA column scans against record scans, the incremental
+//! routing index against the full admission scan, the incremental
+//! plan-cache signature against recomputing it from the free-slice list,
+//! and an end-to-end run that exercises every hot-path change at once.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::collections::BinaryHeap;
@@ -210,6 +211,149 @@ fn bench_batch_drain(c: &mut Criterion) {
 }
 
 // ---------------------------------------------------------------------
+// Kind-grouped dispatch vs per-event dispatch
+// ---------------------------------------------------------------------
+
+/// The handler work both dispatch arms share: a tiny per-kind body plus
+/// the bursty follow-up push — the engine's dispatch shape without the
+/// platform state behind it.
+struct KindChurn {
+    remaining: usize,
+    rng: u64,
+    acc: u64,
+}
+
+impl KindChurn {
+    #[inline]
+    fn push(&mut self, ev: u32, sched: &mut Scheduler<u32>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            let d = bursty_delta(&mut self.rng);
+            sched.after(ffs_sim::SimDuration::from_micros(d), ev);
+        }
+    }
+
+    /// Per-event dispatch: one match per event.
+    #[inline]
+    fn step_one(&mut self, ev: u32, sched: &mut Scheduler<u32>) {
+        match ev % 4 {
+            0 => self.acc = self.acc.wrapping_add(1),
+            1 => self.acc = self.acc.wrapping_mul(3),
+            2 => self.acc ^= u64::from(ev),
+            _ => self.acc = self.acc.rotate_left(7),
+        }
+        self.push(ev, sched);
+    }
+}
+
+/// Kind-grouped: `kind_of` splits batches into homogeneous runs and
+/// `handle_run` matches the kind once, then runs a kind-specialized
+/// inner loop.
+struct GroupedChurn(KindChurn);
+
+impl World for GroupedChurn {
+    type Event = u32;
+
+    fn handle(&mut self, _t: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+        self.0.step_one(ev, sched);
+    }
+
+    fn kind_of(&self, ev: &u32) -> u16 {
+        (ev % 4) as u16
+    }
+
+    fn handle_run(
+        &mut self,
+        _t: SimTime,
+        kind: u16,
+        run: std::vec::Drain<'_, u32>,
+        sched: &mut Scheduler<u32>,
+    ) {
+        let w = &mut self.0;
+        match kind {
+            0 => {
+                for ev in run {
+                    w.acc = w.acc.wrapping_add(1);
+                    w.push(ev, sched);
+                }
+            }
+            1 => {
+                for ev in run {
+                    w.acc = w.acc.wrapping_mul(3);
+                    w.push(ev, sched);
+                }
+            }
+            2 => {
+                for ev in run {
+                    w.acc ^= u64::from(ev);
+                    w.push(ev, sched);
+                }
+            }
+            _ => {
+                for ev in run {
+                    w.acc = w.acc.rotate_left(7);
+                    w.push(ev, sched);
+                }
+            }
+        }
+    }
+}
+
+/// Per-event: constant `kind_of` (the default), so `handle_run`'s default
+/// body calls `handle` — and its match — once per event.
+struct PerEventChurn(KindChurn);
+
+impl World for PerEventChurn {
+    type Event = u32;
+    fn handle(&mut self, _t: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+        self.0.step_one(ev, sched);
+    }
+}
+
+/// Kind-grouped dispatch against per-event dispatch, inside the same
+/// batched drive loop. The programs are identical; the delta is the
+/// amortization — one kind match and one dispatch span per run instead of
+/// per event.
+fn bench_grouped_dispatch(c: &mut Criterion) {
+    let seeds: Vec<u64> = {
+        let mut x = SEED;
+        (0..PENDING)
+            .map(|_| (xorshift(&mut x) % 128) * 1_000)
+            .collect()
+    };
+    let churn = || KindChurn {
+        remaining: CHURN_OPS,
+        rng: SEED,
+        acc: 0,
+    };
+    let load = |s: &mut Scheduler<u32>| {
+        for (i, &t) in seeds.iter().enumerate() {
+            s.at(SimTime::from_micros(t), i as u32);
+        }
+    };
+    let mut g = c.benchmark_group("dispatch_bursty_1k_pending");
+    g.bench_function("kind_grouped", |b| {
+        b.iter(|| {
+            let mut w = GroupedChurn(churn());
+            let mut s: Scheduler<u32> = Scheduler::new();
+            load(&mut s);
+            run_until(&mut w, &mut s, SimTime::MAX);
+            black_box(w.0.acc)
+        })
+    });
+    g.bench_function("per_event", |b| {
+        b.iter(|| {
+            let mut w = PerEventChurn(churn());
+            let mut s: Scheduler<u32> = Scheduler::new();
+            load(&mut s);
+            run_until(&mut w, &mut s, SimTime::MAX);
+            black_box(w.0.acc)
+        })
+    });
+    g.finish();
+}
+
+// ---------------------------------------------------------------------
 // SoA column scan vs slab record scan
 // ---------------------------------------------------------------------
 
@@ -301,6 +445,49 @@ fn bench_soa_scan(c: &mut Criterion) {
 }
 
 // ---------------------------------------------------------------------
+// Incremental routing index vs full admission scan
+// ---------------------------------------------------------------------
+
+/// The routing lookup on the maintained per-function candidate index
+/// against the full filter-scan it replaced. `scan_slab` parks a third of
+/// the fleet at its admission bound, so the index holds ~2/3 of the
+/// instances; the full scan still reads the phase/occupancy/cap columns
+/// of all of them.
+fn bench_route_index(c: &mut Criterion) {
+    const FLEET: u64 = 256;
+    let slab = scan_slab(FLEET);
+    let mut g = c.benchmark_group("route_lookup_256_instances");
+    g.bench_function("incremental_index", |b| {
+        b.iter(|| {
+            let mut best: Option<(u32, f64)> = None;
+            for &idx in slab.admissible_of(0) {
+                let lat = slab.latency_ms_of(InstanceId(u64::from(idx)));
+                if best.is_none_or(|(_, b)| lat < b) {
+                    best = Some((idx, lat));
+                }
+            }
+            black_box(best)
+        })
+    });
+    g.bench_function("full_scan", |b| {
+        b.iter(|| {
+            let mut best: Option<(InstanceId, f64)> = None;
+            for id in (0..FLEET).map(InstanceId) {
+                if !slab.has_admission_capacity(id) {
+                    continue;
+                }
+                let lat = slab.latency_ms_of(id);
+                if best.is_none_or(|(_, b)| lat < b) {
+                    best = Some((id, lat));
+                }
+            }
+            black_box(best)
+        })
+    });
+    g.finish();
+}
+
+// ---------------------------------------------------------------------
 // Plan-cache hit: incremental signature vs recomputed signature
 // ---------------------------------------------------------------------
 
@@ -360,7 +547,9 @@ criterion_group!(
     hotpath,
     bench_scheduler_push_pop,
     bench_batch_drain,
+    bench_grouped_dispatch,
     bench_soa_scan,
+    bench_route_index,
     bench_plan_cache_hit,
     bench_end_to_end
 );

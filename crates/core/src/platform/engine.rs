@@ -1012,111 +1012,267 @@ impl Engine {
             policies,
         })
     }
+
+    // ------------------------------------------------------------------
+    // Hot event handlers. One inherent method per hot variant so the
+    // `World::handle` match and the kind-homogeneous `handle_run` loops
+    // share one body. Routing is skipped (no span, no virtual call) when
+    // the function's backlog is empty: every router's dispatch loop is
+    // headed by `while pending[f].front()`, so an empty backlog makes the
+    // call side-effect-free — the skip cannot move an output bit, it only
+    // removes no-op RoutingScan spans from the profile.
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn on_arrival(&mut self, now: SimTime, id: u64, sched: &mut Scheduler<Event>) {
+        let Engine { core, policies } = self;
+        let f = core.requests[id as usize].func;
+        ffs_obs::record(|| ffs_obs::ObsEvent::RequestArrived {
+            req: id,
+            func: f as u32,
+        });
+        core.note_arrival(f);
+        core.last_use[f] = now;
+        policies.autoscaler.on_arrival(core, f);
+        // The push makes the backlog non-empty, so dispatch always runs.
+        core.pending[f].push_back(id);
+        let _rt = span(TelemetryPhase::RoutingScan);
+        policies
+            .router
+            .dispatch(core, &*policies.shared, f, now, sched);
+    }
+
+    #[inline]
+    fn on_instance_ready(&mut self, now: SimTime, id: InstanceId, sched: &mut Scheduler<Event>) {
+        let Engine { core, policies } = self;
+        let f = match core.instances.get(&id) {
+            Some(inst) => inst.func,
+            None => return,
+        };
+        core.instances.set_phase(&id, Phase::Ready);
+        if !core.pending[f].is_empty() {
+            let _rt = span(TelemetryPhase::RoutingScan);
+            policies
+                .router
+                .dispatch(core, &*policies.shared, f, now, sched);
+        }
+        // Kick any queued work (requests routed while launching).
+        core.try_start_stage(id, 0, now, sched);
+    }
+
+    #[inline]
+    fn on_stage_done_event(
+        &mut self,
+        now: SimTime,
+        inst: InstanceId,
+        stage: usize,
+        req: u64,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let Engine { core, policies } = self;
+        if let Some(f) = core.on_stage_done(inst, stage, req, now, sched) {
+            if !core.pending[f].is_empty() {
+                let _rt = span(TelemetryPhase::RoutingScan);
+                policies
+                    .router
+                    .dispatch(core, &*policies.shared, f, now, sched);
+            }
+        }
+    }
+
+    #[inline]
+    fn on_transfer_done(
+        &mut self,
+        now: SimTime,
+        inst: InstanceId,
+        stage: usize,
+        req: u64,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let core = &mut self.core;
+        if let Some(instance) = core.instances.get_mut(&inst) {
+            debug_assert!(instance.in_transfer > 0);
+            instance.in_transfer -= 1;
+            instance.stage_queues[stage].push_back(req);
+            core.try_start_stage(inst, stage, now, sched);
+        } else if core.chaos.was_killed(inst.0) {
+            // The instance died mid-transfer (fault injection).
+            // In-transfer requests are tracked only as a count, so
+            // this arrival is the recovery point: retry the request.
+            core.schedule_retry(req, sched);
+        } else {
+            debug_assert!(false, "transfer completed on a retired instance");
+        }
+    }
+
+    #[inline]
+    fn on_shared_load_done(
+        &mut self,
+        now: SimTime,
+        slot: usize,
+        req: u64,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let core = &mut self.core;
+        let (f, expected) = match core.pool.slot(slot).loading {
+            Some((f, r)) => (f, r),
+            None => return,
+        };
+        if expected != req {
+            // Stale load-done: the slot was killed and rebound
+            // between scheduling and delivery (fault injection).
+            debug_assert!(core.chaos.fired, "mismatched load on fault-free run");
+            return;
+        }
+        let s = core.pool.slot_mut(slot);
+        s.loading = None;
+        s.resident = Some(f);
+        core.start_shared_exec(slot, req, now, sched);
+    }
+
+    #[inline]
+    fn on_shared_done(
+        &mut self,
+        now: SimTime,
+        slot: usize,
+        req: u64,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let Engine { core, policies } = self;
+        let s = core.pool.slot_mut(slot);
+        if s.busy_with != Some(req) {
+            // Stale completion for a request already drained off a
+            // failed slot (fault injection): the retry path owns it.
+            debug_assert!(core.chaos.fired, "mismatched completion on fault-free run");
+            return;
+        }
+        s.busy_with = None;
+        s.mark_idle(now);
+        let slice = s.slice.id;
+        core.hub.slice_idle(now, slice);
+        ffs_obs::record(|| ffs_obs::ObsEvent::SliceIdle { slice: sref(slice) });
+        let f = {
+            // Split borrow (request mutates, hub reads) — no clone.
+            let EngineCore { requests, hub, .. } = &mut *core;
+            let state = &mut requests[req as usize];
+            let breakdown = state.finish(now);
+            hub.complete(state, breakdown);
+            state.func
+        };
+        core.last_use[f] = now;
+        if !core.pending[f].is_empty() {
+            let _rt = span(TelemetryPhase::RoutingScan);
+            policies
+                .router
+                .dispatch(core, &*policies.shared, f, now, sched);
+        }
+        let _ = policies.shared.dispatch_slot(core, slot, now, sched);
+    }
 }
 
 impl World for Engine {
     type Event = Event;
 
     fn handle(&mut self, now: SimTime, ev: Event, sched: &mut Scheduler<Event>) {
-        let Engine { core, policies } = self;
         match ev {
-            Event::Arrival(id) => {
-                let f = core.requests[id as usize].func;
-                ffs_obs::record(|| ffs_obs::ObsEvent::RequestArrived {
-                    req: id,
-                    func: f as u32,
-                });
-                core.note_arrival(f);
-                core.last_use[f] = now;
-                policies.autoscaler.on_arrival(core, f);
-                core.pending[f].push_back(id);
-                let _rt = span(TelemetryPhase::RoutingScan);
-                policies
-                    .router
-                    .dispatch(core, &*policies.shared, f, now, sched);
-            }
-            Event::InstanceReady(id) => {
-                let f = match core.instances.get(&id) {
-                    Some(inst) => inst.func,
-                    None => return,
-                };
-                core.instances.set_phase(&id, Phase::Ready);
-                {
-                    let _rt = span(TelemetryPhase::RoutingScan);
-                    policies
-                        .router
-                        .dispatch(core, &*policies.shared, f, now, sched);
-                }
-                // Kick any queued work (requests routed while launching).
-                core.try_start_stage(id, 0, now, sched);
-            }
+            Event::Arrival(id) => self.on_arrival(now, id, sched),
+            Event::InstanceReady(id) => self.on_instance_ready(now, id, sched),
             Event::StageDone { inst, stage, req } => {
-                if let Some(f) = core.on_stage_done(inst, stage, req, now, sched) {
-                    let _rt = span(TelemetryPhase::RoutingScan);
-                    policies
-                        .router
-                        .dispatch(core, &*policies.shared, f, now, sched);
-                }
+                self.on_stage_done_event(now, inst, stage, req, sched)
             }
             Event::TransferDone { inst, stage, req } => {
-                if let Some(instance) = core.instances.get_mut(&inst) {
-                    debug_assert!(instance.in_transfer > 0);
-                    instance.in_transfer -= 1;
-                    instance.stage_queues[stage].push_back(req);
-                    core.try_start_stage(inst, stage, now, sched);
-                } else if core.chaos.was_killed(inst.0) {
-                    // The instance died mid-transfer (fault injection).
-                    // In-transfer requests are tracked only as a count, so
-                    // this arrival is the recovery point: retry the request.
-                    core.schedule_retry(req, sched);
-                } else {
-                    debug_assert!(false, "transfer completed on a retired instance");
+                self.on_transfer_done(now, inst, stage, req, sched)
+            }
+            Event::SharedLoadDone { slot, req } => self.on_shared_load_done(now, slot, req, sched),
+            Event::SharedDone { slot, req } => self.on_shared_done(now, slot, req, sched),
+            ev => self.handle_control(now, ev, sched),
+        }
+    }
+
+    #[inline]
+    fn kind_of(&self, ev: &Event) -> u16 {
+        ev.kind_index()
+    }
+
+    /// Kind-specialized dispatch: the variant match runs once per run and
+    /// each hot arm is a tight loop over one already-known variant —
+    /// same-timestamp bursts (a pipeline's stage completions, an arrival
+    /// wave) no longer pay the 12-way dispatch per event. The cold control
+    /// variants share one kind and fall back to the per-event reference
+    /// path; every arm's per-event semantics are exactly [`World::handle`]'s
+    /// (pinned by the batch-equivalence property tests).
+    fn handle_run(
+        &mut self,
+        now: SimTime,
+        kind: u16,
+        run: std::vec::Drain<'_, Event>,
+        sched: &mut Scheduler<Event>,
+    ) {
+        match kind {
+            Event::KIND_ARRIVAL => {
+                for ev in run {
+                    let Event::Arrival(id) = ev else {
+                        unreachable!("kind-homogeneous run mixed variants")
+                    };
+                    self.on_arrival(now, id, sched);
                 }
             }
-            Event::SharedLoadDone { slot, req } => {
-                let (f, expected) = match core.pool.slot(slot).loading {
-                    Some((f, r)) => (f, r),
-                    None => return,
-                };
-                if expected != req {
-                    // Stale load-done: the slot was killed and rebound
-                    // between scheduling and delivery (fault injection).
-                    debug_assert!(core.chaos.fired, "mismatched load on fault-free run");
-                    return;
+            Event::KIND_INSTANCE_READY => {
+                for ev in run {
+                    let Event::InstanceReady(id) = ev else {
+                        unreachable!("kind-homogeneous run mixed variants")
+                    };
+                    self.on_instance_ready(now, id, sched);
                 }
-                let s = core.pool.slot_mut(slot);
-                s.loading = None;
-                s.resident = Some(f);
-                core.start_shared_exec(slot, req, now, sched);
             }
-            Event::SharedDone { slot, req } => {
-                let s = core.pool.slot_mut(slot);
-                if s.busy_with != Some(req) {
-                    // Stale completion for a request already drained off a
-                    // failed slot (fault injection): the retry path owns it.
-                    debug_assert!(core.chaos.fired, "mismatched completion on fault-free run");
-                    return;
+            Event::KIND_STAGE_DONE => {
+                for ev in run {
+                    let Event::StageDone { inst, stage, req } = ev else {
+                        unreachable!("kind-homogeneous run mixed variants")
+                    };
+                    self.on_stage_done_event(now, inst, stage, req, sched);
                 }
-                s.busy_with = None;
-                s.mark_idle(now);
-                let slice = s.slice.id;
-                core.hub.slice_idle(now, slice);
-                ffs_obs::record(|| ffs_obs::ObsEvent::SliceIdle { slice: sref(slice) });
-                let f = {
-                    // Split borrow (request mutates, hub reads) — no clone.
-                    let EngineCore { requests, hub, .. } = &mut *core;
-                    let state = &mut requests[req as usize];
-                    let breakdown = state.finish(now);
-                    hub.complete(state, breakdown);
-                    state.func
-                };
-                core.last_use[f] = now;
-                let _rt = span(TelemetryPhase::RoutingScan);
-                policies
-                    .router
-                    .dispatch(core, &*policies.shared, f, now, sched);
-                let _ = policies.shared.dispatch_slot(core, slot, now, sched);
             }
+            Event::KIND_TRANSFER_DONE => {
+                for ev in run {
+                    let Event::TransferDone { inst, stage, req } = ev else {
+                        unreachable!("kind-homogeneous run mixed variants")
+                    };
+                    self.on_transfer_done(now, inst, stage, req, sched);
+                }
+            }
+            Event::KIND_SHARED_LOAD_DONE => {
+                for ev in run {
+                    let Event::SharedLoadDone { slot, req } = ev else {
+                        unreachable!("kind-homogeneous run mixed variants")
+                    };
+                    self.on_shared_load_done(now, slot, req, sched);
+                }
+            }
+            Event::KIND_SHARED_DONE => {
+                for ev in run {
+                    let Event::SharedDone { slot, req } = ev else {
+                        unreachable!("kind-homogeneous run mixed variants")
+                    };
+                    self.on_shared_done(now, slot, req, sched);
+                }
+            }
+            _ => {
+                for ev in run {
+                    self.handle(now, ev, sched);
+                }
+            }
+        }
+    }
+}
+
+impl Engine {
+    /// The cold control variants (ticks, keep-alive sweeps, faults,
+    /// retries): rare enough that they share one dispatch kind and stay on
+    /// the per-event path.
+    fn handle_control(&mut self, now: SimTime, ev: Event, sched: &mut Scheduler<Event>) {
+        let Engine { core, policies } = self;
+        match ev {
             Event::ScaleTick => {
                 let _tick = span(TelemetryPhase::AutoscalerTick);
                 // Arm the chaos timeline on the first tick (one branch per
@@ -1143,11 +1299,15 @@ impl World for Engine {
                 }
                 // Retry anything stuck in the backlog. Only active
                 // functions can have one (ascending order, as before);
-                // dispatching an empty backlog is a no-op.
+                // dispatching an empty backlog would be a no-op, so those
+                // functions are skipped outright.
                 {
                     let _rt = span(TelemetryPhase::RoutingScan);
                     for i in 0..core.active_funcs.len() {
                         let f = core.active_funcs[i];
+                        if core.pending[f].is_empty() {
+                            continue;
+                        }
                         policies
                             .router
                             .dispatch(core, &*policies.shared, f, now, sched);
@@ -1314,6 +1474,9 @@ impl World for Engine {
                     .router
                     .dispatch(core, &*policies.shared, f, now, sched);
             }
+            // Hot variants go through `handle`/`handle_run` and never
+            // reach the control path.
+            _ => unreachable!("handle_control received a hot event"),
         }
     }
 }

@@ -188,12 +188,43 @@ pub fn route_to_instance(
 /// The lowest-latency instance of `f` with admission capacity (the
 /// deadline-aware chooser shared by FluidFaaS and ESG routing).
 ///
+/// Reads the slab's routing index — the maintained per-function list of
+/// admissible instances — so the scan is O(candidates) rather than a
+/// filter over every instance of `f`. The index is ascending by id and
+/// the argmin uses strict `<`, so the first-best tie winner is identical
+/// to the full scan's ([`lowest_latency_full_scan`], `debug_assert`ed
+/// equal here and pinned by `proptest_route_index`).
+///
 /// `_slo_ms` documents the admission bound's input; the bound itself is
-/// precomputed per instance (SLO and bottleneck are both fixed at launch),
-/// so the scan reads the slab's hot columns only.
+/// precomputed per instance (SLO and bottleneck are both fixed at launch).
 pub fn lowest_latency_instance(core: &EngineCore, f: FuncId, _slo_ms: f64) -> Option<InstanceId> {
-    // The per-function id index is ascending, matching the full-map scan
-    // it replaces, so strict-< keeps the same first-best tie winner.
+    let mut best: Option<(InstanceId, f64)> = None;
+    for &idx in core.instances.admissible_of(f) {
+        let id = InstanceId(idx as u64);
+        let lat = core.instances.latency_ms_of(id);
+        let better = match best {
+            None => true,
+            Some((_, best_lat)) => lat < best_lat,
+        };
+        if better {
+            best = Some((id, lat));
+        }
+    }
+    let chosen = best.map(|(id, _)| id);
+    debug_assert_eq!(
+        chosen,
+        lowest_latency_full_scan(core, f),
+        "routing index disagrees with the full scan for function {f}"
+    );
+    chosen
+}
+
+/// The reference full scan [`lowest_latency_instance`] replaced: filter
+/// every instance of `f` by admission capacity, argmin latency with
+/// strict `<` (ascending ids make the first best the lowest-id winner).
+/// Kept as the executable specification of the routing index — the
+/// `debug_assert` above and `proptest_route_index` compare against it.
+pub fn lowest_latency_full_scan(core: &EngineCore, f: FuncId) -> Option<InstanceId> {
     let mut best: Option<(InstanceId, f64)> = None;
     for &id in &core.instances_of[f] {
         if core.instances.has_admission_capacity(id) {

@@ -35,9 +35,31 @@
 //! underlying quantity changes (admission, stage start/finish, phase
 //! transitions); `debug_assert_hot_consistent` re-derives every column
 //! from the records in debug builds.
+//!
+//! ## Routing index
+//!
+//! On top of the columns the slab maintains the *routing index*: one
+//! sorted vector of instance ids per function holding exactly the
+//! *admissible* instances (`Ready` and below the SLO admission bound).
+//! Routing reads the candidate list directly — O(candidates) instead of a
+//! filter over every instance of the function — and the list's ascending
+//! order preserves the first-best-by-id tie-breaking of the scan it
+//! replaces. Membership can only change where the inputs change, so the
+//! index is maintained at the same five sites that keep the columns in
+//! sync: `insert`, `remove`, `set_phase`, `note_admitted` (a request
+//! saturating the bound leaves the index) and `note_stage_finished` (a
+//! departure from a saturated instance re-enters it).
+//! `debug_assert_hot_consistent` re-derives the whole index in debug
+//! builds, and `crates/core/tests/proptest_route_index.rs` pins
+//! index-vs-scan equivalence on random mutation sequences.
 
 use crate::instance::{Instance, Phase};
+use crate::platform::catalog::FuncId;
 use crate::platform::events::InstanceId;
+use ffs_telemetry::{span, Phase as TelemetryPhase};
+
+/// Sentinel in the `func` column for empty slots.
+const NO_FUNC: usize = usize::MAX;
 
 /// Lifecycle tag of a slab slot, including the empty (tombstone) state.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,6 +96,12 @@ pub struct InstanceSlab {
     bottleneck_ms: Vec<f64>,
     throughput_rps: Vec<f64>,
     busy_gpcs: Vec<u32>,
+    /// Function of each slot ([`NO_FUNC`] for tombstones) — what lets the
+    /// mutators below index the right candidate list.
+    func: Vec<usize>,
+    /// The routing index: per-function ascending-id lists of admissible
+    /// instances (see the module docs).
+    admissible: Vec<Vec<u32>>,
 }
 
 impl InstanceSlab {
@@ -119,6 +147,7 @@ impl InstanceSlab {
             self.bottleneck_ms.resize(idx + 1, 0.0);
             self.throughput_rps.resize(idx + 1, 0.0);
             self.busy_gpcs.resize(idx + 1, 0);
+            self.func.resize(idx + 1, NO_FUNC);
         }
         debug_assert!(self.slots[idx].is_none(), "instance id reused");
         self.phase[idx] = PhaseTag::of(&inst.phase);
@@ -134,8 +163,13 @@ impl InstanceSlab {
             .filter(|(b, _)| b.is_some())
             .map(|(_, s)| s.profile.gpcs())
             .sum();
+        self.func[idx] = inst.func;
+        if inst.func >= self.admissible.len() {
+            self.admissible.resize_with(inst.func + 1, Vec::new);
+        }
         self.slots[idx] = Some(inst);
         self.live += 1;
+        self.index_update(idx, false);
     }
 
     /// Removes and returns the instance under `id`, if live.
@@ -143,6 +177,8 @@ impl InstanceSlab {
         let taken = self.slots.get_mut(id.0 as usize).and_then(Option::take);
         if taken.is_some() {
             let idx = id.0 as usize;
+            let was = self.phase[idx] == PhaseTag::Ready
+                && self.occupancy[idx] < self.admit_cap[idx];
             self.phase[idx] = PhaseTag::Empty;
             self.occupancy[idx] = 0;
             self.admit_cap[idx] = 0;
@@ -150,6 +186,8 @@ impl InstanceSlab {
             self.bottleneck_ms[idx] = 0.0;
             self.throughput_rps[idx] = 0.0;
             self.busy_gpcs[idx] = 0;
+            self.index_update(idx, was);
+            self.func[idx] = NO_FUNC;
             self.live -= 1;
         }
         taken
@@ -159,9 +197,47 @@ impl InstanceSlab {
     /// in lockstep (the engine's only phase-mutation path).
     pub fn set_phase(&mut self, id: &InstanceId, phase: Phase) {
         let idx = id.0 as usize;
+        let was = self.phase[idx] == PhaseTag::Ready && self.occupancy[idx] < self.admit_cap[idx];
         let inst = self.slots[idx].as_mut().expect("live instance");
         inst.phase = phase;
         self.phase[idx] = PhaseTag::of(&phase);
+        self.index_update(idx, was);
+    }
+
+    /// Reconciles slot `idx`'s routing-index membership after a column
+    /// mutation. `was` is the slot's admissibility *before* the mutation;
+    /// the candidate list is only touched when membership actually flips,
+    /// so steady traffic below the admission bound costs two column reads
+    /// and a compare.
+    #[inline]
+    fn index_update(&mut self, idx: usize, was: bool) {
+        let now =
+            self.phase[idx] == PhaseTag::Ready && self.occupancy[idx] < self.admit_cap[idx];
+        if was == now {
+            return;
+        }
+        let _maint = span(TelemetryPhase::RouteIndexMaint);
+        let f = self.func[idx];
+        debug_assert_ne!(f, NO_FUNC, "index update on an empty slot");
+        let list = &mut self.admissible[f];
+        let id = idx as u32;
+        match list.binary_search(&id) {
+            Err(pos) if now => list.insert(pos, id),
+            Ok(pos) if !now => {
+                list.remove(pos);
+            }
+            _ => debug_assert!(false, "routing index membership out of sync"),
+        }
+    }
+
+    /// The routing index for `f`: the admissible (ready, spare admission
+    /// capacity) instances of `f` in ascending id order. Routing policies
+    /// scan this instead of filtering every instance of the function; the
+    /// full-scan equivalent is
+    /// [`lowest_latency_full_scan`](super::policy::lowest_latency_full_scan).
+    #[inline]
+    pub fn admissible_of(&self, f: FuncId) -> &[u32] {
+        self.admissible.get(f).map_or(&[], Vec::as_slice)
     }
 
     /// The lifecycle tag of slot `id` (`Empty` for tombstones / out of
@@ -215,7 +291,10 @@ impl InstanceSlab {
     /// A request entered instance `id` (queued at stage 0).
     #[inline]
     pub fn note_admitted(&mut self, id: InstanceId) {
-        self.occupancy[id.0 as usize] += 1;
+        let idx = id.0 as usize;
+        let was = self.phase[idx] == PhaseTag::Ready && self.occupancy[idx] < self.admit_cap[idx];
+        self.occupancy[idx] += 1;
+        self.index_update(idx, was);
     }
 
     /// A stage of instance `id` started executing, occupying `gpcs` GPCs.
@@ -231,7 +310,10 @@ impl InstanceSlab {
         let idx = id.0 as usize;
         self.busy_gpcs[idx] -= gpcs;
         if departed {
+            let was =
+                self.phase[idx] == PhaseTag::Ready && self.occupancy[idx] < self.admit_cap[idx];
             self.occupancy[idx] -= 1;
+            self.index_update(idx, was);
         }
     }
 
@@ -260,8 +342,25 @@ impl InstanceSlab {
                             .map(|(_, s)| s.profile.gpcs())
                             .sum();
                         debug_assert_eq!(self.busy_gpcs[idx], busy);
+                        debug_assert_eq!(self.func[idx], inst.func);
                     }
                 }
+            }
+            // Re-derive the routing index: each function's candidate list
+            // must hold exactly its admissible slots, ascending.
+            for (f, list) in self.admissible.iter().enumerate() {
+                let expect: Vec<u32> = self
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(idx, s)| {
+                        s.is_some()
+                            && self.func[*idx] == f
+                            && self.has_admission_capacity(InstanceId(*idx as u64))
+                    })
+                    .map(|(idx, _)| idx as u32)
+                    .collect();
+                debug_assert_eq!(list, &expect, "routing index diverged for function {f}");
             }
         }
     }
@@ -277,6 +376,12 @@ impl InstanceSlab {
         self.bottleneck_ms.clear();
         self.throughput_rps.clear();
         self.busy_gpcs.clear();
+        self.func.clear();
+        // Keep the outer per-function vector (and each inner list's
+        // capacity): the next run refills them without allocating.
+        for list in &mut self.admissible {
+            list.clear();
+        }
         self.live = 0;
     }
 
@@ -291,6 +396,13 @@ impl InstanceSlab {
             + self.bottleneck_ms.capacity()
             + self.throughput_rps.capacity()
             + self.busy_gpcs.capacity()
+            + self.func.capacity()
+            + self.admissible.capacity()
+            + self
+                .admissible
+                .iter()
+                .map(Vec::capacity)
+                .sum::<usize>()
     }
 
     /// Live instance ids, ascending.

@@ -80,6 +80,24 @@ fn main() {
 
     let mut report = parallel::bench_report(started.elapsed().as_secs_f64());
     report.resilience = Some(ffs_experiments::resilience::summarize(&resilience));
+    // The multicore probe runs after the report snapshot, so its events and
+    // wall clock never leak into the sequential harness figures above.
+    let multicore = ffs_experiments::scale::multicore_probe(seed);
+    eprintln!(
+        "harness: multicore probe {} gpus x {} cells: {:.0} events/s on 1 lane, {:.0} events/s on {} lanes ({:.2}x, cross_check={})",
+        multicore.gpus,
+        multicore.cells,
+        multicore.sequential_events_per_sec,
+        multicore.parallel_events_per_sec,
+        multicore.lanes,
+        if multicore.sequential_events_per_sec > 0.0 {
+            multicore.parallel_events_per_sec / multicore.sequential_events_per_sec
+        } else {
+            0.0
+        },
+        multicore.cross_check,
+    );
+    report.multicore = Some(multicore);
     eprintln!(
         "harness: {} runs in {:.1}s wall ({:.2} runs/s, {:.1}s simulated busy, {} threads)",
         report.runs, report.total_secs, report.runs_per_sec, report.busy_secs, report.threads

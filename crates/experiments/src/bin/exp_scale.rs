@@ -40,4 +40,16 @@ fn main() {
         eprintln!("harness: ERROR: lane-count digest cross-check failed");
         std::process::exit(1);
     }
+    // The sweep's memory budget is part of its contract: the biggest fleet
+    // must still fit in 2 GiB. (An 80% warning already fired mid-sweep if
+    // the rows were drifting close — see scale::warn_if_rss_high.)
+    let peak_kb = scale::peak_rss_kb();
+    if peak_kb > scale::RSS_CEILING_KB {
+        eprintln!(
+            "harness: ERROR: peak RSS {:.1} MiB exceeds the {} MiB ceiling",
+            peak_kb as f64 / 1024.0,
+            scale::RSS_CEILING_KB / 1024,
+        );
+        std::process::exit(1);
+    }
 }

@@ -358,6 +358,10 @@ pub struct BenchReport {
     /// Scale-sweep summary, when the section ran one (`exp_scale` sets
     /// it; other binaries leave `None`).
     pub scale: Option<crate::scale::ScaleSummary>,
+    /// Multi-core probe (one sharded fleet at 1 lane vs `FFS_SHARDS`
+    /// lanes), when the section ran one (`exp_all` sets it after the
+    /// sequential sweep; other binaries leave `None`).
+    pub multicore: Option<crate::scale::MulticoreSummary>,
     /// Per-worker-slot totals (slot 0 is the sequential path), for spotting
     /// per-worker skew in the parallel harness.
     pub per_thread: Vec<ThreadLoad>,
@@ -448,6 +452,7 @@ pub fn bench_report(total_secs: f64) -> BenchReport {
         plan_cache_misses,
         resilience: None,
         scale: None,
+        multicore: None,
         per_thread: thread_loads(),
         arena: arena_report(),
         phases: phase_rows(cycles_per_sec),
@@ -537,6 +542,26 @@ pub fn write_bench_json(path: &Path, report: &BenchReport) -> std::io::Result<()
         }
         None => String::new(),
     };
+    let multicore = match &report.multicore {
+        Some(m) => format!(
+            ",\n  \"multicore\": {{\n    \"gpus\": {},\n    \"cells\": {},\n    \"lanes\": {},\n    \"events\": {},\n    \"sequential_wall_secs\": {:.3},\n    \"parallel_wall_secs\": {:.3},\n    \"sequential_events_per_sec\": {:.0},\n    \"parallel_events_per_sec\": {:.0},\n    \"speedup\": {:.2},\n    \"cross_check\": \"{}\"\n  }}",
+            m.gpus,
+            m.cells,
+            m.lanes,
+            m.events,
+            m.sequential_wall_secs,
+            m.parallel_wall_secs,
+            m.sequential_events_per_sec,
+            m.parallel_events_per_sec,
+            if m.sequential_events_per_sec > 0.0 {
+                m.parallel_events_per_sec / m.sequential_events_per_sec
+            } else {
+                0.0
+            },
+            m.cross_check,
+        ),
+        None => String::new(),
+    };
     let per_thread = report
         .per_thread
         .iter()
@@ -578,7 +603,7 @@ pub fn write_bench_json(path: &Path, report: &BenchReport) -> std::io::Result<()
         phases,
     );
     let json = format!(
-        "{{\n  \"total_secs\": {:.3},\n  \"runs\": {},\n  \"runs_per_sec\": {:.3},\n  \"busy_secs\": {:.3},\n  \"threads\": {},\n  \"events\": {},\n  \"events_per_sec\": {:.0},\n  \"events_per_sec_per_thread\": [{}],\n  \"plan_cache_hits\": {},\n  \"plan_cache_misses\": {},\n  \"plan_cache_hit_rate\": {:.4},\n  \"arena\": {},\n  \"phase_breakdown\": {}{}{}\n}}\n",
+        "{{\n  \"total_secs\": {:.3},\n  \"runs\": {},\n  \"runs_per_sec\": {:.3},\n  \"busy_secs\": {:.3},\n  \"threads\": {},\n  \"events\": {},\n  \"events_per_sec\": {:.0},\n  \"events_per_sec_per_thread\": [{}],\n  \"plan_cache_hits\": {},\n  \"plan_cache_misses\": {},\n  \"plan_cache_hit_rate\": {:.4},\n  \"arena\": {},\n  \"phase_breakdown\": {}{}{}{}\n}}\n",
         report.total_secs,
         report.runs,
         report.runs_per_sec,
@@ -594,6 +619,7 @@ pub fn write_bench_json(path: &Path, report: &BenchReport) -> std::io::Result<()
         phase_breakdown,
         resilience,
         scale,
+        multicore,
     );
     std::fs::write(path, json)
 }

@@ -16,10 +16,32 @@
 //! (trace seconds, default 60 here — the scale fleets are much bigger
 //! than the paper-reproduction runs).
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use ffs_trace::{ScaleTraceConfig, WorkloadClass};
 use fluidfaas::{run_output_digest, run_sharded_fluid, FfsConfig, ShardSpec};
+
+/// Peak-RSS ceiling for the scale sweep, in kB (2 GiB). The scale-smoke
+/// CI job enforces it externally; `exp_scale` also asserts it in-process
+/// so a local run fails the same way CI would.
+pub const RSS_CEILING_KB: u64 = 2 * 1024 * 1024;
+
+/// Whether the 80%-of-ceiling warning already fired (one-shot).
+static RSS_WARNED: AtomicBool = AtomicBool::new(false);
+
+/// Emits a one-shot stderr warning the first time peak RSS crosses 80% of
+/// [`RSS_CEILING_KB`] — early notice that the sweep is drifting toward
+/// the hard ceiling, without failing the run.
+pub fn warn_if_rss_high(peak_kb: u64) {
+    if peak_kb * 5 >= RSS_CEILING_KB * 4 && !RSS_WARNED.swap(true, Ordering::Relaxed) {
+        eprintln!(
+            "harness: WARNING: peak RSS {:.1} MiB exceeds 80% of the {} MiB ceiling",
+            peak_kb as f64 / 1024.0,
+            RSS_CEILING_KB / 1024,
+        );
+    }
+}
 
 /// One (fleet size × lane count) measurement.
 #[derive(Clone, Debug)]
@@ -193,8 +215,65 @@ pub fn run_point(
             peak_rss_kb: peak_rss_kb(),
             digest: run_output_digest(&out),
         });
+        warn_if_rss_high(rows.last().expect("row just pushed").peak_rss_kb);
     }
     rows
+}
+
+/// The multi-core probe folded into `BENCH_harness.json` under
+/// `"multicore"`: one mid-size sharded fleet measured at 1 lane and at
+/// [`crate::parallel::shards`] lanes, so the report carries a multi-core
+/// events/s figure next to the sequential harness numbers.
+#[derive(Clone, Debug)]
+pub struct MulticoreSummary {
+    /// Fleet size the probe ran on.
+    pub gpus: usize,
+    /// Cells the fleet was partitioned into.
+    pub cells: usize,
+    /// Lane count of the parallel arm.
+    pub lanes: usize,
+    /// Events executed by one arm (identical across arms by design).
+    pub events: u64,
+    /// Wall-clock seconds of the single-lane arm.
+    pub sequential_wall_secs: f64,
+    /// Wall-clock seconds of the `lanes`-lane arm.
+    pub parallel_wall_secs: f64,
+    /// Events/s on one lane.
+    pub sequential_events_per_sec: f64,
+    /// Events/s on `lanes` lanes.
+    pub parallel_events_per_sec: f64,
+    /// `"ok"` when both arms produced the same output digest.
+    pub cross_check: String,
+}
+
+/// Runs the multicore probe: a 1024-GPU fleet (64 cells) over a
+/// 60-second synthesized trace, once on 1 lane and once on `FFS_SHARDS`
+/// lanes (minimum 2 so the probe always exercises real parallelism).
+/// The fleet is sized so the single-lane arm takes several hundred
+/// milliseconds — long enough that lane spawn cost, epoch barriers and
+/// timer granularity don't swamp the measurement. Both arms replay the
+/// identical trace and must produce the same digest.
+pub fn multicore_probe(seed: u64) -> MulticoreSummary {
+    let lanes = crate::parallel::shards().max(2);
+    let gpus = 1024;
+    let rows = run_point(gpus, scale_functions(gpus), 60.0, seed, &[1, lanes]);
+    let (seq, par) = (&rows[0], &rows[1]);
+    MulticoreSummary {
+        gpus,
+        cells: par.cells,
+        lanes: par.lanes,
+        events: par.events,
+        sequential_wall_secs: seq.wall_secs,
+        parallel_wall_secs: par.wall_secs,
+        sequential_events_per_sec: seq.events_per_sec(),
+        parallel_events_per_sec: par.events_per_sec(),
+        cross_check: if seq.digest == par.digest && seq.events == par.events {
+            "ok"
+        } else {
+            "mismatch"
+        }
+        .to_string(),
+    }
 }
 
 /// The full sweep: every [`gpu_points`] fleet at 1 lane and at

@@ -35,6 +35,36 @@ pub trait World {
 
     /// Handles one event at simulation time `now`.
     fn handle(&mut self, now: SimTime, ev: Self::Event, sched: &mut Scheduler<Self::Event>);
+
+    /// Grouping key for kind-homogeneous dispatch: [`run_until`] splits
+    /// each same-timestamp batch into contiguous runs of equal kind and
+    /// hands each run to [`World::handle_run`] in one call. Must be a pure
+    /// function of the event (no world state), so grouping never changes
+    /// which handler sees which event. The default puts every event in one
+    /// kind, which makes grouped dispatch degenerate to the plain loop.
+    #[inline]
+    fn kind_of(&self, _ev: &Self::Event) -> u16 {
+        0
+    }
+
+    /// Handles a contiguous run of same-timestamp events that all share
+    /// `kind`. Worlds with a wide event alphabet override this to branch on
+    /// `kind` once per run instead of once per event. Implementations must
+    /// consume the whole iterator **in order** and treat each event exactly
+    /// as [`World::handle`] would — unconsumed events are silently dropped
+    /// when the `Drain` drops. The default is the per-event reference loop.
+    fn handle_run(
+        &mut self,
+        now: SimTime,
+        kind: u16,
+        run: std::vec::Drain<'_, Self::Event>,
+        sched: &mut Scheduler<Self::Event>,
+    ) {
+        let _ = kind;
+        for ev in run {
+            self.handle(now, ev, sched);
+        }
+    }
 }
 
 /// Process-wide count of events executed by [`run_until`] (all schedulers,
@@ -193,6 +223,11 @@ pub struct Scheduler<E> {
     /// push + pop per preloaded event. Invariant: every stream entry lies
     /// strictly beyond the current epoch.
     stream: VecDeque<(u64, E)>,
+    /// Recycled buffer [`run_until`] bulk-drains each batch into before
+    /// dispatching it ([`Scheduler::drain_front_into`]). Owned here so its
+    /// grown capacity survives across batches and pooled-scheduler reuse
+    /// (the zero-allocation hot path); always empty between calls.
+    batch_scratch: Vec<E>,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -229,6 +264,7 @@ impl<E> Scheduler<E> {
             l1_bits: Bitmap::new(),
             far: BinaryHeap::with_capacity(cap),
             stream: VecDeque::new(),
+            batch_scratch: Vec::with_capacity(SLOT_PREALLOC),
         }
     }
 
@@ -249,6 +285,7 @@ impl<E> Scheduler<E> {
         }
         self.far.clear();
         self.stream.clear();
+        self.batch_scratch.clear();
         self.now = SimTime::ZERO;
         self.seq = 0;
         self.executed = 0;
@@ -264,7 +301,7 @@ impl<E> Scheduler<E> {
     pub fn retained_capacity(&self) -> usize {
         let l0: usize = self.l0.iter().map(|q| q.capacity()).sum();
         let l1: usize = self.l1.iter().map(|b| b.capacity()).sum();
-        l0 + l1 + self.far.capacity() + self.stream.capacity()
+        l0 + l1 + self.far.capacity() + self.stream.capacity() + self.batch_scratch.capacity()
     }
 
     /// Bulk-loads a time-sorted batch of events (e.g. a trace's arrivals)
@@ -434,17 +471,26 @@ impl<E> Scheduler<E> {
         Some(((self.l0_window << LEVEL_BITS) | s as u64, ev))
     }
 
-    /// Advances to the earliest pending timestamp and returns it with the
-    /// number of events queued there — the batch (one L0 slot = one
-    /// timestamp, FIFO = seq order). The caller drains exactly that many
-    /// events with [`Scheduler::pop_next`] (each is O(1): the slot stays
-    /// the bitmap's first until its counted events are gone, since
-    /// handlers can only push at `t >= now`). Events pushed at the same
-    /// timestamp mid-batch append *behind* the counted ones with larger
-    /// seqs and form the next batch — exactly single-step order.
-    fn front_batch(&mut self) -> Option<(u64, usize)> {
+    /// Advances to the earliest pending timestamp and moves its entire L0
+    /// slot into `into` in FIFO (= seq) order, returning the timestamp and
+    /// event count. One cursor walk and one bulk `VecDeque` drain replace
+    /// the batch's n repeated [`Scheduler::pop_next`] calls (each of which
+    /// re-found the first set bit), which is what makes batch extraction
+    /// O(n) with a single bitmap touch.
+    ///
+    /// Equivalent to popping the slot's current events one at a time: the
+    /// slot holds exactly one timestamp, handlers can only push at
+    /// `t >= now`, so events pushed at this timestamp *during* dispatch
+    /// land in the (now empty) slot with larger seqs and form the next
+    /// batch — exactly single-step `(time, insertion-seq)` order.
+    fn drain_front_into(&mut self, into: &mut Vec<E>) -> Option<(u64, usize)> {
         let s = self.advance_to_l0()?;
-        Some(((self.l0_window << LEVEL_BITS) | s as u64, self.l0[s].len()))
+        let q = &mut self.l0[s];
+        let n = q.len();
+        into.extend(q.drain(..));
+        self.l0_bits.clear(s);
+        self.pending -= n;
+        Some(((self.l0_window << LEVEL_BITS) | s as u64, n))
     }
 
     /// Advances cursors (cascading L1 buckets / the far containers) until
@@ -527,13 +573,20 @@ pub enum StopReason {
 /// ([`run_until_stepwise`], kept as the executable reference):
 /// an L0 slot holds exactly one timestamp in FIFO (= seq) order; handlers
 /// can only schedule at `t >= now` (past times clamp to `now`), so events
-/// pushed mid-batch at the batch's own timestamp append behind the batch's
-/// counted events with larger seqs and are taken as the *next* batch
-/// before the frontier moves — `(time, insertion-seq)` order is preserved
-/// exactly. The win is amortisation: one deadline probe, one clock update,
-/// and one obs flush per timestamp instead of per event, while each
-/// counted pop stays O(1) (the slot remains the bitmap's first until its
-/// counted events are gone).
+/// pushed mid-batch at the batch's own timestamp land in the emptied slot
+/// with larger seqs and are taken as the *next* batch before the frontier
+/// moves — `(time, insertion-seq)` order is preserved exactly. The win is
+/// amortisation: one deadline probe, one clock update, one obs flush, and
+/// one bulk slot drain per timestamp instead of per event.
+///
+/// Within a batch, events are dispatched as contiguous *kind-homogeneous
+/// runs*: consecutive events with equal [`World::kind_of`] go to one
+/// [`World::handle_run`] call, letting the world branch on the event kind
+/// (and open its per-dispatch telemetry) once per run instead of once per
+/// event. Runs never reorder events — they are contiguous sub-slices of
+/// the batch, dispatched and consumed in batch order — so grouping is
+/// invisible to execution semantics (pinned by the batch-equivalence
+/// property tests).
 pub fn run_until<W: World>(
     world: &mut W,
     sched: &mut Scheduler<W::Event>,
@@ -544,13 +597,18 @@ pub fn run_until<W: World>(
         "run_until deadlines must be non-decreasing"
     );
     // Profile the wheel machinery (probe / cursor / batch extraction) as
-    // WheelDrain self-time; the per-batch BatchDispatch child below
+    // WheelDrain self-time; the per-run BatchDispatch child below
     // subtracts handler time out of it. One guard per call, one per
-    // batch — never per event.
+    // run — never per event.
     let _drain = ffs_telemetry::span(ffs_telemetry::Phase::WheelDrain);
     let telemetry = ffs_telemetry::enabled();
     let executed_at_entry = sched.executed;
     let until_us = until.as_micros();
+    // The scratch is owned by the scheduler (capacity survives batches and
+    // pooled reuse) but moved out for the call so handlers' `&mut sched`
+    // cannot alias the buffer being drained.
+    let mut batch = std::mem::take(&mut sched.batch_scratch);
+    debug_assert!(batch.is_empty());
     let reason = loop {
         // Probe first: advancing cursors for (or popping and re-queueing) a
         // boundary event would reorder it behind same-timestamp peers (a
@@ -563,7 +621,9 @@ pub fn run_until<W: World>(
             }
             Some(_) => {}
         }
-        let (at_us, n) = sched.front_batch().expect("probed non-empty");
+        let (at_us, n) = sched
+            .drain_front_into(&mut batch)
+            .expect("probed non-empty");
         let at = SimTime::from_micros(at_us);
         sched.now = at;
         sched.executed += n as u64;
@@ -574,18 +634,41 @@ pub fn run_until<W: World>(
         // execution is byte-identical with tracing on or off.
         if ffs_obs::enabled() {
             ffs_obs::set_now_us(at_us);
-            ffs_obs::sample_queue_depth(at_us, (sched.pending - n) as u64);
+            ffs_obs::sample_queue_depth(at_us, sched.pending as u64);
         }
         if telemetry {
             batch_events_hist().record(n as u64);
         }
-        let _batch = ffs_telemetry::span(ffs_telemetry::Phase::BatchDispatch);
-        for _ in 0..n {
-            let (_t, ev) = sched.pop_next().expect("counted batch event");
-            debug_assert_eq!(_t, at_us, "batch events share one timestamp");
+        // The overwhelmingly common case on µs-grained traces is a batch
+        // of one (arrival times rarely collide). Dispatch it straight
+        // through `handle` — by the trait contract identical to a
+        // one-event run — skipping the kind scan and `Drain` machinery,
+        // which cost more than they amortise on a single event.
+        if n == 1 {
+            let ev = batch.pop().expect("counted batch event");
+            let _dispatch = ffs_telemetry::span(ffs_telemetry::Phase::BatchDispatch);
             world.handle(at, ev, sched);
+            continue;
+        }
+        // Dispatch the batch front-to-back as kind-homogeneous runs.
+        // `drain(..len)` shifts the remainder to the front, so the run
+        // boundary scan always restarts at index 0; multi-kind batches are
+        // rare and small, so the shift cost is noise next to the saved
+        // per-event branching.
+        while !batch.is_empty() {
+            let kind = world.kind_of(&batch[0]);
+            let mut len = 1;
+            while len < batch.len() && world.kind_of(&batch[len]) == kind {
+                len += 1;
+            }
+            let _dispatch = ffs_telemetry::span(ffs_telemetry::Phase::BatchDispatch);
+            world.handle_run(at, kind, batch.drain(..len), sched);
         }
     };
+    // Hand the (empty) scratch back so its capacity is retained. A handler
+    // panic drops it instead, leaving the default empty Vec — consistent,
+    // just cold.
+    sched.batch_scratch = batch;
     note_executed(sched.executed - executed_at_entry);
     reason
 }

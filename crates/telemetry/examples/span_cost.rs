@@ -1,0 +1,28 @@
+//! Quick span-cost probe: ns per enter/exit pair, flat and nested.
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    ffs_telemetry::set_enabled(true);
+    const N: u64 = 5_000_000;
+    // Flat leaf spans under one root.
+    let root = ffs_telemetry::span(ffs_telemetry::Phase::RunOther);
+    let t0 = Instant::now();
+    for i in 0..N {
+        let _g = ffs_telemetry::span(ffs_telemetry::Phase::RouteIndexMaint);
+        black_box(i);
+    }
+    let flat = t0.elapsed().as_nanos() as f64 / N as f64;
+    drop(root);
+    // Two-level nesting per iteration.
+    let root = ffs_telemetry::span(ffs_telemetry::Phase::RunOther);
+    let t0 = Instant::now();
+    for i in 0..N {
+        let _a = ffs_telemetry::span(ffs_telemetry::Phase::BatchDispatch);
+        let _b = ffs_telemetry::span(ffs_telemetry::Phase::RoutingScan);
+        black_box(i);
+    }
+    let nested = t0.elapsed().as_nanos() as f64 / N as f64;
+    drop(root);
+    println!("flat span pair: {flat:.1} ns; two nested pairs: {nested:.1} ns");
+}

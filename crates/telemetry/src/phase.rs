@@ -19,14 +19,14 @@
 //! byte. [`MAX_DEPTH`] is 8; deeper spans are counted but dropped from
 //! the profile (the engine's instrumentation nests at most 5 deep).
 
-use std::cell::RefCell;
+use std::cell::UnsafeCell;
 use std::collections::HashMap;
 use std::sync::Mutex;
 
 use crate::clock;
 
 /// Number of phases in the fixed alphabet.
-pub const PHASE_COUNT: usize = 12;
+pub const PHASE_COUNT: usize = 13;
 
 /// Deepest span nesting the path encoding can represent.
 const MAX_DEPTH: usize = 8;
@@ -76,6 +76,9 @@ pub enum Phase {
     /// Waiting at the lock-step epoch barrier for peer lanes to finish
     /// their shards' epoch (pure synchronization time, no work).
     EpochBarrier = 11,
+    /// Maintaining the per-function admissible-instance routing index at
+    /// slab mutation points (admit, stage finish, phase transitions).
+    RouteIndexMaint = 12,
 }
 
 impl Phase {
@@ -93,6 +96,7 @@ impl Phase {
         Phase::RunOther,
         Phase::ShardRoute,
         Phase::EpochBarrier,
+        Phase::RouteIndexMaint,
     ];
 
     /// Stable snake_case name (used as the Prometheus `phase` label and
@@ -111,6 +115,7 @@ impl Phase {
             Phase::RunOther => "run_other",
             Phase::ShardRoute => "shard_route",
             Phase::EpochBarrier => "epoch_barrier",
+            Phase::RouteIndexMaint => "route_index_maint",
         }
     }
 
@@ -126,6 +131,8 @@ struct PathTable {
     keys: [u64; PATH_SLOTS],
     cycles: [u64; PATH_SLOTS],
     calls: [u64; PATH_SLOTS],
+    /// Slot of the most recently exited path (hot-exit fast path).
+    cached_slot: usize,
     /// Self-cycles that found no free slot (table full) and were dropped
     /// from the per-path profile (per-phase totals still count them).
     dropped_cycles: u64,
@@ -137,24 +144,36 @@ impl PathTable {
             keys: [0; PATH_SLOTS],
             cycles: [0; PATH_SLOTS],
             calls: [0; PATH_SLOTS],
+            cached_slot: 0,
             dropped_cycles: 0,
         }
     }
 
     #[inline]
     fn add(&mut self, key: u64, cycles: u64) {
+        // Hot spans exit millions of times with the same stack, so the
+        // slot of the last exited path is cached: the common case is one
+        // compare instead of a hash and probe.
+        let c = self.cached_slot;
+        if self.keys[c] == key {
+            self.cycles[c] += cycles;
+            self.calls[c] += 1;
+            return;
+        }
         // Fibonacci hash to a slot, then linear probe.
         let mut i = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56) as usize % PATH_SLOTS;
         for _ in 0..PATH_SLOTS {
             if self.keys[i] == key {
                 self.cycles[i] += cycles;
                 self.calls[i] += 1;
+                self.cached_slot = i;
                 return;
             }
             if self.keys[i] == 0 {
                 self.keys[i] = key;
                 self.cycles[i] = cycles;
                 self.calls[i] = 1;
+                self.cached_slot = i;
                 return;
             }
             i = (i + 1) % PATH_SLOTS;
@@ -166,6 +185,7 @@ impl PathTable {
         self.keys = [0; PATH_SLOTS];
         self.cycles = [0; PATH_SLOTS];
         self.calls = [0; PATH_SLOTS];
+        self.cached_slot = 0;
         self.dropped_cycles = 0;
     }
 }
@@ -220,7 +240,14 @@ impl ThreadProf {
         debug_assert!(self.depth > 0, "span exit without matching enter");
         self.depth -= 1;
         let d = self.depth as usize;
-        let total = end.saturating_sub(start);
+        // Deduct the clock-pair latency the measurement itself costs, so
+        // a span's total reflects only the guarded work. Done before the
+        // parent's child-accounting: an uncorrected child total would
+        // overcharge the parent's children and (via the saturating
+        // subtraction below) leak phantom cycles into the profile.
+        let total = end
+            .saturating_sub(start)
+            .saturating_sub(clock::guard_overhead_cycles());
         let own = total.saturating_sub(self.child[d]);
         self.cycles[phase as usize] += own;
         self.calls[phase as usize] += 1;
@@ -233,7 +260,26 @@ impl ThreadProf {
 }
 
 thread_local! {
-    static PROF: RefCell<ThreadProf> = const { RefCell::new(ThreadProf::new()) };
+    /// Per-thread profiler state. An `UnsafeCell` rather than a `RefCell`:
+    /// every accessor goes through [`with_prof`], whose contract keeps the
+    /// borrow unique, and the enter/exit pair is the hottest few-
+    /// nanosecond path in the profiler — the borrow-flag bookkeeping was
+    /// measurable against it.
+    static PROF: UnsafeCell<ThreadProf> = const { UnsafeCell::new(ThreadProf::new()) };
+}
+
+/// Runs `f` with exclusive access to the thread's profiler state.
+///
+/// SAFETY contract (checked by inspection, not the type system): `f`
+/// must not call back into anything that touches `PROF`. All four
+/// callers pass straight-line array-bookkeeping closures; the only
+/// external call any of them makes is `with_merged`, which locks the
+/// process-wide accumulator and never touches thread state.
+#[inline]
+fn with_prof<R>(f: impl FnOnce(&mut ThreadProf) -> R) -> R {
+    // SAFETY: per the contract above, `f` cannot re-enter `PROF`, so this
+    // is the only live reference for the duration of the call.
+    PROF.with(|p| f(unsafe { &mut *p.get() }))
 }
 
 /// Times one phase for the enclosing scope, charging self-time on drop.
@@ -259,7 +305,7 @@ pub fn span(phase: Phase) -> PhaseGuard {
             live: false,
         };
     }
-    let live = PROF.with(|p| p.borrow_mut().enter(phase));
+    let live = with_prof(|p| p.enter(phase));
     // Read the clock *after* the bookkeeping, so enter overhead lands in
     // the parent's self-time rather than inflating this span.
     PhaseGuard {
@@ -277,7 +323,7 @@ impl Drop for PhaseGuard {
         }
         // Clock first: exit bookkeeping is charged to the parent.
         let end = clock::now_cycles();
-        PROF.with(|p| p.borrow_mut().exit(self.phase, self.start, end));
+        with_prof(|p| p.exit(self.phase, self.start, end));
     }
 }
 
@@ -339,8 +385,7 @@ fn with_merged<R>(f: impl FnOnce(&mut Merged) -> R) -> R {
 /// later flush), so this is safe anywhere — harness workers call it at
 /// the end of each stint.
 pub fn flush_thread() {
-    PROF.with(|p| {
-        let mut p = p.borrow_mut();
+    with_prof(|p| {
         if p.calls.iter().all(|&c| c == 0) && p.depth_overflows == 0 {
             return;
         }
@@ -407,8 +452,7 @@ pub fn snapshot() -> PhaseSnapshot {
 /// Clears the process-wide profile *and* the calling thread's local
 /// accumulators. Test isolation only — production code never resets.
 pub fn reset_for_tests() {
-    PROF.with(|p| {
-        let mut p = p.borrow_mut();
+    with_prof(|p| {
         p.cycles = [0; PHASE_COUNT];
         p.calls = [0; PHASE_COUNT];
         p.depth_overflows = 0;
