@@ -54,6 +54,7 @@ pub use chaos::{ChaosState, FaultSpec, FaultTarget};
 pub use config::{FfsConfig, ScalingPolicy};
 pub use keepalive::{KeepAliveState, Transition};
 pub use platform::engine::{Engine, EngineCore, EngineError};
+pub use platform::mqfq::{mqfq_policies, mqfq_policies_with, MqfqParams, MqfqState};
 pub use platform::policy::PolicyBundle;
 pub use platform::sharded::{
     run_output_digest, run_sharded, run_sharded_fluid, ShardRunStats, ShardSpec, ShardView,

@@ -981,7 +981,9 @@ fn build_requests_into(
         let f = catalog
             .func_of(inv.app)
             .ok_or(EngineError::UnknownApp(inv.app))?;
-        out.push(RequestState::new(inv.id, f, inv.arrival, catalog.slo_ms(f)));
+        let mut state = RequestState::new(inv.id, f, inv.arrival, catalog.slo_ms(f));
+        state.tenant = inv.tenant;
+        out.push(state);
     }
     Ok(())
 }

@@ -78,6 +78,7 @@ impl MetricsHub {
             completed: req.completed,
             slo_ms: self.slo_of_func[req.func],
             breakdown,
+            tenant: req.tenant,
         });
     }
 
@@ -95,6 +96,7 @@ impl MetricsHub {
             completed: None,
             slo_ms: self.slo_of_func[req.func],
             breakdown: Breakdown::default(),
+            tenant: req.tenant,
         });
     }
 

@@ -42,6 +42,9 @@ pub struct RequestState {
     /// tombstone — the peer owns the request's outcome, so finalize must
     /// not count this copy as abandoned.
     pub moved: bool,
+    /// Owning tenant, copied from the trace invocation (0 when the
+    /// caller never sets it, e.g. unit-test fixtures).
+    pub tenant: u32,
 }
 
 impl RequestState {
@@ -58,6 +61,7 @@ impl RequestState {
             transfer_ms: 0.0,
             served: None,
             moved: false,
+            tenant: 0,
         }
     }
 

@@ -136,6 +136,9 @@ pub enum ShardMsg {
         func: FuncId,
         /// Original arrival time.
         arrival: SimTime,
+        /// Owning tenant (rides along so per-tenant metrics survive
+        /// the handoff).
+        tenant: u32,
     },
 }
 
@@ -167,12 +170,14 @@ impl CellState {
             global_id,
             func,
             arrival,
+            tenant,
         } = msg;
         let core = &mut self.engine.core;
         let local = core.requests.len() as u64;
         let slo_ms = core.catalog.slo_ms(func);
-        core.requests
-            .push(RequestState::new(local, func, arrival, slo_ms));
+        let mut state = RequestState::new(local, func, arrival, slo_ms);
+        state.tenant = tenant;
+        core.requests.push(state);
         self.global_ids.push(global_id);
         self.sched.at(now, Event::Retry(local));
     }
@@ -495,6 +500,7 @@ fn exchange_epoch(
                 let r = &mut g.engine.core.requests[req as usize];
                 r.moved = true;
                 let arrival = r.arrival;
+                let tenant = r.tenant;
                 let global = g.global_ids[req as usize];
                 seq.send(
                     src,
@@ -503,6 +509,7 @@ fn exchange_epoch(
                         global_id: global,
                         func: f,
                         arrival,
+                        tenant,
                     },
                 );
                 backlog[src] -= 1;

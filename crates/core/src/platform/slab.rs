@@ -177,8 +177,8 @@ impl InstanceSlab {
         let taken = self.slots.get_mut(id.0 as usize).and_then(Option::take);
         if taken.is_some() {
             let idx = id.0 as usize;
-            let was = self.phase[idx] == PhaseTag::Ready
-                && self.occupancy[idx] < self.admit_cap[idx];
+            let was =
+                self.phase[idx] == PhaseTag::Ready && self.occupancy[idx] < self.admit_cap[idx];
             self.phase[idx] = PhaseTag::Empty;
             self.occupancy[idx] = 0;
             self.admit_cap[idx] = 0;
@@ -211,8 +211,7 @@ impl InstanceSlab {
     /// and a compare.
     #[inline]
     fn index_update(&mut self, idx: usize, was: bool) {
-        let now =
-            self.phase[idx] == PhaseTag::Ready && self.occupancy[idx] < self.admit_cap[idx];
+        let now = self.phase[idx] == PhaseTag::Ready && self.occupancy[idx] < self.admit_cap[idx];
         if was == now {
             return;
         }
@@ -398,11 +397,7 @@ impl InstanceSlab {
             + self.busy_gpcs.capacity()
             + self.func.capacity()
             + self.admissible.capacity()
-            + self
-                .admissible
-                .iter()
-                .map(Vec::capacity)
-                .sum::<usize>()
+            + self.admissible.iter().map(Vec::capacity).sum::<usize>()
     }
 
     /// Live instance ids, ascending.

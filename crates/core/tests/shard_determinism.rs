@@ -130,6 +130,7 @@ fn overload_traces(per_app: usize) -> (FfsConfig, Vec<ffs_trace::CellTrace>) {
                 // One burst per second so later waves still find cell 0
                 // saturated after the first epoch exchange.
                 arrival: ffs_sim::SimTime::from_secs_f64(0.25 + (k % 8) as f64),
+                tenant: app.index() as u32,
             });
         }
     }

@@ -1,0 +1,60 @@
+//! Fairness comparison: INFless / ESG / FluidFaaS / MQFQ-Sticky across
+//! the three multi-tenant scenarios (noisy neighbor, adversarial burst,
+//! mixed SLO classes).
+//!
+//! Prints the per-tenant fairness table plus grep-friendly
+//! `fairness_*=` lines the `fairness-smoke` CI job asserts on, and
+//! records the sweep summary in `BENCH_harness.json`.
+use std::path::Path;
+use std::time::Instant;
+
+use ffs_experiments::parallel;
+use ffs_experiments::runner::{experiment_secs, experiment_seed};
+
+fn main() {
+    ffs_experiments::init_trace_cli();
+    let secs = experiment_secs();
+    let seed = experiment_seed();
+    let started = Instant::now();
+    println!(
+        "FluidFaaS fairness sweep ({secs}s traces, seed {seed}, {} threads)\n",
+        parallel::threads()
+    );
+    let cells = ffs_experiments::fairness::run(secs, seed);
+    println!(
+        "== Fairness ==\n{}",
+        ffs_experiments::fairness::render(&cells)
+    );
+    println!(
+        "== Fairness (per tenant) ==\n{}",
+        ffs_experiments::fairness::render_detail(&cells)
+    );
+    let summary = ffs_experiments::fairness::summarize(&cells);
+    println!(
+        "fairness_mqfq_goodput_jain_noisy={:.4}",
+        summary.mqfq_jain_noisy
+    );
+    println!(
+        "fairness_esg_goodput_jain_noisy={:.4}",
+        summary.esg_jain_noisy
+    );
+    println!(
+        "fairness_mqfq_beats_esg_noisy={}",
+        u8::from(summary.mqfq_jain_noisy > summary.esg_jain_noisy)
+    );
+
+    let mut report = parallel::bench_report(started.elapsed().as_secs_f64());
+    report.fairness = Some(summary);
+    eprintln!(
+        "harness: {} runs in {:.1}s wall ({:.2} runs/s, {:.1}s simulated busy, {} threads)",
+        report.runs, report.total_secs, report.runs_per_sec, report.busy_secs, report.threads
+    );
+    match parallel::write_bench_json(Path::new("BENCH_harness.json"), &report) {
+        Ok(()) => eprintln!("harness: wrote BENCH_harness.json"),
+        Err(e) => eprintln!("harness: could not write BENCH_harness.json: {e}"),
+    }
+    match ffs_telemetry::write_prometheus_file(Path::new("telemetry.prom")) {
+        Ok(()) => eprintln!("harness: wrote telemetry.prom"),
+        Err(e) => eprintln!("harness: could not write telemetry.prom: {e}"),
+    }
+}

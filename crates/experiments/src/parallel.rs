@@ -116,26 +116,42 @@ pub fn thread_loads() -> Vec<ThreadLoad> {
 /// knob consulted on every `run_matrix` call complains exactly once.
 static ENV_WARNED: Mutex<Vec<String>> = Mutex::new(Vec::new());
 
-/// Reads a positive integer from the environment. Unset returns `None`
-/// silently; a set-but-unparsable (or zero) value returns `None` after a
-/// one-shot stderr warning naming the variable and the bad value — a
-/// silently ignored `FFS_EXP_THREADS=max` cost real debugging time.
-fn parse_env_count(var: &str) -> Option<usize> {
+/// Emits the one-shot stderr warning for a garbage environment value.
+/// Public so knobs with bespoke parsing (e.g. the comma-separated
+/// `FFS_SCALE_GPUS` list) share the same warn-once bookkeeping.
+pub fn warn_env_once(var: &str, raw: &str, expected: &str) {
+    let mut warned = ENV_WARNED.lock().expect("env warning state poisoned");
+    if !warned.iter().any(|v| v == var) {
+        warned.push(var.to_string());
+        eprintln!("harness: WARNING: ignoring unparsable {var}={raw:?}; expected {expected}");
+    }
+}
+
+/// Reads `var` from the environment and parses it as `T`. Unset returns
+/// `None` silently; a set-but-unparsable value — or one `valid` rejects —
+/// returns `None` after a one-shot stderr warning naming the variable,
+/// the bad value and `expected`. Every `FFS_*` knob goes through this: a
+/// silently ignored `FFS_EXP_THREADS=max` cost real debugging time, and
+/// the other knobs used to fall back on garbage without a word.
+pub fn parse_env_or_warn<T: std::str::FromStr>(
+    var: &str,
+    expected: &str,
+    valid: impl Fn(&T) -> bool,
+) -> Option<T> {
     let raw = std::env::var(var).ok()?;
-    match raw.parse::<usize>() {
-        Ok(n) if n >= 1 => Some(n),
+    match raw.parse::<T>() {
+        Ok(v) if valid(&v) => Some(v),
         _ => {
-            let mut warned = ENV_WARNED.lock().expect("env warning state poisoned");
-            if !warned.iter().any(|v| v == var) {
-                warned.push(var.to_string());
-                eprintln!(
-                    "harness: WARNING: ignoring unparsable {var}={raw:?}; \
-                     expected a positive integer"
-                );
-            }
+            warn_env_once(var, &raw, expected);
             None
         }
     }
+}
+
+/// Reads a positive integer from the environment, with the
+/// [`parse_env_or_warn`] warning treatment.
+fn parse_env_count(var: &str) -> Option<usize> {
+    parse_env_or_warn(var, "a positive integer", |&n: &usize| n >= 1)
 }
 
 /// Worker count: `FFS_EXP_THREADS` if set to a positive integer (with a
@@ -362,6 +378,9 @@ pub struct BenchReport {
     /// lanes), when the section ran one (`exp_all` sets it after the
     /// sequential sweep; other binaries leave `None`).
     pub multicore: Option<crate::scale::MulticoreSummary>,
+    /// Fairness-sweep summary, when the section ran one (`exp_fairness`
+    /// sets it; other binaries leave `None`).
+    pub fairness: Option<crate::fairness::FairnessSummary>,
     /// Per-worker-slot totals (slot 0 is the sequential path), for spotting
     /// per-worker skew in the parallel harness.
     pub per_thread: Vec<ThreadLoad>,
@@ -453,6 +472,7 @@ pub fn bench_report(total_secs: f64) -> BenchReport {
         resilience: None,
         scale: None,
         multicore: None,
+        fairness: None,
         per_thread: thread_loads(),
         arena: arena_report(),
         phases: phase_rows(cycles_per_sec),
@@ -562,6 +582,35 @@ pub fn write_bench_json(path: &Path, report: &BenchReport) -> std::io::Result<()
         ),
         None => String::new(),
     };
+    let fairness = match &report.fairness {
+        Some(f) => {
+            let rows = f
+                .rows
+                .iter()
+                .map(|r| {
+                    let p99 = r
+                        .tenant_p99_ms
+                        .iter()
+                        .map(|(t, p)| match p {
+                            Some(v) => format!("\"{t}\": {v:.3}"),
+                            None => format!("\"{t}\": null"),
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    format!(
+                        "      {{ \"scenario\": \"{}\", \"system\": \"{}\", \"jain_throughput\": {:.4}, \"jain_goodput\": {:.4}, \"worst_slo_attainment\": {:.4}, \"tenant_p99_ms\": {{ {} }} }}",
+                        r.scenario, r.system, r.jain_throughput, r.jain_goodput, r.worst_slo_attainment, p99,
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",\n");
+            format!(
+                ",\n  \"fairness\": {{\n    \"mqfq_goodput_jain_noisy_neighbor\": {:.4},\n    \"esg_goodput_jain_noisy_neighbor\": {:.4},\n    \"rows\": [\n{}\n    ]\n  }}",
+                f.mqfq_jain_noisy, f.esg_jain_noisy, rows,
+            )
+        }
+        None => String::new(),
+    };
     let per_thread = report
         .per_thread
         .iter()
@@ -603,7 +652,7 @@ pub fn write_bench_json(path: &Path, report: &BenchReport) -> std::io::Result<()
         phases,
     );
     let json = format!(
-        "{{\n  \"total_secs\": {:.3},\n  \"runs\": {},\n  \"runs_per_sec\": {:.3},\n  \"busy_secs\": {:.3},\n  \"threads\": {},\n  \"events\": {},\n  \"events_per_sec\": {:.0},\n  \"events_per_sec_per_thread\": [{}],\n  \"plan_cache_hits\": {},\n  \"plan_cache_misses\": {},\n  \"plan_cache_hit_rate\": {:.4},\n  \"arena\": {},\n  \"phase_breakdown\": {}{}{}{}\n}}\n",
+        "{{\n  \"total_secs\": {:.3},\n  \"runs\": {},\n  \"runs_per_sec\": {:.3},\n  \"busy_secs\": {:.3},\n  \"threads\": {},\n  \"events\": {},\n  \"events_per_sec\": {:.0},\n  \"events_per_sec_per_thread\": [{}],\n  \"plan_cache_hits\": {},\n  \"plan_cache_misses\": {},\n  \"plan_cache_hit_rate\": {:.4},\n  \"arena\": {},\n  \"phase_breakdown\": {}{}{}{}{}\n}}\n",
         report.total_secs,
         report.runs,
         report.runs_per_sec,
@@ -620,6 +669,7 @@ pub fn write_bench_json(path: &Path, report: &BenchReport) -> std::io::Result<()
         resilience,
         scale,
         multicore,
+        fairness,
     );
     std::fs::write(path, json)
 }
@@ -657,6 +707,22 @@ mod tests {
         assert!(after >= before + 24, "every run lands in some slot");
         assert!(loads.len() >= 3, "three parallel slots plus sequential");
         assert!(loads.iter().all(|t| t.busy_nanos > 0 || t.runs == 0));
+    }
+
+    #[test]
+    fn env_knobs_fall_back_on_garbage_and_accept_valid_values() {
+        // Var name unique to this test: the environment is process-global
+        // and sibling tests run concurrently.
+        let var = "FFS_TEST_PARSE_ENV_OR_WARN";
+        let count = |var: &str| parse_env_or_warn(var, "a positive integer", |&n: &usize| n >= 1);
+        assert_eq!(count(var), None, "unset is silently None");
+        std::env::set_var(var, "max");
+        assert_eq!(count(var), None, "garbage falls back");
+        std::env::set_var(var, "0");
+        assert_eq!(count(var), None, "rejected by the validity check");
+        std::env::set_var(var, "7");
+        assert_eq!(count(var), Some(7));
+        std::env::remove_var(var);
     }
 
     #[test]

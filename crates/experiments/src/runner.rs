@@ -106,10 +106,10 @@ pub fn run_system(kind: SystemKind, cfg: FfsConfig, trace: &Trace) -> RunOutput 
 /// keeping every figure/golden on the sequential path unless a user
 /// explicitly lowers it.
 pub fn shard_threshold() -> usize {
-    std::env::var("FFS_SHARD_THRESHOLD")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1_000_000)
+    crate::parallel::parse_env_or_warn("FFS_SHARD_THRESHOLD", "a positive integer", |&n: &usize| {
+        n >= 1
+    })
+    .unwrap_or(1_000_000)
 }
 
 /// Routes an oversized FluidFaaS run through the sharded engine on
@@ -178,17 +178,17 @@ fn generate_saturating(workload: WorkloadClass, duration_secs: f64, seed: u64) -
 /// The default experiment duration (seconds); override with the
 /// `FFS_EXP_SECS` environment variable.
 pub fn experiment_secs() -> f64 {
-    std::env::var("FFS_EXP_SECS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(300.0)
+    crate::parallel::parse_env_or_warn(
+        "FFS_EXP_SECS",
+        "a positive number of seconds",
+        |&s: &f64| s.is_finite() && s > 0.0,
+    )
+    .unwrap_or(300.0)
 }
 
 /// The default experiment seed; override with `FFS_EXP_SEED`.
 pub fn experiment_seed() -> u64 {
-    std::env::var("FFS_EXP_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
+    crate::parallel::parse_env_or_warn("FFS_EXP_SEED", "an unsigned integer", |_: &u64| true)
         .unwrap_or(1)
 }
 

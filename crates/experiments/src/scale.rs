@@ -104,30 +104,41 @@ pub struct ScaleSummary {
 /// Fleet sizes to sweep: `FFS_SCALE_GPUS` as a comma-separated list,
 /// default `16,256,4096`.
 pub fn gpu_points() -> Vec<usize> {
-    let parsed = std::env::var("FFS_SCALE_GPUS").ok().and_then(|raw| {
-        raw.split(',')
-            .map(|s| s.trim().parse::<usize>().ok().filter(|&g| g >= 1))
-            .collect::<Option<Vec<_>>>()
-    });
-    parsed.unwrap_or_else(|| vec![16, 256, 4096])
+    let default = || vec![16, 256, 4096];
+    let Ok(raw) = std::env::var("FFS_SCALE_GPUS") else {
+        return default();
+    };
+    let parsed = raw
+        .split(',')
+        .map(|s| s.trim().parse::<usize>().ok().filter(|&g| g >= 1))
+        .collect::<Option<Vec<_>>>()
+        .filter(|points| !points.is_empty());
+    parsed.unwrap_or_else(|| {
+        crate::parallel::warn_env_once(
+            "FFS_SCALE_GPUS",
+            &raw,
+            "a comma-separated list of positive integers",
+        );
+        default()
+    })
 }
 
 /// Trace seconds for the scale sweep: `FFS_EXP_SECS` if set, else 60
 /// (not [`crate::runner::experiment_secs`]'s 300 — these fleets are two
 /// orders of magnitude larger than the paper's).
 pub fn scale_secs() -> f64 {
-    std::env::var("FFS_EXP_SECS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(60.0)
+    crate::parallel::parse_env_or_warn(
+        "FFS_EXP_SECS",
+        "a positive number of seconds",
+        |&s: &f64| s.is_finite() && s > 0.0,
+    )
+    .unwrap_or(60.0)
 }
 
 /// Tenant-function count for a fleet: `FFS_SCALE_FUNCS` override, else
 /// 64 functions per GPU with a floor of 1024.
 fn scale_functions(gpus: usize) -> usize {
-    std::env::var("FFS_SCALE_FUNCS")
-        .ok()
-        .and_then(|s| s.parse().ok())
+    crate::parallel::parse_env_or_warn("FFS_SCALE_FUNCS", "a positive integer", |&n: &usize| n >= 1)
         .unwrap_or_else(|| (gpus * 64).max(1024))
 }
 

@@ -9,13 +9,18 @@ pub struct LatencyCdf {
 }
 
 impl LatencyCdf {
-    /// Builds a CDF from latency samples (ms). NaNs are rejected.
+    /// Builds a CDF from latency samples (ms). Non-finite samples (NaN,
+    /// ±∞) indicate an upstream accounting bug but must not crash a whole
+    /// sweep: they are dropped here and counted against the process-wide
+    /// [`ffs_obs::nonfinite_latency_samples`] counter so the loss stays
+    /// visible.
     pub fn new(mut samples: Vec<f64>) -> Self {
-        assert!(
-            samples.iter().all(|x| x.is_finite()),
-            "latencies must be finite"
-        );
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let before = samples.len();
+        samples.retain(|x| x.is_finite());
+        for _ in samples.len()..before {
+            ffs_obs::note_nonfinite_latency_sample();
+        }
+        samples.sort_by(f64::total_cmp);
         LatencyCdf { sorted_ms: samples }
     }
 
@@ -83,6 +88,7 @@ impl LatencyCdf {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -120,6 +126,16 @@ mod tests {
             assert!(w[0].1 < w[1].1);
         }
         assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nonfinite_samples_are_dropped_and_counted() {
+        let before = ffs_obs::nonfinite_latency_samples();
+        let cdf = LatencyCdf::new(vec![f64::NAN, 2.0, f64::INFINITY, 1.0, f64::NEG_INFINITY]);
+        assert_eq!(cdf.len(), 2);
+        assert_eq!(cdf.p50(), Some(1.0));
+        assert_eq!(cdf.percentile(1.0), Some(2.0));
+        assert_eq!(ffs_obs::nonfinite_latency_samples() - before, 3);
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub fn rows_csv(header: &[&str], rows: &[Vec<String>]) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

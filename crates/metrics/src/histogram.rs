@@ -160,6 +160,7 @@ impl LogHistogram {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -14,8 +14,12 @@
 //!   GPU accrues GPU time whenever any of its slices is allocated; a slice
 //!   accrues MIG time while allocated, and *active* time while actually
 //!   processing.
+//! * [`tenant`] — per-tenant latency/SLO slices and Jain's fairness index
+//!   over tenant throughput (the fairness experiments).
 //! * [`report`] — plain-text tables and JSON rows for the experiment
 //!   binaries.
+
+#![warn(clippy::unwrap_used)]
 
 pub mod cdf;
 pub mod cost;
@@ -23,6 +27,7 @@ pub mod csv;
 pub mod histogram;
 pub mod record;
 pub mod report;
+pub mod tenant;
 pub mod timeline;
 
 pub use cdf::LatencyCdf;
@@ -30,4 +35,5 @@ pub use cost::{CostReport, CostTracker};
 pub use histogram::LogHistogram;
 pub use record::{Breakdown, RequestLog, RequestRecord};
 pub use report::TextTable;
+pub use tenant::{jain_index, TenantReport, TenantStats};
 pub use timeline::BinnedSeries;

@@ -41,6 +41,10 @@ pub struct RequestRecord {
     pub slo_ms: f64,
     /// Latency breakdown.
     pub breakdown: Breakdown,
+    /// Owning tenant (fairness accounting). Defaults to 0 when absent,
+    /// so pre-tenant serialized logs still deserialize.
+    #[serde(default)]
+    pub tenant: u32,
 }
 
 impl RequestRecord {
@@ -111,6 +115,48 @@ impl RequestLog {
         self.records
             .iter()
             .filter(move |r| r.app_index == app_index)
+    }
+
+    /// Records for one tenant.
+    pub fn for_tenant(&self, tenant: u32) -> impl Iterator<Item = &RequestRecord> {
+        self.records.iter().filter(move |r| r.tenant == tenant)
+    }
+
+    /// The distinct tenants appearing in the log, ascending.
+    pub fn tenants(&self) -> Vec<u32> {
+        let mut t: Vec<u32> = self.records.iter().map(|r| r.tenant).collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    }
+
+    /// SLO hit rate for one tenant (vacuous 1.0 when the tenant has no
+    /// records, mirroring [`Self::slo_hit_rate_for`]).
+    pub fn slo_hit_rate_for_tenant(&self, tenant: u32) -> f64 {
+        let (hits, total) = self.for_tenant(tenant).fold((0usize, 0usize), |(h, t), r| {
+            (h + usize::from(r.slo_hit()), t + 1)
+        });
+        if total == 0 {
+            1.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Completed requests per second for one tenant over `duration`.
+    pub fn throughput_rps_for_tenant(&self, tenant: u32, duration: SimDuration) -> f64 {
+        let done = self
+            .for_tenant(tenant)
+            .filter(|r| r.completed.is_some())
+            .count();
+        done as f64 / duration.as_secs_f64()
+    }
+
+    /// Completed-request latencies for one tenant.
+    pub fn latencies_ms_for_tenant(&self, tenant: u32) -> Vec<f64> {
+        self.for_tenant(tenant)
+            .filter_map(|r| r.latency_ms())
+            .collect()
     }
 
     /// Fraction of requests completed within their SLO (Figure 9). Unfilled
@@ -188,6 +234,7 @@ impl RequestLog {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -205,6 +252,7 @@ mod tests {
             arrival,
             completed: latency_ms.map(|l| arrival + SimDuration::from_millis_f64(l)),
             slo_ms,
+            tenant: app as u32,
             breakdown: Breakdown {
                 queue_ms: 10.0,
                 load_ms: 0.0,

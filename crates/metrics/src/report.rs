@@ -81,6 +81,7 @@ pub fn pct(x: f64) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -101,6 +101,7 @@ impl BinnedSeries {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

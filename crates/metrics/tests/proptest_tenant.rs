@@ -1,0 +1,76 @@
+//! Property tests for Jain's fairness index (`ffs_metrics::tenant`).
+//!
+//! The fairness experiments rank systems by this scalar, so its shape
+//! properties matter: identical tenants must score exactly 1.0, the index
+//! must live in `(0, 1]`, it must be scale-invariant (doubling every
+//! tenant's throughput changes nothing), and skewing service toward one
+//! tenant must never *increase* it.
+
+use ffs_metrics::jain_index;
+use proptest::prelude::*;
+
+proptest! {
+    /// n identical positive allocations score exactly 1.0 (up to fp
+    /// rounding), regardless of n or the common value.
+    #[test]
+    fn identical_tenants_score_one(
+        n in 1usize..64,
+        x in 0.001f64..1_000.0,
+    ) {
+        let alloc = vec![x; n];
+        prop_assert!((jain_index(&alloc) - 1.0).abs() < 1e-12);
+    }
+
+    /// The index is bounded by (0, 1] for any non-degenerate allocation,
+    /// and bounded below by 1/n.
+    #[test]
+    fn index_is_bounded(
+        alloc in proptest::collection::vec(0.0f64..1_000.0, 1..64),
+    ) {
+        let j = jain_index(&alloc);
+        prop_assert!(j > 0.0 && j <= 1.0 + 1e-12, "j = {}", j);
+        if alloc.iter().any(|&x| x > 0.0) {
+            prop_assert!(j >= 1.0 / alloc.len() as f64 - 1e-12);
+        }
+    }
+
+    /// Scale invariance: multiplying every allocation by a positive
+    /// constant leaves the index unchanged.
+    #[test]
+    fn index_is_scale_invariant(
+        alloc in proptest::collection::vec(0.001f64..1_000.0, 1..32),
+        k in 0.01f64..100.0,
+    ) {
+        let scaled: Vec<f64> = alloc.iter().map(|x| x * k).collect();
+        let a = jain_index(&alloc);
+        let b = jain_index(&scaled);
+        prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
+    }
+
+    /// Monotone under throughput skew: starting from equal allocations,
+    /// progressively transferring service from one tenant to another
+    /// never increases the index. (Transfer = the canonical
+    /// Robin-Hood-in-reverse step; Jain's index is Schur-concave, so each
+    /// step can only lower it.)
+    #[test]
+    fn skew_never_increases_index(
+        n in 2usize..16,
+        base in 1.0f64..100.0,
+        steps in 1usize..20,
+    ) {
+        let mut alloc = vec![base; n];
+        let mut prev = jain_index(&alloc);
+        prop_assert!((prev - 1.0).abs() < 1e-12);
+        let delta = base / steps as f64 / 2.0;
+        for _ in 0..steps {
+            // Move `delta` from the poorest-served tenant (index 1) to
+            // the hog (index 0): strictly more skew each step.
+            alloc[0] += delta;
+            alloc[1] -= delta;
+            let j = jain_index(&alloc);
+            prop_assert!(j <= prev + 1e-12, "index rose: {} -> {}", prev, j);
+            prev = j;
+        }
+        prop_assert!(prev < 1.0, "skewed allocation still scored 1.0");
+    }
+}

@@ -184,6 +184,25 @@ pub fn metric_clamps() -> u64 {
     METRIC_CLAMPS.load(Ordering::Relaxed)
 }
 
+/// Process-wide count of non-finite latency samples dropped while building
+/// CDFs (`LatencyCdf::new` in `ffs-metrics`). A nonzero count indicates an
+/// upstream latency-accounting bug — the samples are silently excluded
+/// from percentiles, so this counter is the only trace they leave.
+/// Unconditional, like [`schedule_clamps`].
+static NONFINITE_LATENCY_SAMPLES: std::sync::atomic::AtomicU64 =
+    std::sync::atomic::AtomicU64::new(0);
+
+/// Counts one dropped non-finite latency sample.
+#[inline]
+pub fn note_nonfinite_latency_sample() {
+    NONFINITE_LATENCY_SAMPLES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total non-finite latency samples dropped in this process.
+pub fn nonfinite_latency_samples() -> u64 {
+    NONFINITE_LATENCY_SAMPLES.load(Ordering::Relaxed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -711,6 +711,7 @@ pub fn run_until_stepwise<W: World>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::time::SimDuration;

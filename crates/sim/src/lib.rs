@@ -40,6 +40,8 @@
 //! assert_eq!(world.0, 10);
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 pub mod engine;
 pub mod queueing;
 pub mod rng;

@@ -75,6 +75,7 @@ pub fn servers_for_mean_wait(lambda: f64, mu: f64, target_wait: f64) -> u32 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

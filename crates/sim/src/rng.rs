@@ -156,6 +156,7 @@ impl RngCore for SimRng {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -99,6 +99,7 @@ impl<M> Sequencer<M> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -149,6 +149,7 @@ impl TimeWeightedMean {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

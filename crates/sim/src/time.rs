@@ -255,6 +255,7 @@ impl fmt::Display for SimDuration {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

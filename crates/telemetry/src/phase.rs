@@ -26,7 +26,7 @@ use std::sync::Mutex;
 use crate::clock;
 
 /// Number of phases in the fixed alphabet.
-pub const PHASE_COUNT: usize = 13;
+pub const PHASE_COUNT: usize = 14;
 
 /// Deepest span nesting the path encoding can represent.
 const MAX_DEPTH: usize = 8;
@@ -79,6 +79,9 @@ pub enum Phase {
     /// Maintaining the per-function admissible-instance routing index at
     /// slab mutation points (admit, stage finish, phase transitions).
     RouteIndexMaint = 12,
+    /// MQFQ virtual-time maintenance: advancing the global virtual clock
+    /// over the backlogged flows before a fair-queueing dispatch.
+    VtUpdate = 13,
 }
 
 impl Phase {
@@ -97,6 +100,7 @@ impl Phase {
         Phase::ShardRoute,
         Phase::EpochBarrier,
         Phase::RouteIndexMaint,
+        Phase::VtUpdate,
     ];
 
     /// Stable snake_case name (used as the Prometheus `phase` label and
@@ -116,6 +120,7 @@ impl Phase {
             Phase::ShardRoute => "shard_route",
             Phase::EpochBarrier => "epoch_barrier",
             Phase::RouteIndexMaint => "route_index_maint",
+            Phase::VtUpdate => "vt_update",
         }
     }
 

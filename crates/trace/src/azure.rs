@@ -153,6 +153,7 @@ impl AzureTraceConfig {
                     id: 0, // assigned after the global sort
                     app,
                     arrival: SimTime::from_secs_f64(time),
+                    tenant: app.index() as u32,
                 });
             }
         }
@@ -215,6 +216,7 @@ impl Trace {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -1,0 +1,225 @@
+//! Multi-tenant fairness scenarios: trace shapes where fleet-wide
+//! averages hide what individual tenants experience.
+//!
+//! Each scenario assigns one application per tenant (so per-function flow
+//! state in the schedulers maps one-to-one onto tenants) and perturbs one
+//! or more tenants' arrival processes:
+//!
+//! * **Noisy neighbor** — all tenants well-behaved and steady, except one
+//!   offering several times everyone else's load.
+//! * **Adversarial burst** — a tenant that is quiet on average but
+//!   attacks in short synchronized bursts at many times the base rate.
+//! * **Mixed SLO classes** — interactive (low-rate) tenants sharing the
+//!   fleet with batch-like (high-rate) tenants; each application carries
+//!   its own SLO budget, so attainment must be read per tenant.
+//!
+//! Generation is deterministic per `(scenario, class, duration, seed)`.
+
+use ffs_sim::SimDuration;
+
+use crate::azure::{AzureTraceConfig, Trace};
+use crate::workload::{Invocation, WorkloadClass};
+
+/// The three multi-tenant fairness scenarios.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FairnessScenario {
+    /// One tenant offers several times everyone else's steady load.
+    NoisyNeighbor,
+    /// One tenant attacks in short synchronized extreme bursts.
+    AdversarialBurst,
+    /// Interactive low-rate tenants share the fleet with batch-like
+    /// high-rate tenants.
+    MixedSloClasses,
+}
+
+impl FairnessScenario {
+    /// All scenarios, in reporting order.
+    pub const ALL: [FairnessScenario; 3] = [
+        FairnessScenario::NoisyNeighbor,
+        FairnessScenario::AdversarialBurst,
+        FairnessScenario::MixedSloClasses,
+    ];
+
+    /// Snake-case name (report keys, CI greps).
+    pub const fn name(self) -> &'static str {
+        match self {
+            FairnessScenario::NoisyNeighbor => "noisy_neighbor",
+            FairnessScenario::AdversarialBurst => "adversarial_burst",
+            FairnessScenario::MixedSloClasses => "mixed_slo_classes",
+        }
+    }
+
+    /// The tenant id this scenario's aggressor runs as, if it has one
+    /// (the highest tenant id — the last application of the workload).
+    pub fn aggressor(self, class: WorkloadClass) -> Option<u32> {
+        match self {
+            FairnessScenario::NoisyNeighbor | FairnessScenario::AdversarialBurst => {
+                Some(class.apps().len() as u32 - 1)
+            }
+            FairnessScenario::MixedSloClasses => None,
+        }
+    }
+
+    /// Generates the scenario trace: one tenant per application of
+    /// `class`, arrival processes per the scenario, tenant-stamped.
+    pub fn generate(self, class: WorkloadClass, duration_secs: f64, seed: u64) -> Trace {
+        let apps = class.apps();
+        let n = apps.len();
+        let base = class.mean_rps_per_app();
+        let mut invocations: Vec<Invocation> = Vec::new();
+        for (i, &app) in apps.iter().enumerate() {
+            // Distinct deterministic seed per (scenario, tenant).
+            let tenant_seed = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((self as u64) << 32)
+                .wrapping_add(i as u64 + 1);
+            let aggressor = i == n - 1;
+            let cfg = match self {
+                FairnessScenario::NoisyNeighbor => {
+                    // Steady victims; the last tenant offers 5x their load.
+                    let rate = if aggressor { base * 5.0 } else { base };
+                    AzureTraceConfig::steady(vec![app], duration_secs, rate, tenant_seed)
+                }
+                FairnessScenario::AdversarialBurst => {
+                    if aggressor {
+                        // Quiet on average, savage in bursts: 2x the base
+                        // mean concentrated into short on-periods at 10x.
+                        AzureTraceConfig {
+                            apps: vec![app],
+                            duration_secs,
+                            mean_rps_per_app: base * 2.0,
+                            burst_multiplier: 10.0,
+                            burst_on_secs: duration_secs / 20.0,
+                            burst_off_secs: duration_secs / 4.0,
+                            diurnal_amplitude: 0.0,
+                            diurnal_period_secs: duration_secs,
+                            seed: tenant_seed,
+                        }
+                    } else {
+                        AzureTraceConfig::steady(vec![app], duration_secs, base, tenant_seed)
+                    }
+                }
+                FairnessScenario::MixedSloClasses => {
+                    // Even tenants are interactive (half rate), odd tenants
+                    // batch-like (double rate); each app keeps its own SLO
+                    // budget, so attainment differs per class.
+                    let rate = if i % 2 == 0 { base * 0.5 } else { base * 2.0 };
+                    AzureTraceConfig::steady(vec![app], duration_secs, rate, tenant_seed)
+                }
+            };
+            let sub = cfg.generate();
+            invocations.extend(sub.invocations.into_iter().map(|mut inv| {
+                inv.tenant = i as u32;
+                inv
+            }));
+        }
+        invocations.sort_by_key(|i| (i.arrival, i.app.index(), i.tenant));
+        for (i, inv) in invocations.iter_mut().enumerate() {
+            inv.id = i as u64;
+        }
+        Trace {
+            invocations,
+            duration: SimDuration::from_secs_f64(duration_secs),
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        for sc in FairnessScenario::ALL {
+            let a = sc.generate(WorkloadClass::Medium, 60.0, 7);
+            let b = sc.generate(WorkloadClass::Medium, 60.0, 7);
+            assert_eq!(a.invocations, b.invocations, "{}", sc.name());
+            let c = sc.generate(WorkloadClass::Medium, 60.0, 8);
+            assert_ne!(a.invocations, c.invocations, "{}", sc.name());
+        }
+    }
+
+    #[test]
+    fn every_tenant_present_and_stamped() {
+        for sc in FairnessScenario::ALL {
+            let trace = sc.generate(WorkloadClass::Light, 60.0, 3);
+            let apps = WorkloadClass::Light.apps();
+            for (i, &app) in apps.iter().enumerate() {
+                let count = trace
+                    .invocations
+                    .iter()
+                    .filter(|inv| inv.tenant == i as u32)
+                    .count();
+                assert!(count > 0, "{}: tenant {i} missing", sc.name());
+                assert!(
+                    trace
+                        .invocations
+                        .iter()
+                        .filter(|inv| inv.tenant == i as u32)
+                        .all(|inv| inv.app == app),
+                    "{}: tenant {i} not pinned to its app",
+                    sc.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_neighbor_dominates_load() {
+        let trace = FairnessScenario::NoisyNeighbor.generate(WorkloadClass::Medium, 120.0, 1);
+        let noisy = FairnessScenario::NoisyNeighbor
+            .aggressor(WorkloadClass::Medium)
+            .expect("noisy neighbor has an aggressor");
+        let noisy_count = trace
+            .invocations
+            .iter()
+            .filter(|i| i.tenant == noisy)
+            .count();
+        let victim_max = (0..noisy)
+            .map(|t| trace.invocations.iter().filter(|i| i.tenant == t).count())
+            .max()
+            .expect("victims exist");
+        assert!(
+            noisy_count as f64 > 3.0 * victim_max as f64,
+            "noisy {noisy_count} vs victim max {victim_max}"
+        );
+    }
+
+    #[test]
+    fn adversarial_burst_is_overdispersed() {
+        let class = WorkloadClass::Medium;
+        let trace = FairnessScenario::AdversarialBurst.generate(class, 600.0, 5);
+        let apps = class.apps();
+        let adversary_app = apps[apps.len() - 1];
+        let victim_app = apps[0];
+        let cv_adversary = trace.interarrival_cv(adversary_app);
+        let cv_victim = trace.interarrival_cv(victim_app);
+        assert!(
+            cv_adversary > cv_victim + 0.3,
+            "adversary CV {cv_adversary} vs victim CV {cv_victim}"
+        );
+    }
+
+    #[test]
+    fn mixed_slo_rates_differ_by_class() {
+        let trace = FairnessScenario::MixedSloClasses.generate(WorkloadClass::Light, 300.0, 2);
+        let interactive = trace.invocations.iter().filter(|i| i.tenant == 0).count();
+        let batch = trace.invocations.iter().filter(|i| i.tenant == 1).count();
+        assert!(
+            batch as f64 > 2.5 * interactive as f64,
+            "batch {batch} vs interactive {interactive}"
+        );
+    }
+
+    #[test]
+    fn ids_dense_and_sorted() {
+        let trace = FairnessScenario::NoisyNeighbor.generate(WorkloadClass::Heavy, 60.0, 4);
+        for (i, inv) in trace.invocations.iter().enumerate() {
+            assert_eq!(inv.id, i as u64);
+        }
+        for w in trace.invocations.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+    }
+}

@@ -23,13 +23,17 @@
 //! assert_eq!(trace.invocations.len(), cfg.generate().invocations.len());
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 pub mod azure;
+pub mod fairness;
 pub mod loader;
 pub mod scale;
 pub mod stats;
 pub mod workload;
 
 pub use azure::{AzureTraceConfig, Trace};
+pub use fairness::FairnessScenario;
 pub use loader::{parse_csv, to_trace, FunctionRow, LoadError};
 pub use scale::{partition_trace, CellTrace, ScaleTraceConfig};
 pub use stats::{all_stats, app_stats, AppTraceStats};

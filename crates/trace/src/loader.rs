@@ -137,6 +137,7 @@ pub fn to_trace(rows: &[FunctionRow], apps: &[App], minutes: usize, seed: u64) -
                     id: 0,
                     app,
                     arrival: SimTime::from_secs_f64(m as f64 * 60.0 + offset),
+                    tenant: app.index() as u32,
                 });
             }
         }
@@ -152,6 +153,7 @@ pub fn to_trace(rows: &[FunctionRow], apps: &[App], minutes: usize, seed: u64) -
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

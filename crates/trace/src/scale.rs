@@ -56,6 +56,7 @@ pub fn partition_trace(trace: &Trace, cells: usize) -> Vec<CellTrace> {
             id: cell.global_ids.len() as u64,
             app: inv.app,
             arrival: inv.arrival,
+            tenant: inv.tenant,
         });
         cell.global_ids.push(inv.id);
     }
@@ -170,6 +171,7 @@ impl ScaleTraceConfig {
                 id: local as u64,
                 app,
                 arrival,
+                tenant: app.index() as u32,
             });
             global_ids.push(global);
         }
@@ -184,6 +186,7 @@ impl ScaleTraceConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -104,6 +104,7 @@ pub fn all_stats(trace: &Trace) -> Vec<AppTraceStats> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::azure::AzureTraceConfig;

@@ -77,9 +77,16 @@ pub struct Invocation {
     pub app: App,
     /// Arrival time at the platform.
     pub arrival: SimTime,
+    /// Owning tenant (billing/fairness entity). Synthetic generators
+    /// default it to the application index; multi-tenant scenarios
+    /// assign it explicitly. Absent in pre-tenant serialized traces,
+    /// hence the serde default.
+    #[serde(default)]
+    pub tenant: u32,
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
